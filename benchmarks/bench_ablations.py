@@ -1,0 +1,234 @@
+"""E6 + E8 — ablations of the design choices DESIGN.md calls out.
+
+* Thesaurus ablation (Section 9.3, conclusion 2): dropping it degrades
+  the CIDX-Excel mapping but leaves RDB-Star essentially unchanged.
+* Leaves vs immediate children (Section 6): depth-1 leaf pruning is the
+  immediate-children variant; it loses the nesting robustness on the
+  canonical nested-vs-flat example.
+* Leaf-count pruning (Section 6): prunes a large share of node pairs
+  without hurting the Figure 2 mapping.
+* Lazy vs eager expansion (Section 8.4): lazy compares fewer pairs on
+  shared-type schemas while agreeing wherever contexts do not diverge.
+* Optional-leaf discounting (Section 8.4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CupidMatcher
+from repro.config import CupidConfig
+from repro.datasets.canonical import canonical_examples
+from repro.datasets.cidx_excel import cidx_excel_gold
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.gold import GoldMapping
+from repro.eval.metrics import evaluate_mapping
+from repro.eval.reporting import render_table
+from repro.eval.runner import run_cidx_excel, run_rdb_star
+from repro.linguistic.thesaurus import empty_thesaurus
+
+_FIGURE2_GOLD = GoldMapping.from_pairs(
+    [
+        ("POLines.Item.Qty", "Items.Item.Quantity"),
+        ("POLines.Item.UoM", "Items.Item.UnitOfMeasure"),
+        ("POLines.Count", "Items.ItemCount"),
+        ("POBillTo.City", "InvoiceTo.Address.City"),
+        ("POBillTo.Street", "InvoiceTo.Address.Street"),
+        ("POShipTo.City", "DeliverTo.Address.City"),
+        ("POShipTo.Street", "DeliverTo.Address.Street"),
+    ]
+)
+
+
+def test_thesaurus_ablation(publish, benchmark):
+    """'The effect of dropping the thesaurus varies. With Cupid, the
+    resulting mapping is comparatively poor in the CIDX-Excel example,
+    but it is unchanged in the Star-RDB example.'"""
+
+    def run():
+        with_thesaurus = run_cidx_excel()["leaf_quality"]
+        without = run_cidx_excel(thesaurus=empty_thesaurus())["leaf_quality"]
+        star_with = run_rdb_star()["column_target_recall"]
+        star_without = run_rdb_star(thesaurus=empty_thesaurus())[
+            "column_target_recall"
+        ]
+        return with_thesaurus, without, star_with, star_without
+
+    with_t, without_t, star_with, star_without = benchmark(run)
+    rows = [
+        ["CIDX-Excel attribute recall",
+         f"{with_t.recall:.2f}", f"{without_t.recall:.2f}"],
+        ["RDB-Star column target recall",
+         f"{star_with:.2f}", f"{star_without:.2f}"],
+    ]
+    publish(
+        "ablation_thesaurus",
+        render_table(
+            ["Experiment", "With thesaurus", "Without"],
+            rows,
+            title="E6 — thesaurus ablation (Section 9.3 conclusion 2)",
+        ),
+    )
+    assert with_t.recall - without_t.recall > 0.2   # CIDX degrades a lot
+    assert star_with - star_without <= 0.15          # Star ~unchanged
+
+
+def test_leaves_vs_immediate_children(publish):
+    """Section 6: using leaves (not immediate children) is what makes
+    differently nested schemas match — shown on canonical example 5."""
+    example5 = canonical_examples()[4]
+
+    def recall(config):
+        result = CupidMatcher(config=config).match(
+            example5.schema1, example5.schema2
+        )
+        found = example5.gold.found_pairs(result.leaf_mapping)
+        return len(found) / len(example5.gold)
+
+    leaves_recall = recall(CupidConfig())
+    children_recall = recall(CupidConfig(leaf_prune_depth=1))
+    publish(
+        "ablation_leaves",
+        render_table(
+            ["Structural frontier", "Nested-vs-flat gold recall"],
+            [
+                ["full leaf sets (paper)", f"{leaves_recall:.2f}"],
+                ["immediate children (depth-1)", f"{children_recall:.2f}"],
+            ],
+            title="E8 — leaves vs immediate children (Section 6)",
+        ),
+    )
+    assert leaves_recall == 1.0
+    assert leaves_recall >= children_recall
+
+
+def test_leaf_count_pruning(publish, benchmark):
+    """Pruning skips a material share of comparisons at no quality cost
+    on the running example."""
+    po, purchase = figure2_po(), figure2_purchase_order()
+
+    def run(prune):
+        matcher = CupidMatcher(
+            config=CupidConfig(prune_by_leaf_count=prune)
+        )
+        return matcher.match(po, purchase)
+
+    pruned = benchmark(run, True)
+    unpruned = run(False)
+    saved = unpruned.treematch_result.compared_pairs - (
+        pruned.treematch_result.compared_pairs
+    )
+    publish(
+        "ablation_pruning",
+        render_table(
+            ["Setting", "Pairs compared", "Leaf mapping size"],
+            [
+                ["pruning on", pruned.treematch_result.compared_pairs,
+                 len(pruned.leaf_mapping)],
+                ["pruning off", unpruned.treematch_result.compared_pairs,
+                 len(unpruned.leaf_mapping)],
+            ],
+            title="E8 — leaf-count pruning (Section 6)",
+        ),
+    )
+    assert saved > 0
+    # Pruning must preserve the gold mapping; strays below the gold
+    # bar may differ (skipped comparisons change decrement patterns).
+    for result in (pruned, unpruned):
+        found = _FIGURE2_GOLD.found_pairs(result.leaf_mapping)
+        assert len(found) == len(_FIGURE2_GOLD)
+
+
+def test_lazy_vs_eager_expansion(publish, benchmark):
+    """Section 8.4: lazy expansion avoids duplicate comparisons on
+    schemas with shared types (the Excel PO shares Address/Contact)."""
+    from repro.datasets.cidx_excel import cidx_schema, excel_schema
+
+    def run(lazy):
+        matcher = CupidMatcher(config=CupidConfig(lazy_expansion=lazy))
+        return matcher.match(cidx_schema(), excel_schema())
+
+    eager = run(False)
+    lazy = benchmark(run, True)
+    publish(
+        "ablation_lazy",
+        render_table(
+            ["Mode", "Tree nodes (target)", "Pairs compared"],
+            [
+                ["eager (Figure 4)", len(eager.target_tree),
+                 eager.treematch_result.compared_pairs],
+                ["lazy (Section 8.4)", len(lazy.target_tree),
+                 lazy.treematch_result.compared_pairs],
+            ],
+            title="E8 — lazy vs eager schema-tree expansion",
+        ),
+    )
+    assert len(lazy.target_tree) < len(eager.target_tree)
+    assert lazy.treematch_result.compared_pairs < (
+        eager.treematch_result.compared_pairs
+    )
+
+
+def test_key_affinity(publish):
+    """'It exploits keys' (Section 4): key-ness nudges the leaf
+    initialization, separating key/non-key candidates of equal type."""
+    from repro.model.builder import SchemaBuilder
+
+    source = SchemaBuilder("S")
+    table_s = source.add_child(source.root, "Orders")
+    source.add_leaf(table_s, "Code", "integer", is_key=True)
+    source.add_leaf(table_s, "Slot", "integer")
+    target = SchemaBuilder("T")
+    table_t = target.add_child(target.root, "Orders")
+    target.add_leaf(table_t, "Key", "integer", is_key=True)
+    target.add_leaf(table_t, "Rank", "integer")
+
+    def separation(use_keys):
+        matcher = CupidMatcher(
+            config=CupidConfig(use_key_affinity=use_keys)
+        )
+        result = matcher.match(source.schema, target.schema)
+        sims = result.treematch_result.sims
+        code = result.source_tree.node_for_path("Orders", "Code")
+        key = result.target_tree.node_for_path("Orders", "Key")
+        rank = result.target_tree.node_for_path("Orders", "Rank")
+        return sims.wsim(code, key) - sims.wsim(code, rank)
+
+    with_keys = separation(True)
+    without = separation(False)
+    publish(
+        "ablation_keys",
+        render_table(
+            ["Setting", "wsim(key, key) − wsim(key, non-key)"],
+            [
+                ["key affinity on", f"{with_keys:+.3f}"],
+                ["key affinity off", f"{without:+.3f}"],
+            ],
+            title="E8 — key-ness affinity (Section 4 'exploits keys')",
+        ),
+    )
+    assert with_keys > without
+
+
+def test_optional_discount(publish):
+    """Optional-leaf discounting buys tolerance to optional content
+    (Section 8.4) — measured on the CIDX-Excel gold."""
+    gold = cidx_excel_gold()
+    with_discount = run_cidx_excel()["leaf_quality"]
+    without = run_cidx_excel(
+        config=CupidConfig(cinc=1.35, discount_optional_leaves=False)
+    )["leaf_quality"]
+    publish(
+        "ablation_optional",
+        render_table(
+            ["Setting", "Recall", "F1"],
+            [
+                ["discount optional leaves", f"{with_discount.recall:.2f}",
+                 f"{with_discount.f1:.2f}"],
+                ["count all leaves", f"{without.recall:.2f}",
+                 f"{without.f1:.2f}"],
+            ],
+            title="E8 — optional-leaf discounting (Section 8.4)",
+        ),
+    )
+    assert with_discount.recall >= without.recall

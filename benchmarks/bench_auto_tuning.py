@@ -1,0 +1,81 @@
+"""E10 — automatic parameter tuning (Section 10 future work).
+
+"Tuning performance parameters in some cases requires expert knowledge
+of these tools. Thus auto-tuning is an open problem, and a requirement
+for a robust solution."
+
+:func:`repro.core.tuning.auto_config` derives ``cinc`` from schema
+depth (the saturation calibration: ``cinc ≥ (2 / cdec^(1/d))^(1/d)``)
+and relaxes the pruning ratio when referential constraints are present.
+This bench shows it reproduces the paper's two real-world experiments
+with *no* manual parameter choices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuning import auto_config, tune_against_sample
+from repro.datasets.cidx_excel import cidx_schema, excel_schema
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.rdb_star import rdb_schema, star_schema
+from repro.eval.reporting import render_table
+from repro.eval.runner import run_cidx_excel, run_rdb_star
+
+
+def test_auto_config_reproduces_real_world_experiments(publish, benchmark):
+    def run():
+        cidx_config = auto_config(cidx_schema(), excel_schema())
+        cidx_out = run_cidx_excel(config=cidx_config)
+        star_config = auto_config(rdb_schema(), star_schema())
+        star_out = run_rdb_star(config=star_config)
+        return cidx_config, cidx_out, star_config, star_out
+
+    cidx_config, cidx_out, star_config, star_out = benchmark(run)
+    rows = [
+        ["CIDX ↔ Excel", f"cinc={cidx_config.cinc}",
+         "Table 3 all Yes" if all(
+             r[2] == "Yes" for r in cidx_out["element_rows"]
+         ) else "FAILED",
+         f"leaf recall {cidx_out['leaf_quality'].recall:.2f}"],
+        ["RDB ↔ Star",
+         f"cinc={star_config.cinc}, ratio={star_config.leaf_count_ratio}",
+         "all claims Yes" if all(
+             v == "Yes" for _, v in star_out["claim_rows"]
+         ) else "FAILED",
+         f"column recall {star_out['column_target_recall']:.2f}"],
+    ]
+    publish(
+        "auto_tuning",
+        render_table(
+            ["Experiment", "Auto-derived parameters", "Outcome", "Quality"],
+            rows,
+            title="E10 — auto-tuned Cupid on the real-world experiments",
+        ),
+    )
+    assert all(r[2] == "Yes" for r in cidx_out["element_rows"])
+    assert cidx_out["leaf_quality"].recall == 1.0
+    assert all(v == "Yes" for _, v in star_out["claim_rows"])
+    assert star_out["column_target_recall"] == 1.0
+
+
+def test_sample_tuning_finds_working_config(publish):
+    """Human-in-the-loop variant: a 3-pair validated sample suffices."""
+    sample = [
+        ("POLines.Item.Qty", "Items.Item.Quantity"),
+        ("POBillTo.City", "InvoiceTo.Address.City"),
+        ("POShipTo.City", "DeliverTo.Address.City"),
+    ]
+    config, recall = tune_against_sample(
+        figure2_po(), figure2_purchase_order(), sample
+    )
+    publish(
+        "auto_tuning_sample",
+        render_table(
+            ["Tuned parameter", "Value"],
+            [["cinc", config.cinc], ["wstruct", config.wstruct],
+             ["sample recall", f"{recall:.2f}"]],
+            title="E10 — grid search against a validated sample",
+        ),
+    )
+    assert recall == 1.0

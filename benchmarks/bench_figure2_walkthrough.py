@@ -1,0 +1,86 @@
+"""E7 — the Figure 2 / Section 4 walk-through.
+
+Every sentence of the running-example narrative is checked: thesaurus
+matches (Qty/Quantity, UoM/UnitOfMeasure), the synonym-driven context
+disambiguation (Bill≈Invoice, Ship≈Deliver), and the non-leaf mappings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CupidMatcher
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.eval.reporting import render_table
+
+
+def _run():
+    return CupidMatcher().match(figure2_po(), figure2_purchase_order())
+
+
+NARRATIVE = [
+    ("Qty → Quantity (abbreviation)",
+     "PO.POLines.Item.Qty", "PurchaseOrder.Items.Item.Quantity"),
+    ("UoM → UnitOfMeasure (acronym)",
+     "PO.POLines.Item.UoM", "PurchaseOrder.Items.Item.UnitOfMeasure"),
+    ("Count → ItemCount",
+     "PO.POLines.Count", "PurchaseOrder.Items.ItemCount"),
+    ("POBillTo.City → InvoiceTo...City (Bill ≈ Invoice)",
+     "PO.POBillTo.City", "PurchaseOrder.InvoiceTo.Address.City"),
+    ("POBillTo.Street → InvoiceTo...Street",
+     "PO.POBillTo.Street", "PurchaseOrder.InvoiceTo.Address.Street"),
+    ("POShipTo.City → DeliverTo...City (Ship ≈ Deliver)",
+     "PO.POShipTo.City", "PurchaseOrder.DeliverTo.Address.City"),
+    ("POShipTo.Street → DeliverTo...Street",
+     "PO.POShipTo.Street", "PurchaseOrder.DeliverTo.Address.Street"),
+]
+
+
+def test_figure2_walkthrough(publish, benchmark):
+    result = benchmark(_run)
+    pairs = result.leaf_mapping.path_pairs()
+    rows = []
+    for label, source, target in NARRATIVE:
+        rows.append([label, "Yes" if (source, target) in pairs else "No"])
+    publish(
+        "figure2_walkthrough",
+        render_table(
+            ["Section 4 narrative", "Reproduced"],
+            rows,
+            title="Figure 2 walk-through",
+        ),
+    )
+    assert all(row[1] == "Yes" for row in rows)
+
+
+def test_figure2_no_context_crossover(publish):
+    result = _run()
+    pairs = result.leaf_mapping.path_pairs()
+    crossovers = [
+        ("PO.POBillTo.City", "PurchaseOrder.DeliverTo.Address.City"),
+        ("PO.POShipTo.City", "PurchaseOrder.InvoiceTo.Address.City"),
+        ("PO.POBillTo.Street", "PurchaseOrder.DeliverTo.Address.Street"),
+        ("PO.POShipTo.Street", "PurchaseOrder.InvoiceTo.Address.Street"),
+    ]
+    for pair in crossovers:
+        assert pair not in pairs
+
+
+def test_figure2_nonleaf_mapping(publish):
+    result = _run()
+    pairs = result.nonleaf_mapping.path_pairs()
+    expected = [
+        ("PO", "PurchaseOrder"),
+        ("PO.POBillTo", "PurchaseOrder.InvoiceTo"),
+        ("PO.POShipTo", "PurchaseOrder.DeliverTo"),
+        ("PO.POLines.Item", "PurchaseOrder.Items.Item"),
+    ]
+    rows = [
+        [f"{s} → {t}", "Yes" if (s, t) in pairs else "No"]
+        for s, t in expected
+    ]
+    publish(
+        "figure2_nonleaf",
+        render_table(["Non-leaf mapping", "Found"], rows),
+    )
+    assert all(row[1] == "Yes" for row in rows)

@@ -1,0 +1,112 @@
+"""E5 — Section 9.3, conclusion 3: linguistic-only matching on
+full path names.
+
+The paper: "While in the CIDX-Excel example only 2 of the correct
+matching XML attribute pairs went undetected, there were as many as 7
+false positive mappings. In the RDB-Star example only 68% of the
+correct mappings were detected." Our substrate reproduces the shape
+(few misses + several false positives on CIDX-Excel; roughly two-thirds
+recall on RDB-Star) and full Cupid must dominate the path-name matcher
+on both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pathname import PathNameMatcher
+from repro.datasets.cidx_excel import (
+    cidx_excel_gold,
+    cidx_schema,
+    excel_schema,
+)
+from repro.datasets.rdb_star import (
+    rdb_schema,
+    rdb_star_column_gold,
+    star_schema,
+)
+from repro.eval.reporting import render_table
+from repro.eval.runner import run_cidx_excel, run_rdb_star
+from repro.linguistic.lexicon import (
+    builtin_thesaurus,
+    paper_experiment_thesaurus,
+)
+
+
+def _pathname_cidx():
+    matcher = PathNameMatcher(thesaurus=paper_experiment_thesaurus())
+    mapping = matcher.match(cidx_schema(), excel_schema())
+    gold = cidx_excel_gold()
+    return {
+        "missed": len(gold.missing_pairs(mapping)),
+        "false_positives": len(gold.false_positives(mapping)),
+        "recall": len(gold.found_pairs(mapping)) / len(gold),
+    }
+
+
+def _pathname_rdb_star():
+    matcher = PathNameMatcher(thesaurus=builtin_thesaurus())
+    mapping = matcher.match(rdb_schema(), star_schema())
+    gold = rdb_star_column_gold()
+    return {"target_recall": gold.target_recall(mapping)}
+
+
+def test_linguistic_only_cidx_excel(publish, benchmark):
+    stats = benchmark(_pathname_cidx)
+    rows = [
+        ["missed gold attribute pairs", stats["missed"], "2"],
+        ["false positives", stats["false_positives"], "7"],
+    ]
+    publish(
+        "linguistic_only_cidx",
+        render_table(
+            ["Metric", "Ours", "Paper"],
+            rows,
+            title="E5 — path-name-only matching, CIDX ↔ Excel",
+        ),
+    )
+    # Shape assertions: few misses, a handful of false positives.
+    assert stats["missed"] <= 4
+    assert 4 <= stats["false_positives"] <= 12
+
+
+def test_linguistic_only_rdb_star(publish, benchmark):
+    stats = benchmark(_pathname_rdb_star)
+    publish(
+        "linguistic_only_rdb_star",
+        render_table(
+            ["Metric", "Ours", "Paper"],
+            [["correct mappings detected",
+              f"{stats['target_recall']:.0%}", "68%"]],
+            title="E5 — path-name-only matching, RDB ↔ Star",
+        ),
+    )
+    # Partial recall, clearly below full Cupid's 100%: the shape holds
+    # (our builtin thesaurus with concept tagging is somewhat stronger
+    # than the paper's, hence the upper band).
+    assert 0.55 <= stats["target_recall"] <= 0.9
+
+
+def test_full_cupid_dominates_pathname(publish):
+    """Structure matching must add real value over names alone."""
+    cupid_cidx = run_cidx_excel()["leaf_quality"]
+    pathname_cidx = _pathname_cidx()
+    assert cupid_cidx.recall > pathname_cidx["recall"]
+
+    cupid_star = run_rdb_star()["column_target_recall"]
+    pathname_star = _pathname_rdb_star()["target_recall"]
+    assert cupid_star > pathname_star
+    publish(
+        "linguistic_only_vs_cupid",
+        render_table(
+            ["Experiment", "Full Cupid", "Path-name only"],
+            [
+                ["CIDX-Excel attribute recall",
+                 f"{cupid_cidx.recall:.2f}",
+                 f"{pathname_cidx['recall']:.2f}"],
+                ["RDB-Star column target recall",
+                 f"{cupid_star:.2f}", f"{pathname_star:.2f}"],
+            ],
+            title="Structure matching vs linguistic-only",
+        ),
+    )

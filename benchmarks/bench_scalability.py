@@ -1,0 +1,106 @@
+"""E9 — scalability sweep (Section 10 lists this as required future
+work; we provide the analysis on synthetic schemas).
+
+Matches a generated schema against a perturbed copy at increasing
+sizes, reporting wall time, compared pairs, and match quality, so the
+O(n²·L²)-ish cost of the post-order double loop is visible — and the
+effect of leaf-count pruning on it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import CupidMatcher
+from repro.config import CupidConfig
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.eval.metrics import evaluate_mapping
+from repro.eval.reporting import render_table
+
+SIZES = [10, 20, 40, 80]
+
+
+def _workload(n_leaves, seed=11):
+    generator = SchemaGenerator(seed=seed)
+    schema = generator.generate(n_leaves=n_leaves, max_depth=3)
+    copy, gold = generator.perturb(
+        schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+    )
+    return schema, copy, gold
+
+
+def test_scalability_sweep(publish):
+    rows = []
+    for size in SIZES:
+        schema, copy, gold = _workload(size)
+        start = time.perf_counter()
+        result = CupidMatcher().match(schema, copy)
+        elapsed = time.perf_counter() - start
+        quality = evaluate_mapping(result.leaf_mapping, gold)
+        rows.append(
+            [
+                size,
+                f"{elapsed * 1000:.1f} ms",
+                result.treematch_result.compared_pairs,
+                result.treematch_result.pruned_pairs,
+                f"{quality.recall:.2f}",
+            ]
+        )
+    publish(
+        "scalability",
+        render_table(
+            ["Leaves/side", "Wall time", "Pairs compared",
+             "Pairs pruned", "Recall"],
+            rows,
+            title="E9 — scalability on synthetic schemas",
+        ),
+    )
+    # Quality should not collapse with size.
+    assert all(float(row[4]) >= 0.7 for row in rows)
+
+
+def test_match_throughput_small(benchmark):
+    schema, copy, _ = _workload(20)
+    matcher = CupidMatcher()
+    benchmark(matcher.match, schema, copy)
+
+
+def test_match_throughput_medium(benchmark):
+    schema, copy, _ = _workload(60)
+    matcher = CupidMatcher()
+    benchmark(matcher.match, schema, copy)
+
+
+def test_pruning_speeds_up_large_match(publish):
+    schema, copy, gold = _workload(80)
+    pruned_matcher = CupidMatcher()
+    unpruned_matcher = CupidMatcher(
+        config=CupidConfig(prune_by_leaf_count=False)
+    )
+
+    start = time.perf_counter()
+    pruned = pruned_matcher.match(schema, copy)
+    pruned_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    unpruned = unpruned_matcher.match(schema, copy)
+    unpruned_time = time.perf_counter() - start
+
+    publish(
+        "scalability_pruning",
+        render_table(
+            ["Setting", "Wall time", "Pairs compared"],
+            [
+                ["pruning on", f"{pruned_time * 1000:.1f} ms",
+                 pruned.treematch_result.compared_pairs],
+                ["pruning off", f"{unpruned_time * 1000:.1f} ms",
+                 unpruned.treematch_result.compared_pairs],
+            ],
+            title="Pruning effect at 80 leaves/side",
+        ),
+    )
+    assert pruned.treematch_result.compared_pairs < (
+        unpruned.treematch_result.compared_pairs
+    )

@@ -1,0 +1,133 @@
+"""E1 — Table 1: control parameters and their stability.
+
+Regenerates the parameter table with our defaults next to the paper's
+typical values, and runs a sensitivity sweep showing that the Figure 2
+gold mapping is stable in a neighbourhood of each default — Table 1's
+point that e.g. "the choice of [thns] is not critical".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CupidMatcher
+from repro.config import CupidConfig
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.gold import GoldMapping
+from repro.eval.reporting import render_table
+
+PAPER_VALUES = {
+    "thns": "0.5",
+    "thhigh": "0.6",
+    "thlow": "0.35",
+    "cinc": "1.2",
+    "cdec": "0.9",
+    "thaccept": "0.5",
+    "wstruct": "0.5-0.6",
+    "wstruct_leaf": "0.5-0.6 (lower)",
+}
+
+_FIGURE2_GOLD = GoldMapping.from_pairs(
+    [
+        ("POLines.Item.Qty", "Items.Item.Quantity"),
+        ("POLines.Item.UoM", "Items.Item.UnitOfMeasure"),
+        ("POLines.Count", "Items.ItemCount"),
+        ("POBillTo.City", "InvoiceTo.Address.City"),
+        ("POBillTo.Street", "InvoiceTo.Address.Street"),
+        ("POShipTo.City", "DeliverTo.Address.City"),
+        ("POShipTo.Street", "DeliverTo.Address.Street"),
+    ]
+)
+
+#: Per-parameter neighbourhoods that must keep the gold mapping intact.
+SWEEPS = {
+    "thns": [0.4, 0.5, 0.6],
+    "thhigh": [0.6, 0.65, 0.7],
+    "thlow": [0.3, 0.35, 0.4],
+    "cinc": [1.15, 1.2, 1.25],
+    "cdec": [0.85, 0.9, 0.95],
+    "wstruct": [0.55, 0.6],
+}
+
+#: Known sensitivity edges, published for information (not asserted
+#: stable). Lowering thhigh below wstruct lets structurally-perfect but
+#: linguistically-unrelated ancestor pairs (wsim = wstruct·1.0) trigger
+#: leaf increments, which erodes the context disambiguation — Table 1's
+#: "should be greater than thaccept" understates the real constraint.
+#: Raising cinc on *shallow* schemas over-boosts semantically-adjacent
+#: leaves (Count vs Quantity share the quantity concept) — Table 1's
+#: "function of maximum schema depth" cuts both ways.
+EDGES = {"thhigh": [0.55], "cinc": [1.35]}
+
+
+def _figure2_recall(config: CupidConfig) -> float:
+    result = CupidMatcher(config=config).match(
+        figure2_po(), figure2_purchase_order()
+    )
+    found = _FIGURE2_GOLD.found_pairs(result.leaf_mapping)
+    return len(found) / len(_FIGURE2_GOLD)
+
+
+def test_table1_parameters(publish, benchmark):
+    config = CupidConfig()
+    rows = [
+        [name, PAPER_VALUES[name], value]
+        for name, value in config.as_table().items()
+    ]
+    publish(
+        "table1_parameters",
+        render_table(
+            ["Parameter", "Paper (typical)", "Ours (default)"],
+            rows,
+            title="Table 1 — Cupid control parameters",
+        ),
+    )
+    benchmark(_figure2_recall, config)
+    for name, value in config.as_table().items():
+        if name in PAPER_VALUES and "-" not in PAPER_VALUES[name]:
+            assert float(PAPER_VALUES[name]) == pytest.approx(value)
+
+
+def test_table1_sensitivity(publish, benchmark):
+    """Each default sits in a stable region: the Figure 2 gold mapping
+    survives neighbourhood perturbations of every parameter."""
+
+    def sweep():
+        rows = []
+        for name, values in SWEEPS.items():
+            recalls = []
+            for value in values:
+                config = CupidConfig().replace(**{name: value})
+                recalls.append(_figure2_recall(config))
+            rows.append(
+                [
+                    name,
+                    " / ".join(str(v) for v in values),
+                    " / ".join(f"{r:.2f}" for r in recalls),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    edge_rows = []
+    for name, values in EDGES.items():
+        for value in values:
+            config = CupidConfig().replace(**{name: value})
+            edge_rows.append(
+                [f"{name} (edge)", str(value),
+                 f"{_figure2_recall(config):.2f}"]
+            )
+    publish(
+        "table1_sensitivity",
+        render_table(
+            ["Parameter", "Values swept", "Figure-2 gold recall"],
+            rows + edge_rows,
+            title="Table 1 sensitivity — recall across neighbourhoods",
+        ),
+    )
+    for _, __, recalls in rows:
+        for recall in recalls.split(" / "):
+            assert float(recall) == pytest.approx(1.0)
+    # The thhigh edge exists: pushing it below wstruct loses context
+    # disambiguation. Assert it so the finding is load-bearing.
+    assert float(edge_rows[0][2]) < 1.0

@@ -1,0 +1,288 @@
+"""E3b — the DIKE and MOMIS columns of Table 3 (CIDX ↔ Excel).
+
+The paper's observations reproduced here:
+
+* **DIKE** (ER remodeling, modeling 1 of Section 9.2: "the root
+  elements and all XML-elements that had any attributes" are entities,
+  so DeliverTo/InvoiceTo are relationships): POHeader→Header and
+  Contact→Contact merge, but "entities POShipTo and Address are merged
+  into a single entity" — the address blocks collapse together and the
+  two context rows are *not* achieved.
+* **MOMIS** (class rendering): "the five classes (POShipTo, POBillTo,
+  InvoiceTo, DeliverTo, Address) are clustered together, but the
+  corresponding elements in the PO and PurchaseOrder cluster are not
+  mapped to each other" — one address cluster, no context separation.
+* **Cupid** achieves both context rows (E3 proper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dike import DikeMatcher, LSPD
+from repro.baselines.momis import MomisMatcher
+from repro.eval.reporting import render_table
+from repro.eval.runner import run_cidx_excel
+from repro.io.er_model import ERModel
+from repro.io.oo_model import parse_oo_model
+from repro.model.datatypes import DataType
+
+_ADDRESS_ATTRS = [
+    "Street1", "Street2", "Street3", "Street4", "City",
+    "StateProvince", "PostalCode", "Country",
+]
+
+
+def _cidx_er() -> ERModel:
+    model = ERModel("CIDX")
+    po = model.add_entity("PO")
+    po.add_attribute("startAt", DataType.DATE)
+    header = model.add_entity("POHeader")
+    header.add_attribute("PONumber", DataType.STRING, is_key=True)
+    header.add_attribute("PODate", DataType.DATE)
+    contact = model.add_entity("Contact")
+    for attr in ("ContactName", "ContactFunctionCode", "ContactEmail",
+                 "ContactPhone"):
+        contact.add_attribute(attr, DataType.STRING)
+    for entity_name in ("POShipTo", "POBillTo"):
+        entity = model.add_entity(entity_name)
+        for attr in _ADDRESS_ATTRS + ["attn", "entityIdentifier"]:
+            entity.add_attribute(attr, DataType.STRING)
+    lines = model.add_entity("POLines")
+    lines.add_attribute("count", DataType.INTEGER)
+    item = model.add_entity("Item")
+    for attr_name, data_type in (
+        ("line", DataType.INTEGER), ("partno", DataType.STRING),
+        ("qty", DataType.INTEGER), ("uom", DataType.STRING),
+        ("unitPrice", DataType.DECIMAL),
+    ):
+        item.add_attribute(attr_name, data_type)
+    for name in ("POHeader", "Contact", "POShipTo", "POBillTo", "POLines"):
+        model.add_relationship(f"has{name}", ["PO", name])
+    model.add_relationship("lineItems", ["POLines", "Item"])
+    return model
+
+
+def _excel_er() -> ERModel:
+    model = ERModel("Excel")
+    po = model.add_entity("PurchaseOrder")
+    po.add_attribute("totalValue", DataType.DECIMAL)
+    header = model.add_entity("Header")
+    header.add_attribute("orderNum", DataType.STRING, is_key=True)
+    header.add_attribute("orderDate", DataType.DATE)
+    header.add_attribute("yourAccountCode", DataType.STRING)
+    header.add_attribute("ourAccountCode", DataType.STRING)
+    address = model.add_entity("Address")
+    for attr in _ADDRESS_ATTRS:
+        address.add_attribute(attr.lower()[:1] + attr[1:], DataType.STRING)
+    contact = model.add_entity("Contact")
+    for attr in ("contactName", "companyName", "e-mail", "telephone"):
+        contact.add_attribute(attr, DataType.STRING)
+    items = model.add_entity("Items")
+    items.add_attribute("itemCount", DataType.INTEGER)
+    item = model.add_entity("Item")
+    for attr_name, data_type in (
+        ("itemNumber", DataType.INTEGER), ("partNumber", DataType.STRING),
+        ("yourPartNumber", DataType.STRING),
+        ("partDescription", DataType.STRING),
+        ("Quantity", DataType.INTEGER), ("unitOfMeasure", DataType.STRING),
+        ("unitPrice", DataType.DECIMAL),
+    ):
+        item.add_attribute(attr_name, data_type)
+    model.add_relationship("hasHeader", ["PurchaseOrder", "Header"])
+    # "DeliverTo and InvoiceTo are ternary relationships between
+    # PurchaseOrder, Address and Contact."
+    model.add_relationship(
+        "DeliverTo", ["PurchaseOrder", "Address", "Contact"]
+    )
+    model.add_relationship(
+        "InvoiceTo", ["PurchaseOrder", "Address", "Contact"]
+    )
+    model.add_relationship("hasItems", ["PurchaseOrder", "Items"])
+    model.add_relationship("itemList", ["Items", "Item"])
+    return model
+
+
+#: "For DIKE, we added linguistic similarity entries (in the LSPD) that
+#: were similar to the linguistic similarity coefficients computed by
+#: Cupid."
+_LSPD_ENTRIES = [
+    ("PONumber", "orderNum", 0.8),
+    ("PODate", "orderDate", 0.8),
+    ("POHeader", "Header", 0.85),
+    ("count", "itemCount", 0.7),
+    ("qty", "Quantity", 0.9),
+    ("uom", "unitOfMeasure", 0.9),
+    ("partno", "partNumber", 0.9),
+    ("POLines", "Items", 0.6),
+]
+
+
+#: DIKE's merge threshold, tuned down for this experiment: the large
+#: real-world vicinities (10-attribute entities, ternary relationships)
+#: dilute the fixpoint scores relative to the canonical examples. The
+#: paper itself notes per-tool parameter tuning was applied ("some of
+#: the mapping results ... might not be the best achievable by them, in
+#: that improvements may be possible by adjusting few of their
+#: parameters", Section 9.3).
+_DIKE_THRESHOLD = 0.4
+
+
+def test_dike_column_of_table3(publish, benchmark):
+    result = benchmark(
+        lambda: DikeMatcher(
+            lspd=LSPD(_LSPD_ENTRIES), merge_threshold=_DIKE_THRESHOLD
+        ).match(_cidx_er(), _excel_er())
+    )
+    rows = [
+        ["POHeader → Header",
+         "Yes" if result.entity_merged("POHeader", "Header") else "No",
+         "Yes"],
+        ["Item → Item",
+         "Yes" if result.entity_merged("Item", "Item") else "No", "Yes"],
+        ["Contact → Contact",
+         "Yes" if result.entity_merged("Contact", "Contact") else "No",
+         "Yes"],
+        ["POBillTo → InvoiceTo (context)",
+         "No (address blocks merged together)"
+         if result.entity_merged("POBillTo", "Address")
+         and result.entity_merged("POShipTo", "Address") else "?",
+         "No"],
+    ]
+    publish(
+        "table3_dike",
+        render_table(
+            ["Table 3 row", "Our DIKE", "Paper's DIKE"],
+            rows,
+            title="E3b — DIKE on CIDX ↔ Excel",
+        ),
+    )
+    assert result.entity_merged("POHeader", "Header")
+    assert result.entity_merged("Contact", "Contact")
+    assert result.entity_merged("Item", "Item")
+    # The failure the paper reports: both CIDX address entities merge
+    # with the single Excel Address — context rows unachievable.
+    assert result.entity_merged("POShipTo", "Address")
+    assert result.entity_merged("POBillTo", "Address")
+
+
+#: MOMIS sense annotations ("the best possible meanings were chosen
+#: for each of the schema elements").
+_MOMIS_ANNOTATIONS = [
+    ("POShipTo", "Address", 0.8),
+    ("POBillTo", "Address", 0.8),
+    ("POHeader", "Header", 0.9),
+    ("POLines", "Items", 0.7),
+    ("count", "itemCount", 0.8),
+    ("qty", "Quantity", 0.9),
+    ("uom", "unitOfMeasure", 0.9),
+    ("partno", "partNumber", 0.9),
+    ("line", "itemNumber", 0.6),
+    ("PONumber", "orderNum", 0.8),
+    ("PODate", "orderDate", 0.8),
+]
+
+_CIDX_OO = """
+class PO (startAt: date)
+class POHeader (PONumber: string (key), PODate: date)
+class Contact (ContactName: string, ContactFunctionCode: string,
+               ContactEmail: string, ContactPhone: string)
+class POShipTo (Street1: string, Street2: string, Street3: string,
+                Street4: string, City: string, StateProvince: string,
+                PostalCode: string, Country: string, attn: string)
+class POBillTo (Street1: string, Street2: string, Street3: string,
+                Street4: string, City: string, StateProvince: string,
+                PostalCode: string, Country: string, attn: string)
+class POLines (count: integer)
+class Item (line: integer, partno: string, qty: integer,
+            uom: string, unitPrice: decimal)
+"""
+
+_EXCEL_OO = """
+class PurchaseOrder (totalValue: decimal)
+class Header (orderNum: string (key), orderDate: date,
+              yourAccountCode: string, ourAccountCode: string)
+class Address (street1: string, street2: string, street3: string,
+               street4: string, city: string, stateProvince: string,
+               postalCode: string, country: string)
+class Contact (contactName: string, companyName: string,
+               email: string, telephone: string)
+class Items (itemCount: integer)
+class Item (itemNumber: integer, partNumber: string,
+            yourPartNumber: string, partDescription: string,
+            Quantity: integer, unitOfMeasure: string,
+            unitPrice: decimal)
+"""
+
+
+def test_momis_column_of_table3(publish, benchmark):
+    source = parse_oo_model(_CIDX_OO, "CIDX")
+    target = parse_oo_model(_EXCEL_OO, "Excel")
+    result = benchmark(
+        lambda: MomisMatcher(
+            sense_annotations=_MOMIS_ANNOTATIONS
+        ).match(source, target)
+    )
+    ship_with_address = result.clustered_together("POShipTo", "Address")
+    bill_with_address = result.clustered_together("POBillTo", "Address")
+    rows = [
+        ["POHeader → Header",
+         "Yes" if result.clustered_together("POHeader", "Header") else "No",
+         "Yes"],
+        ["Contact → Contact",
+         "Yes" if result.clustered_together("Contact", "Contact") else "No",
+         "Yes"],
+        ["POBillTo / POShipTo vs InvoiceTo / DeliverTo",
+         "single Address cluster"
+         if ship_with_address and bill_with_address else "?",
+         "clustered together with the Address element"],
+    ]
+    publish(
+        "table3_momis",
+        render_table(
+            ["Table 3 row", "Our MOMIS", "Paper's MOMIS"],
+            rows,
+            title="E3b — MOMIS/ARTEMIS on CIDX ↔ Excel",
+        ),
+    )
+    assert result.clustered_together("POHeader", "Header")
+    assert result.clustered_together("Contact", "Contact")
+    # The paper's failure mode: one undifferentiated address cluster.
+    assert ship_with_address and bill_with_address
+
+
+def test_only_cupid_achieves_context_rows(publish):
+    """The Table 3 takeaway in one table: the context-dependent rows
+    separate Cupid from both baselines."""
+    cupid = run_cidx_excel()
+    cupid_rows = {
+        (row[0], row[1]): row[2] for row in cupid["element_rows"]
+    }
+    dike = DikeMatcher(
+        lspd=LSPD(_LSPD_ENTRIES), merge_threshold=_DIKE_THRESHOLD
+    ).match(_cidx_er(), _excel_er())
+    momis = MomisMatcher(sense_annotations=_MOMIS_ANNOTATIONS).match(
+        parse_oo_model(_CIDX_OO, "CIDX"), parse_oo_model(_EXCEL_OO, "Excel")
+    )
+    rows = [
+        ["POBillTo → InvoiceTo",
+         cupid_rows[("POBillTo", "InvoiceTo")],
+         "No (merged with ShipTo/Address)",
+         "No (one Address cluster)"],
+        ["POShipTo → DeliverTo",
+         cupid_rows[("POShipTo", "DeliverTo")],
+         "No (merged with BillTo/Address)",
+         "No (one Address cluster)"],
+    ]
+    publish(
+        "table3_contrast",
+        render_table(
+            ["Context-dependent row", "Cupid", "DIKE", "MOMIS"],
+            rows,
+            title="E3b — the rows only Cupid achieves (Table 3)",
+        ),
+    )
+    assert cupid_rows[("POBillTo", "InvoiceTo")] == "Yes"
+    assert cupid_rows[("POShipTo", "DeliverTo")] == "Yes"
+    assert dike.entity_merged("POBillTo", "Address")
+    assert not momis.clustered_together("POLines", "Address")

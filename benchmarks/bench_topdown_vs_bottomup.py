@@ -1,0 +1,79 @@
+"""E11 — top-down (TranScm-style) vs bottom-up (Cupid) matching.
+
+Section 6: "a bottom-up approach is more conservative and is able to
+match moderately varied schema structures. A top-down approach is
+optimistic and will perform poorly if the two schemas differ
+considerably at the top level." This bench quantifies that trade-off on
+the canonical examples and the Figure 2 pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CupidMatcher
+from repro.baselines.topdown import TopDownMatcher
+from repro.datasets.canonical import canonical_examples
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.gold import GoldMapping
+from repro.eval.reporting import render_table
+
+_FIGURE2_GOLD = GoldMapping.from_pairs(
+    [
+        ("POLines.Item.Qty", "Items.Item.Quantity"),
+        ("POLines.Item.UoM", "Items.Item.UnitOfMeasure"),
+        ("POLines.Count", "Items.ItemCount"),
+        ("POBillTo.City", "InvoiceTo.Address.City"),
+        ("POBillTo.Street", "InvoiceTo.Address.Street"),
+        ("POShipTo.City", "DeliverTo.Address.City"),
+        ("POShipTo.Street", "DeliverTo.Address.Street"),
+    ]
+)
+
+
+def _recall(gold, mapping) -> float:
+    return len(gold.found_pairs(mapping)) / len(gold) if len(gold) else 0.0
+
+
+def test_topdown_vs_bottomup(publish, benchmark):
+    def run():
+        rows = []
+        for example in canonical_examples():
+            cupid = CupidMatcher().match(example.schema1, example.schema2)
+            top_down = TopDownMatcher().match(
+                example.schema1, example.schema2
+            )
+            rows.append(
+                (
+                    f"canonical {example.example_id}: {example.title[:32]}",
+                    _recall(example.gold, cupid.leaf_mapping),
+                    _recall(example.gold, top_down),
+                )
+            )
+        cupid = CupidMatcher().match(figure2_po(), figure2_purchase_order())
+        top_down = TopDownMatcher().match(
+            figure2_po(), figure2_purchase_order()
+        )
+        rows.append(
+            (
+                "Figure 2 (PO / PurchaseOrder)",
+                _recall(_FIGURE2_GOLD, cupid.leaf_mapping),
+                _recall(_FIGURE2_GOLD, top_down),
+            )
+        )
+        return rows
+
+    rows = benchmark(run)
+    publish(
+        "topdown_vs_bottomup",
+        render_table(
+            ["Workload", "Bottom-up (Cupid)", "Top-down (TranScm-style)"],
+            [[name, f"{b:.2f}", f"{t:.2f}"] for name, b, t in rows],
+            title="E11 — gold recall: bottom-up vs top-down",
+        ),
+    )
+    # Bottom-up is never worse, and strictly better somewhere.
+    assert all(bottom >= top for _, bottom, top in rows)
+    assert any(bottom > top for _, bottom, top in rows)
+    # Cupid stays perfect on all canonical workloads.
+    assert all(bottom == 1.0 for _, bottom, _ in rows)

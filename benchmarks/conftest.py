@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* its experiment (pytest-benchmark) and
+*prints/persists* the table the paper reports, so ``pytest benchmarks/
+--benchmark-only`` regenerates the evaluation section. Rendered tables
+are written to ``benchmarks/results/`` and echoed to stdout (visible
+with ``-s``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Write a rendered table to results/<name>.txt and echo it."""
+
+    def _publish(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _publish

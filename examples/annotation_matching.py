@@ -1,0 +1,84 @@
+"""Data-dictionary annotations + incremental thesaurus learning.
+
+Two Section 10 future-work items working together:
+
+1. A legacy schema with cryptic column names but a populated data
+   dictionary is matched using *description* similarity
+   (``use_descriptions=True``).
+2. The validated result is fed to :class:`ThesaurusLearner`, which
+   mines synonym/abbreviation candidates from the confirmed pairs —
+   "a module to incrementally learn synonyms and abbreviations from
+   mappings that are performed over time" (Section 9.3).
+
+Run:  python examples/annotation_matching.py
+"""
+
+from repro import CupidConfig, CupidMatcher, ThesaurusLearner, builtin_thesaurus
+from repro.linguistic.normalizer import Normalizer
+from repro.model.builder import SchemaBuilder
+
+
+def build_legacy():
+    builder = SchemaBuilder("Mainframe")
+    record = builder.add_child(builder.root, "CUSTREC")
+    builder.add_leaf(
+        record, "CNAME", "varchar",
+        description="customer legal name",
+    )
+    builder.add_leaf(
+        record, "CADDR", "varchar",
+        description="customer street address line",
+    )
+    builder.add_leaf(
+        record, "CBAL", "money",
+        description="outstanding account balance amount",
+    )
+    return builder.schema
+
+
+def build_modern():
+    builder = SchemaBuilder("CRM")
+    customer = builder.add_child(builder.root, "Customer")
+    builder.add_leaf(
+        customer, "LegalName", "varchar",
+        description="the legal name of the customer",
+    )
+    builder.add_leaf(
+        customer, "StreetAddress", "varchar",
+        description="street address of the customer",
+    )
+    builder.add_leaf(
+        customer, "Balance", "money",
+        description="current account balance",
+    )
+    return builder.schema
+
+
+def main() -> None:
+    legacy, modern = build_legacy(), build_modern()
+
+    plain = CupidMatcher().match(legacy, modern)
+    print(f"Names only: {len(plain.leaf_mapping)} correspondences")
+    for element in plain.leaf_mapping.sorted_by_similarity():
+        print(f"  {element}")
+
+    annotated = CupidMatcher(
+        config=CupidConfig(use_descriptions=True)
+    ).match(legacy, modern)
+    print(f"\nWith data-dictionary annotations: "
+          f"{len(annotated.leaf_mapping)} correspondences")
+    for element in annotated.leaf_mapping.sorted_by_similarity():
+        print(f"  {element}")
+
+    # The user validates the mapping; the learner mines it.
+    learner = ThesaurusLearner(Normalizer(builtin_thesaurus()))
+    learner.observe(annotated.leaf_mapping)
+    print("\nLexical knowledge mined from the validated mapping:")
+    for proposal in learner.proposals():
+        print(f"  {proposal}")
+
+    assert len(annotated.leaf_mapping) >= len(plain.leaf_mapping)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Bring your own domain thesaurus.
+
+Section 5.1: "The thesaurus can include terms used in common language
+as well as domain-specific references." This example matches two HR
+schemas that share almost no literal vocabulary, first with an empty
+thesaurus (poor), then with a small domain thesaurus layered on top of
+the bundled common-language lexicon (good).
+
+Run:  python examples/custom_thesaurus.py
+"""
+
+from repro import CupidMatcher, Thesaurus, builtin_thesaurus, schema_from_tree
+from repro.linguistic.thesaurus import empty_thesaurus
+
+
+def build_schemas():
+    hr = schema_from_tree(
+        "HR",
+        {
+            "Emp": {
+                "EmpNo": "integer",
+                "Moniker": "string",
+                "Remuneration": "money",
+                "DeptCode": "string",
+            },
+        },
+    )
+    payroll = schema_from_tree(
+        "Payroll",
+        {
+            "StaffMember": {
+                "StaffId": "integer",
+                "FullName": "string",
+                "Salary": "money",
+                "UnitCode": "string",
+            },
+        },
+    )
+    return hr, payroll
+
+
+def domain_thesaurus() -> Thesaurus:
+    """HR-specific vocabulary, merged over the common-language lexicon."""
+    domain = Thesaurus(name="hr-domain")
+    domain.add_abbreviation("emp", ["employee"])
+    domain.add_abbreviation("no", ["number"])
+    domain.add_abbreviation("dept", ["department"])
+    domain.add_synonym("employee", "staff", 0.9)
+    domain.add_synonym("moniker", "name", 0.85)
+    domain.add_synonym("remuneration", "salary", 0.9)
+    domain.add_synonym("department", "unit", 0.8)
+    domain.add_synonym("number", "identifier", 0.7)
+    return builtin_thesaurus().merged_with(domain)
+
+
+def report(title, result):
+    print(f"\n{title}")
+    if not len(result.leaf_mapping):
+        print("  (no correspondences found)")
+    for element in result.leaf_mapping.sorted_by_similarity():
+        print(f"  {element}")
+
+
+def main() -> None:
+    hr, payroll = build_schemas()
+
+    bare = CupidMatcher(thesaurus=empty_thesaurus()).match(hr, payroll)
+    report("Without any thesaurus:", bare)
+
+    enriched = CupidMatcher(thesaurus=domain_thesaurus()).match(hr, payroll)
+    report("With the HR domain thesaurus:", enriched)
+
+    gained = len(enriched.leaf_mapping) - len(bare.leaf_mapping)
+    print(f"\nDomain vocabulary added {gained} correspondence(s).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""The user-interaction loop: initial mappings as hints (Section 8.4).
+
+"The user can make corrections to a generated result map, and then
+re-run the match with the corrected input map, thereby generating an
+improved map." This example runs a match that misses a pair (no
+thesaurus support for a cryptic column name), shows the user supplying
+that one correspondence, and re-runs: the hint not only fixes the
+hinted leaf but also lifts the structural similarity of its ancestors.
+
+Run:  python examples/iterative_feedback.py
+"""
+
+from repro import CupidMatcher
+from repro.linguistic.thesaurus import empty_thesaurus
+from repro.model.builder import schema_from_tree
+
+
+def main() -> None:
+    legacy = schema_from_tree(
+        "Legacy",
+        {
+            "ORD": {
+                "ONUM": "integer",
+                "XQTY7": "integer",     # cryptic legacy column
+                "PRICE": "money",
+            },
+        },
+    )
+    modern = schema_from_tree(
+        "Modern",
+        {
+            "Order": {
+                "OrderNumber": "integer",
+                "Quantity": "integer",
+                "Price": "money",
+            },
+        },
+    )
+
+    matcher = CupidMatcher(thesaurus=empty_thesaurus())
+
+    first = matcher.match(legacy, modern)
+    print("First pass (no thesaurus, no hints):")
+    for element in first.leaf_mapping.sorted_by_similarity():
+        print(f"  {element}")
+    missing = ("Legacy.ORD.XQTY7", "Modern.Order.Quantity")
+    assert missing not in first.leaf_mapping.path_pairs()
+    print(f"  [missed: {missing[0]} -> {missing[1]}]")
+
+    print("\nUser validates the map and adds the missing pair as a hint.")
+    second = matcher.match(
+        legacy,
+        modern,
+        initial_mapping=[("ORD.XQTY7", "Order.Quantity")],
+    )
+    print("Second pass (with the initial mapping):")
+    for element in second.leaf_mapping.sorted_by_similarity():
+        print(f"  {element}")
+    assert missing in second.leaf_mapping.path_pairs()
+
+    # The hint also strengthens the parents' structural similarity.
+    before = first.wsim("ORD", "Order")
+    after = second.wsim("ORD", "Order")
+    print(f"\nwsim(ORD, Order): {before:.3f} -> {after:.3f} "
+          "(hint lifted the ancestors too)")
+    assert after >= before
+
+
+if __name__ == "__main__":
+    main()

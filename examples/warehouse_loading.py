@@ -1,0 +1,57 @@
+"""Data-warehouse loading: map an operational RDB onto a star schema.
+
+The paper's warehouse motivation: "in data warehouses, to map data
+sources into warehouse schemas". Both Figure 8 schemas are written as
+SQL DDL and imported through the mini DDL parser; referential
+constraints become join-view nodes (Section 8.3), which is what lets
+Cupid map the *join* of Territories and Region onto the denormalized
+Geography dimension, and Orders ⋈ OrderDetails onto the Sales fact
+table.
+
+Run:  python examples/warehouse_loading.py
+"""
+
+from repro import CupidConfig, CupidMatcher
+from repro.datasets.rdb_star import rdb_schema, star_schema
+
+
+def main() -> None:
+    rdb = rdb_schema()
+    star = star_schema()
+    print(f"Source: {rdb} ({len(rdb.refint_elements())} foreign keys)")
+    print(f"Target: {star} ({len(star.refint_elements())} foreign keys)")
+
+    config = CupidConfig(cinc=1.35, leaf_count_ratio=2.5)
+    matcher = CupidMatcher(config=config)
+    result = matcher.match(rdb, star)
+
+    print("\nTable/join-level mapping:")
+    for element in result.nonleaf_mapping.sorted_by_similarity():
+        print(f"  {element}")
+
+    print("\nColumn mapping for the Sales fact table:")
+    for element in result.leaf_mapping.sorted_by_similarity():
+        if element.target_path[1] == "SALES":
+            print(f"  {element}")
+
+    # The three Star PostalCode columns all trace back to
+    # Customers.PostalCode — Section 9.2 calls this out as desirable
+    # for downstream query discovery.
+    postal = [
+        ".".join(e.target_path)
+        for e in result.leaf_mapping
+        if ".".join(e.source_path).endswith("CUSTOMERS.PostalCode")
+    ]
+    print("\nCustomers.PostalCode drives:")
+    for target in sorted(postal):
+        print(f"  -> {target}")
+
+    # Join views visible in the source tree:
+    joins = [n for n in result.source_tree.nodes() if n.is_join_view]
+    print(f"\n{len(joins)} join views reified in the RDB schema tree, e.g.:")
+    for node in joins[:4]:
+        print(f"  {node.path_string()} ({node.leaf_count()} columns)")
+
+
+if __name__ == "__main__":
+    main()

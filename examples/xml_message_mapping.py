@@ -1,0 +1,55 @@
+"""XML message mapping: CIDX ↔ Excel purchase orders (Figure 7).
+
+The paper's E-business motivation: "in E-business, to help map messages
+between different XML formats". This example imports both real-world
+purchase-order schemas from the XML dialect, matches them with exactly
+the six thesaurus entries the paper used, and exports the mapping as
+JSON — the library-user equivalent of Cupid's BizTalk Mapper output.
+
+Run:  python examples/xml_message_mapping.py
+"""
+
+import json
+
+from repro import CupidConfig, CupidMatcher
+from repro.datasets.cidx_excel import cidx_schema, excel_schema
+from repro.io.json_io import mapping_to_dict
+from repro.linguistic.lexicon import paper_experiment_thesaurus
+
+
+def main() -> None:
+    cidx = cidx_schema()
+    excel = excel_schema()
+    print(f"Source: {cidx}")
+    print(f"Target: {excel}")
+
+    # The paper's setup: a 6-entry domain thesaurus, cinc raised per
+    # Table 1's "function of maximum schema depth" guidance.
+    matcher = CupidMatcher(
+        thesaurus=paper_experiment_thesaurus(),
+        config=CupidConfig(cinc=1.35),
+    )
+    result = matcher.match(cidx, excel)
+
+    print(f"\n{len(result.leaf_mapping)} attribute correspondences:")
+    for element in result.leaf_mapping.sorted_by_similarity():
+        print(f"  {element}")
+
+    # Context-dependent output: the single CIDX Contact block feeds
+    # both the DeliverTo and InvoiceTo contacts of the Excel format.
+    contact_targets = sorted(
+        ".".join(e.target_path)
+        for e in result.leaf_mapping
+        if e.source_name == "ContactName" and e.target_name == "contactName"
+    )
+    print("\nContact routed into both contexts:")
+    for target in contact_targets:
+        print(f"  PO.Contact.ContactName -> {target}")
+
+    exported = json.dumps(mapping_to_dict(result.leaf_mapping), indent=2)
+    print(f"\nJSON export ({len(exported.splitlines())} lines), head:")
+    print("\n".join(exported.splitlines()[:12]))
+
+
+if __name__ == "__main__":
+    main()

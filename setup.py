@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so legacy editable installs
+(``pip install -e .`` on environments without the ``wheel`` package,
+where PEP 660 editable builds fail with ``invalid command
+'bdist_wheel'``) fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of "Generic Schema Matching with Cupid".
+
+Madhavan, Bernstein, Rahm (VLDB 2001 / MSR-TR-2001-58).
+
+Public API
+----------
+The common entry points are re-exported here:
+
+* :class:`CupidMatcher` / :class:`CupidResult` — the matcher itself.
+* :class:`Schema`, :class:`SchemaBuilder`, :func:`schema_from_tree` —
+  building schemas programmatically.
+* :class:`CupidConfig` — all Table 1 control parameters.
+* :class:`Thesaurus`, :func:`builtin_thesaurus` — linguistic knowledge.
+* :class:`Mapping` / :class:`MappingElement` — match output.
+* importers in :mod:`repro.io`, baselines in :mod:`repro.baselines`,
+  paper datasets in :mod:`repro.datasets`, metrics in :mod:`repro.eval`.
+"""
+
+from repro.config import DEFAULT_CONFIG, CupidConfig
+from repro.core.cupid import CupidMatcher, CupidResult
+from repro.core.tuning import auto_config, tune_against_sample
+from repro.linguistic.learning import LexicalProposal, ThesaurusLearner
+from repro.linguistic.lexicon import builtin_thesaurus, paper_experiment_thesaurus
+from repro.linguistic.thesaurus import Thesaurus, empty_thesaurus
+from repro.mapping.assignment import greedy_one_to_one, hungarian_one_to_one
+from repro.mapping.compose import compose_mappings, invert_mapping
+from repro.mapping.hierarchy import (
+    HierarchicalMapping,
+    build_hierarchical_mapping,
+)
+from repro.mapping.mapping import Mapping, MappingElement
+from repro.model.builder import SchemaBuilder, schema_from_tree
+from repro.model.datatypes import DataType, TypeCompatibilityTable
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CupidConfig",
+    "CupidMatcher",
+    "CupidResult",
+    "DEFAULT_CONFIG",
+    "DataType",
+    "ElementKind",
+    "HierarchicalMapping",
+    "LexicalProposal",
+    "Mapping",
+    "MappingElement",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaElement",
+    "Thesaurus",
+    "ThesaurusLearner",
+    "TypeCompatibilityTable",
+    "auto_config",
+    "build_hierarchical_mapping",
+    "builtin_thesaurus",
+    "compose_mappings",
+    "empty_thesaurus",
+    "greedy_one_to_one",
+    "hungarian_one_to_one",
+    "invert_mapping",
+    "paper_experiment_thesaurus",
+    "schema_from_tree",
+    "tune_against_sample",
+]

@@ -1,0 +1,30 @@
+"""Baseline matchers the paper compares Cupid against (Section 9).
+
+* :mod:`repro.baselines.dike` — DIKE-style iterative vicinity matching
+  over ER models with a Lexical Synonymy Property Dictionary (LSPD).
+* :mod:`repro.baselines.momis` — MOMIS/ARTEMIS-style name + structural
+  affinity clustering of classes into global classes.
+* :mod:`repro.baselines.pathname` — the linguistic-only full-path-name
+  matcher used for the Section 9.3 (conclusion 3) ablation.
+
+These are reimplementations from the published algorithm descriptions;
+the original binaries were never released. They reproduce the
+qualitative behaviour the paper reports (which examples each system
+does or does not handle), not the originals' exact coefficients.
+"""
+
+from repro.baselines.dike import DikeMatcher, DikeResult, LSPD
+from repro.baselines.momis import ArtemisCluster, MomisMatcher, MomisResult
+from repro.baselines.pathname import PathNameMatcher
+from repro.baselines.topdown import TopDownMatcher
+
+__all__ = [
+    "ArtemisCluster",
+    "DikeMatcher",
+    "DikeResult",
+    "LSPD",
+    "MomisMatcher",
+    "MomisResult",
+    "PathNameMatcher",
+    "TopDownMatcher",
+]

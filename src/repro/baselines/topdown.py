@@ -1,0 +1,96 @@
+"""TranScm-style top-down structural matcher (reference [10]).
+
+Section 3: "The matching is done top-down with the rules at
+higher-level nodes typically requiring the matching of descendants.
+This top-down approach performs well only when the top-level structures
+of the two schemas are quite similar." Section 6 argues Cupid's
+bottom-up post-order is "more conservative and is able to match
+moderately varied schema structures. A top-down approach is optimistic
+and will perform poorly if the two schemas differ considerably at the
+top level."
+
+This baseline exists to quantify that claim (benchmark E11): starting
+at the roots, children are paired greedily by linguistic similarity,
+and recursion *only* descends into child pairs whose similarity clears
+a gate — a top-level mismatch prunes the whole subtree, taking every
+would-be descendant correspondence with it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.config import DEFAULT_CONFIG, CupidConfig
+from repro.linguistic.lexicon import builtin_thesaurus
+from repro.linguistic.matcher import LinguisticMatcher
+from repro.linguistic.thesaurus import Thesaurus
+from repro.mapping.mapping import Mapping, MappingElement
+from repro.model.datatypes import default_compatibility_table
+from repro.model.schema import Schema
+from repro.tree.construction import construct_schema_tree
+from repro.tree.schema_tree import SchemaTreeNode
+
+
+class TopDownMatcher:
+    """Greedy root-to-leaves matcher with a descend gate."""
+
+    def __init__(
+        self,
+        thesaurus: Optional[Thesaurus] = None,
+        config: Optional[CupidConfig] = None,
+        descend_threshold: float = 0.5,
+    ) -> None:
+        self.thesaurus = thesaurus if thesaurus is not None else builtin_thesaurus()
+        self.config = config or DEFAULT_CONFIG
+        self.descend_threshold = descend_threshold
+        self.compat = default_compatibility_table()
+
+    def match(self, source: Schema, target: Schema) -> Mapping:
+        lsim = LinguisticMatcher(self.thesaurus, self.config).compute(
+            source, target
+        )
+        source_tree = construct_schema_tree(source)
+        target_tree = construct_schema_tree(target)
+        mapping = Mapping(source.name, target.name)
+
+        def pair_score(s: SchemaTreeNode, t: SchemaTreeNode) -> float:
+            linguistic = lsim.get(s.element, t.element)
+            if s.is_leaf and t.is_leaf:
+                type_part = 2.0 * self.compat.compatibility(
+                    s.data_type, t.data_type
+                )
+                return 0.7 * linguistic + 0.3 * type_part
+            return linguistic
+
+        def descend(s: SchemaTreeNode, t: SchemaTreeNode) -> None:
+            # Greedy 1:1 pairing of the two child lists by score.
+            scored: List[Tuple[float, int, int]] = []
+            for i, sc in enumerate(s.children):
+                for j, tc in enumerate(t.children):
+                    scored.append((pair_score(sc, tc), i, j))
+            scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+            used_s: Set[int] = set()
+            used_t: Set[int] = set()
+            for score, i, j in scored:
+                if i in used_s or j in used_t:
+                    continue
+                if score < self.descend_threshold:
+                    # The optimistic cut: a weak pair is abandoned and
+                    # so is everything beneath it.
+                    continue
+                used_s.add(i)
+                used_t.add(j)
+                sc, tc = s.children[i], t.children[j]
+                mapping.add(
+                    MappingElement(
+                        source_path=sc.path(),
+                        target_path=tc.path(),
+                        similarity=min(1.0, score),
+                        source_node=sc,
+                        target_node=tc,
+                    )
+                )
+                descend(sc, tc)
+
+        descend(source_tree.root, target_tree.root)
+        return mapping

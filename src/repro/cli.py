@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+The paper positions Match as "an independent component" usable from
+many tools; the CLI is the smallest such tool:
+
+.. code-block:: console
+
+    $ python -m repro match warehouse.sql star.sql --format json
+    $ python -m repro match po_cidx.xml po_excel.xml --one-to-one
+    $ python -m repro show warehouse.sql
+
+Schema formats are detected from the file extension: ``.sql`` (mini
+DDL), ``.xml`` (the XML schema dialect), ``.oo`` (class-definition
+DSL), ``.json`` (serialized schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.config import CupidConfig
+from repro.core.cupid import CupidMatcher
+from repro.core.tuning import auto_config
+from repro.exceptions import ReproError
+from repro.io.dtd import parse_dtd
+from repro.io.json_io import mapping_to_dict, schema_from_json
+from repro.io.oo_model import parse_oo_model
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.io.xml_schema import parse_xml_schema
+from repro.linguistic.thesaurus import empty_thesaurus
+from repro.mapping.assignment import greedy_one_to_one
+from repro.model.schema import Schema
+from repro.tree.construction import construct_schema_tree
+
+
+def load_schema(path: str) -> Schema:
+    """Load a schema file, dispatching on its extension."""
+    name = os.path.splitext(os.path.basename(path))[0]
+    extension = os.path.splitext(path)[1].lower()
+    with open(path) as handle:
+        text = handle.read()
+    if extension == ".sql":
+        return parse_sql_ddl(text, name)
+    if extension == ".xml":
+        return parse_xml_schema(text)
+    if extension == ".dtd":
+        return parse_dtd(text, name)
+    if extension == ".oo":
+        return parse_oo_model(text, name)
+    if extension == ".json":
+        return schema_from_json(text)
+    raise ReproError(
+        f"cannot infer schema format from extension {extension!r} "
+        "(expected .sql, .xml, .dtd, .oo, or .json)"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cupid generic schema matching (VLDB 2001 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    match = commands.add_parser(
+        "match", help="match two schema files and print the mapping"
+    )
+    match.add_argument("source", help="source schema file")
+    match.add_argument("target", help="target schema file")
+    match.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    match.add_argument(
+        "--one-to-one", action="store_true",
+        help="extract a 1:1 mapping (greedy) instead of the naive 1:n",
+    )
+    match.add_argument(
+        "--include-nonleaf", action="store_true",
+        help="also print non-leaf (structural) correspondences",
+    )
+    match.add_argument(
+        "--no-thesaurus", action="store_true",
+        help="run without any linguistic knowledge (ablation)",
+    )
+    match.add_argument(
+        "--auto-tune", action="store_true",
+        help="derive cinc / pruning ratio from the schema shapes",
+    )
+    match.add_argument(
+        "--cinc", type=float, default=None,
+        help="override the structural increase factor (Table 1: 1.2)",
+    )
+    match.add_argument(
+        "--min-similarity", type=float, default=None,
+        help="only print correspondences at or above this wsim",
+    )
+
+    show = commands.add_parser(
+        "show", help="print a schema file as its expanded schema tree"
+    )
+    show.add_argument("schema", help="schema file")
+    return parser
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    source = load_schema(args.source)
+    target = load_schema(args.target)
+
+    config = CupidConfig()
+    if args.auto_tune:
+        config = auto_config(source, target, config)
+    if args.cinc is not None:
+        config = config.replace(cinc=args.cinc)
+
+    thesaurus = empty_thesaurus() if args.no_thesaurus else None
+    matcher = CupidMatcher(thesaurus=thesaurus, config=config)
+    result = matcher.match(source, target)
+
+    mapping = result.leaf_mapping
+    if args.one_to_one:
+        mapping = greedy_one_to_one(mapping)
+
+    elements = list(mapping)
+    if args.include_nonleaf:
+        elements += list(result.nonleaf_mapping)
+    if args.min_similarity is not None:
+        elements = [
+            e for e in elements if e.similarity >= args.min_similarity
+        ]
+    elements.sort(key=lambda e: (-e.similarity, e.path_pair()))
+
+    if args.format == "json":
+        from repro.mapping.mapping import Mapping
+
+        out = Mapping(source.name, target.name, elements)
+        print(json.dumps(mapping_to_dict(out), indent=2))
+    else:
+        print(f"# {source.name} -> {target.name}: "
+              f"{len(elements)} correspondences")
+        for element in elements:
+            print(element)
+    return 0
+
+
+def _command_show(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema)
+    tree = construct_schema_tree(schema)
+    for node in tree.nodes():
+        depth = len(node.path()) - 1
+        data_type = f": {node.data_type.value}" if node.data_type else ""
+        optional = " (optional)" if node.optional else ""
+        print(f"{'  ' * depth}{node.name}{data_type}{optional}")
+    refints = schema.refint_elements()
+    if refints:
+        print(f"# {len(refints)} referential constraint(s):")
+        for refint in refints:
+            sources = ", ".join(
+                s.name for s in schema.aggregated_members(refint)
+            )
+            print(f"#   {refint.name}: ({sources})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "match":
+            return _command_match(args)
+        return _command_show(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""The Cupid matcher facade — the paper's primary contribution."""
+
+from repro.core.cupid import CupidMatcher, CupidResult
+
+__all__ = ["CupidMatcher", "CupidResult"]

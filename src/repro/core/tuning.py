@@ -1,0 +1,98 @@
+"""Automatic parameter tuning (paper Section 10).
+
+"Thus auto-tuning is an open problem, and a requirement for a robust
+solution." Two tuners:
+
+* :func:`auto_config` — deterministic heuristics from schema shape:
+  ``cinc`` grows with schema depth (Table 1: "typically a function of
+  maximum schema depth" — deep schemas give leaves more ancestor-driven
+  increment opportunities, so each increment can be gentler; shallow
+  ones need the increments the depth cannot supply), and the leaf-count
+  pruning ratio is relaxed when referential constraints will add
+  join-view nodes (whose leaf sets union two tables).
+* :func:`tune_against_sample` — small grid search maximizing F1 on a
+  user-validated sample mapping, the human-in-the-loop variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_CONFIG, CupidConfig
+from repro.datasets.gold import GoldMapping
+from repro.model.schema import Schema
+from repro.tree.construction import construct_schema_tree
+
+
+def _schema_depth(schema: Schema) -> int:
+    """Height of the expanded schema tree."""
+    return construct_schema_tree(schema).root.subtree_depth()
+
+
+def auto_config(
+    source: Schema,
+    target: Schema,
+    base: Optional[CupidConfig] = None,
+) -> CupidConfig:
+    """Heuristic configuration from the shapes of the two schemas."""
+    base = base or DEFAULT_CONFIG
+    depth = max(2, min(_schema_depth(source), _schema_depth(target)))
+
+    # Saturation heuristic: leaves under d levels of matching ancestors
+    # see ~d increments (plus their own); to let a structure-only leaf
+    # pair (lsim = 0) saturate ssim from 0.5 to 1.0 we need
+    # cinc^d >= 2, i.e. cinc >= 2^(1/d) — with a safety margin for the
+    # cdec hit a leaf pair takes from its own early comparison.
+    saturating = 2.0 ** (1.0 / depth) / (base.cdec ** (1.0 / depth))
+    cinc = max(base.cinc, min(1.5, round(saturating, 3)))
+
+    # Join views union two tables' leaf sets, so comparing them against
+    # a denormalized table routinely needs more than the 2× indicative
+    # ratio (Orders ⋈ OrderDetails: 20 leaves vs Sales' 9).
+    has_refints = bool(source.refint_elements() or target.refint_elements())
+    leaf_ratio = max(base.leaf_count_ratio, 2.5) if has_refints else (
+        base.leaf_count_ratio
+    )
+
+    return base.replace(cinc=cinc, leaf_count_ratio=leaf_ratio)
+
+
+def tune_against_sample(
+    source: Schema,
+    target: Schema,
+    sample: Iterable[Tuple[str, str]],
+    base: Optional[CupidConfig] = None,
+    cinc_grid: Sequence[float] = (1.2, 1.3, 1.4),
+    wstruct_grid: Sequence[float] = (0.5, 0.55, 0.6),
+    thesaurus=None,
+) -> Tuple[CupidConfig, float]:
+    """Grid-search (cinc × wstruct) maximizing *recall* on a sample.
+
+    ``sample`` is a small set of user-confirmed (source path suffix,
+    target path suffix) pairs — the same currency as initial mappings.
+    Since the sample is a subset of the full truth, precision against
+    it is not meaningful (correct-but-unsampled pairs would count as
+    spurious); recall is the right objective. Returns (best config,
+    best sample recall). Ties prefer values closest to the Table 1
+    defaults (earlier grid entries).
+    """
+    from repro.core.cupid import CupidMatcher  # local: avoid cycle
+
+    base = base or DEFAULT_CONFIG
+    gold = GoldMapping.from_pairs(list(sample))
+    if not len(gold):
+        raise ValueError("tune_against_sample needs a non-empty sample")
+
+    best_config = base
+    best_recall = -1.0
+    for cinc in cinc_grid:
+        for wstruct in wstruct_grid:
+            config = base.replace(cinc=cinc, wstruct=wstruct)
+            matcher = CupidMatcher(thesaurus=thesaurus, config=config)
+            result = matcher.match(source, target)
+            found = gold.found_pairs(result.leaf_mapping)
+            recall = len(found) / len(gold)
+            if recall > best_recall + 1e-9:
+                best_recall = recall
+                best_config = config
+    return best_config, best_recall

@@ -1,0 +1,42 @@
+"""Datasets transcribed from the paper's figures and examples.
+
+* :mod:`repro.datasets.figure1` — the PO/POrder fragment of Figure 1.
+* :mod:`repro.datasets.figure2` — the PO / PurchaseOrder XML schemas of
+  Figure 2 (the running example of Section 4).
+* :mod:`repro.datasets.canonical` — the six canonical examples of
+  Section 9.1 (Table 2).
+* :mod:`repro.datasets.cidx_excel` — the CIDX and Excel purchase-order
+  schemas of Figure 7 (Table 3), including the shared Address/Contact
+  types of the Excel schema.
+* :mod:`repro.datasets.rdb_star` — the RDB and Star warehouse schemas
+  of Figure 8, expressed as SQL DDL and imported through the mini DDL
+  parser.
+* :mod:`repro.datasets.gold` — gold-standard mappings for all of the
+  above.
+* :mod:`repro.datasets.generator` — seeded synthetic schema generation
+  and perturbation for property tests and the scalability benchmark.
+"""
+
+from repro.datasets.figure1 import figure1_po, figure1_porder
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.canonical import CanonicalExample, canonical_examples
+from repro.datasets.cidx_excel import cidx_schema, excel_schema
+from repro.datasets.rdb_star import rdb_schema, star_schema
+from repro.datasets.gold import GoldMapping
+from repro.datasets.generator import SchemaGenerator, PerturbationConfig
+
+__all__ = [
+    "CanonicalExample",
+    "GoldMapping",
+    "PerturbationConfig",
+    "SchemaGenerator",
+    "canonical_examples",
+    "cidx_schema",
+    "excel_schema",
+    "figure1_po",
+    "figure1_porder",
+    "figure2_po",
+    "figure2_purchase_order",
+    "rdb_schema",
+    "star_schema",
+]

@@ -1,0 +1,306 @@
+"""The six canonical examples of Section 9.1 (Table 2).
+
+Each example is a pair of small object-oriented schemas designed to
+isolate one matching property: data types, name variations, class
+renaming, nesting, and type substitution. The examples build on each
+other the way the paper's prose does (example 2 adds Telephone,
+example 3 renames attributes of example 2's schema, ...).
+
+For DIKE, "we used a corresponding ER schema": each example also
+carries ER renderings where classes are entities and class-typed
+attributes become relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.gold import GoldMapping
+from repro.io.er_model import ERModel
+from repro.io.oo_model import parse_oo_model
+from repro.model.element import ElementKind
+from repro.model.schema import Schema
+
+
+@dataclass
+class CanonicalExample:
+    """One row of Table 2."""
+
+    example_id: int
+    title: str
+    description: str
+    schema1: Schema
+    schema2: Schema
+    er1: ERModel
+    er2: ERModel
+    gold: GoldMapping
+    #: LSPD entries DIKE needs for this example (footnote a of Table 2).
+    lspd_entries: List[Tuple[str, str, float]] = field(default_factory=list)
+    #: Sense annotations MOMIS needs (footnote b of Table 2).
+    momis_annotations: List[Tuple[str, str, float]] = field(default_factory=list)
+    #: The paper's reported outcomes: {"cupid": "Y", "dike": "Y", ...}.
+    expected: Dict[str, str] = field(default_factory=dict)
+
+
+def _er_from_oo(schema: Schema) -> ERModel:
+    """ER rendering of an OO schema: classes → entities, class-typed
+    attributes → binary relationships named after the attribute."""
+    model = ERModel(schema.name)
+    classes = [
+        e for e in schema.contained_children(schema.root)
+        if e.kind is ElementKind.CLASS
+    ]
+    for cls in classes:
+        entity = model.add_entity(cls.name)
+        for attr in schema.contained_children(cls):
+            if attr.is_atomic:
+                entity.add_attribute(attr.name, attr.data_type, attr.is_key)
+    for cls in classes:
+        for attr in schema.contained_children(cls):
+            for base in schema.derived_bases(attr):
+                model.add_relationship(attr.name, [cls.name, base.name])
+    return model
+
+
+def _example(
+    example_id: int,
+    title: str,
+    description: str,
+    oo1: str,
+    oo2: str,
+    gold_pairs: List[Tuple[str, str]],
+    lspd_entries: Optional[List[Tuple[str, str, float]]] = None,
+    momis_annotations: Optional[List[Tuple[str, str, float]]] = None,
+    expected: Optional[Dict[str, str]] = None,
+) -> CanonicalExample:
+    schema1 = parse_oo_model(oo1, "Schema1")
+    schema2 = parse_oo_model(oo2, "Schema2")
+    return CanonicalExample(
+        example_id=example_id,
+        title=title,
+        description=description,
+        schema1=schema1,
+        schema2=schema2,
+        er1=_er_from_oo(schema1),
+        er2=_er_from_oo(schema2),
+        gold=GoldMapping.from_pairs(gold_pairs),
+        lspd_entries=lspd_entries or [],
+        momis_annotations=momis_annotations or [],
+        expected=expected or {},
+    )
+
+
+def canonical_examples() -> List[CanonicalExample]:
+    """All six Table 2 examples, in order."""
+    examples: List[CanonicalExample] = []
+
+    # ------------------------------------------------------------------
+    # 1. Identical schemas.
+    # ------------------------------------------------------------------
+    customer_1 = """
+    class Customer (Customer_Number: integer (key),
+                    Name: string,
+                    Address: string)
+    """
+    examples.append(
+        _example(
+            1,
+            "Identical schemas",
+            "Both schemas hold the same single Customer class.",
+            customer_1,
+            customer_1,
+            [
+                ("Customer.Customer_Number", "Customer.Customer_Number"),
+                ("Customer.Name", "Customer.Name"),
+                ("Customer.Address", "Customer.Address"),
+            ],
+            expected={"cupid": "Y", "dike": "Y", "momis": "Y"},
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Same names, different data types (Telephone string vs integer).
+    # ------------------------------------------------------------------
+    customer_2a = """
+    class Customer (Customer_Number: integer (key),
+                    Name: string,
+                    Address: string,
+                    Telephone: string)
+    """
+    customer_2b = """
+    class Customer (Customer_Number: integer (key),
+                    Name: string,
+                    Address: string,
+                    Telephone: integer)
+    """
+    examples.append(
+        _example(
+            2,
+            "Same names, different data types",
+            "Telephone is a string in Schema1 and an integer in "
+            "Schema2; data-type compatibility tables absorb it.",
+            customer_2a,
+            customer_2b,
+            [
+                ("Customer.Customer_Number", "Customer.Customer_Number"),
+                ("Customer.Name", "Customer.Name"),
+                ("Customer.Address", "Customer.Address"),
+                ("Customer.Telephone", "Customer.Telephone"),
+            ],
+            expected={"cupid": "Y", "dike": "Y", "momis": "Y"},
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Same types, slightly different names (prefix/suffix added).
+    # ------------------------------------------------------------------
+    customer_3b = """
+    class Customer (Customer_Number: integer (key),
+                    CustomerName: string,
+                    StreetAddress: string,
+                    TelephoneNumber: string)
+    """
+    examples.append(
+        _example(
+            3,
+            "Prefixed/suffixed attribute names",
+            "Schema2 renames Name to CustomerName, Address to "
+            "StreetAddress, Telephone to TelephoneNumber.",
+            customer_2a,
+            customer_3b,
+            [
+                ("Customer.Customer_Number", "Customer.Customer_Number"),
+                ("Customer.Name", "Customer.CustomerName"),
+                ("Customer.Address", "Customer.StreetAddress"),
+                ("Customer.Telephone", "Customer.TelephoneNumber"),
+            ],
+            lspd_entries=[
+                ("Name", "CustomerName", 0.9),
+                ("Address", "StreetAddress", 0.9),
+                ("Telephone", "TelephoneNumber", 0.9),
+            ],
+            momis_annotations=[
+                ("Name", "CustomerName", 0.9),
+                ("Address", "StreetAddress", 0.9),
+                ("Telephone", "TelephoneNumber", 0.9),
+            ],
+            expected={"cupid": "Y", "dike": "Y(a)", "momis": "Y(b)"},
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Different class names, identical attributes.
+    # ------------------------------------------------------------------
+    person_4b = """
+    class Person (Customer_Number: integer (key),
+                  Name: string,
+                  Address: string,
+                  Telephone: string)
+    """
+    examples.append(
+        _example(
+            4,
+            "Renamed class (Customer vs Person)",
+            "Schema2 renames the class to Person; the leaf-level "
+            "comparisons are unaffected.",
+            customer_2a,
+            person_4b,
+            [
+                ("Customer.Customer_Number", "Person.Customer_Number"),
+                ("Customer.Name", "Person.Name"),
+                ("Customer.Address", "Person.Address"),
+                ("Customer.Telephone", "Person.Telephone"),
+            ],
+            momis_annotations=[("Customer", "Person", 0.8)],
+            expected={"cupid": "Y", "dike": "Y", "momis": "Y(b)"},
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 5. Different nesting (nested vs flat Customer).
+    # ------------------------------------------------------------------
+    nested_5a = """
+    class Customer (SSN: integer (key),
+                    Telephone: string,
+                    Name: Name,
+                    Address: Address)
+    class Name (FirstName: string, LastName: string)
+    class Address (Street: string, City: string,
+                   State: string, Zip: string)
+    """
+    flat_5b = """
+    class Customer (SSN: integer (key),
+                    Telephone: string,
+                    FirstName: string, LastName: string,
+                    Street: string, City: string,
+                    State: string, Zip: string)
+    """
+    examples.append(
+        _example(
+            5,
+            "Different nesting of the data",
+            "Schema1 nests Name and Address sub-structures; Schema2 is "
+            "flat. Leaf-oriented matching absorbs the difference.",
+            nested_5a,
+            flat_5b,
+            [
+                ("Customer.SSN", "Customer.SSN"),
+                ("Customer.Telephone", "Customer.Telephone"),
+                ("Customer.Name.FirstName", "Customer.FirstName"),
+                ("Customer.Name.LastName", "Customer.LastName"),
+                ("Customer.Address.Street", "Customer.Street"),
+                ("Customer.Address.City", "Customer.City"),
+                ("Customer.Address.State", "Customer.State"),
+                ("Customer.Address.Zip", "Customer.Zip"),
+            ],
+            expected={"cupid": "Y", "dike": "Y", "momis": "N"},
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 6. Type substitution / context-dependent mappings.
+    # ------------------------------------------------------------------
+    shared_6a = """
+    class PurchaseOrder (OrderNumber: integer (key),
+                         ProductName: string,
+                         ShippingAddress: Address,
+                         BillingAddress: Address)
+    class Address (Name: string, Street: string, City: string,
+                   Zip: string, Telephone: string)
+    """
+    split_6b = """
+    class PurchaseOrder (OrderNumber: integer (key),
+                         ProductName: string,
+                         ShippingAddress: ShipTo,
+                         BillingAddress: BillTo)
+    class ShipTo (Name: string, Street: string, City: string,
+                  Zip: string, Telephone: string)
+    class BillTo (Name: string, Street: string, City: string,
+                  Zip: string, Telephone: string)
+    """
+    examples.append(
+        _example(
+            6,
+            "Type substitution / context-dependent mapping",
+            "Schema1 shares one Address type between Shipping and "
+            "Billing; Schema2 splits it into ShipTo and BillTo. The "
+            "shared type must map differently per context.",
+            shared_6a,
+            split_6b,
+            [
+                ("PurchaseOrder.OrderNumber", "PurchaseOrder.OrderNumber"),
+                ("PurchaseOrder.ProductName", "PurchaseOrder.ProductName"),
+            ]
+            + [
+                (
+                    f"PurchaseOrder.{context}.{attr}",
+                    f"PurchaseOrder.{context}.{attr}",
+                )
+                for context in ("ShippingAddress", "BillingAddress")
+                for attr in ("Name", "Street", "City", "Zip", "Telephone")
+            ],
+            expected={"cupid": "Y", "dike": "N", "momis": "N"},
+        )
+    )
+    return examples

@@ -1,0 +1,193 @@
+"""Figure 7 — the CIDX and Excel purchase-order schemas (Table 3).
+
+Transcribed from the paper's Figure 7. The two real-world XML schemas
+came from www.BizTalk.org; "while somewhat similar, they also have XML
+elements with differences in nesting, some missing elements,
+non-matching data types and slightly different names".
+
+The Excel schema's Address and Contact structures are *shared
+complexTypes* referenced from both DeliverTo and InvoiceTo — the
+paper's point about "18 such XML attributes" occurring in multiple
+contexts. The CIDX schema spells its POBillTo/POShipTo structures out
+inline.
+
+Gold mappings (element-level rows of Table 3 plus the attribute-level
+correspondences the prose discusses) live in :func:`cidx_excel_gold`
+and :func:`cidx_excel_element_gold`.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.gold import GoldMapping
+from repro.io.xml_schema import parse_xml_schema
+from repro.model.schema import Schema
+
+_CIDX_XML = """
+<schema name="PO">
+  <element name="POHeader">
+    <attribute name="PONumber" type="string"/>
+    <attribute name="PODate" type="date"/>
+  </element>
+  <element name="Contact">
+    <attribute name="ContactName" type="string"/>
+    <attribute name="ContactFunctionCode" type="string" optional="true"/>
+    <attribute name="ContactEmail" type="string" optional="true"/>
+    <attribute name="ContactPhone" type="string" optional="true"/>
+  </element>
+  <element name="POShipTo">
+    <attribute name="Street1" type="string"/>
+    <attribute name="Street2" type="string" optional="true"/>
+    <attribute name="Street3" type="string" optional="true"/>
+    <attribute name="Street4" type="string" optional="true"/>
+    <attribute name="City" type="string"/>
+    <attribute name="StateProvince" type="string"/>
+    <attribute name="PostalCode" type="string"/>
+    <attribute name="Country" type="string"/>
+    <attribute name="attn" type="string" optional="true"/>
+    <attribute name="entityIdentifier" type="string" optional="true"/>
+    <attribute name="startAt" type="date" optional="true"/>
+  </element>
+  <element name="POBillTo">
+    <attribute name="Street1" type="string"/>
+    <attribute name="Street2" type="string" optional="true"/>
+    <attribute name="Street3" type="string" optional="true"/>
+    <attribute name="Street4" type="string" optional="true"/>
+    <attribute name="City" type="string"/>
+    <attribute name="StateProvince" type="string"/>
+    <attribute name="PostalCode" type="string"/>
+    <attribute name="Country" type="string"/>
+    <attribute name="attn" type="string" optional="true"/>
+    <attribute name="entityIdentifier" type="string" optional="true"/>
+  </element>
+  <element name="POLines">
+    <attribute name="count" type="integer"/>
+    <element name="Item">
+      <attribute name="line" type="integer"/>
+      <attribute name="partno" type="string"/>
+      <attribute name="qty" type="integer"/>
+      <attribute name="uom" type="string"/>
+      <attribute name="unitPrice" type="decimal"/>
+    </element>
+  </element>
+</schema>
+"""
+
+_EXCEL_XML = """
+<schema name="PurchaseOrder">
+  <complexType name="Address">
+    <attribute name="street1" type="string"/>
+    <attribute name="street2" type="string" optional="true"/>
+    <attribute name="street3" type="string" optional="true"/>
+    <attribute name="street4" type="string" optional="true"/>
+    <attribute name="city" type="string"/>
+    <attribute name="stateProvince" type="string"/>
+    <attribute name="postalCode" type="string"/>
+    <attribute name="country" type="string"/>
+  </complexType>
+  <complexType name="Contact">
+    <attribute name="contactName" type="string"/>
+    <attribute name="companyName" type="string" optional="true"/>
+    <attribute name="e-mail" type="string" optional="true"/>
+    <attribute name="telephone" type="string" optional="true"/>
+  </complexType>
+  <element name="Header">
+    <attribute name="orderNum" type="string"/>
+    <attribute name="orderDate" type="date"/>
+    <attribute name="yourAccountCode" type="string" optional="true"/>
+    <attribute name="ourAccountCode" type="string" optional="true"/>
+  </element>
+  <element name="DeliverTo">
+    <element name="Address" type="Address"/>
+    <element name="Contact" type="Contact"/>
+  </element>
+  <element name="InvoiceTo">
+    <element name="Address" type="Address"/>
+    <element name="Contact" type="Contact"/>
+  </element>
+  <element name="Items">
+    <attribute name="itemCount" type="integer"/>
+    <element name="Item">
+      <attribute name="itemNumber" type="integer"/>
+      <attribute name="partNumber" type="string"/>
+      <attribute name="yourPartNumber" type="string" optional="true"/>
+      <attribute name="partDescription" type="string" optional="true"/>
+      <attribute name="Quantity" type="integer"/>
+      <attribute name="unitOfMeasure" type="string"/>
+      <attribute name="unitPrice" type="decimal"/>
+    </element>
+  </element>
+  <element name="Footer">
+    <attribute name="totalValue" type="decimal"/>
+  </element>
+</schema>
+"""
+
+
+def cidx_schema() -> Schema:
+    """The CIDX purchase order (left side of Figure 7)."""
+    return parse_xml_schema(_CIDX_XML)
+
+
+def excel_schema() -> Schema:
+    """The Excel purchase order (right side of Figure 7)."""
+    return parse_xml_schema(_EXCEL_XML)
+
+
+def cidx_excel_element_gold() -> GoldMapping:
+    """The XML-element-level rows of Table 3."""
+    return GoldMapping.from_pairs(
+        [
+            ("POHeader", "Header"),
+            ("POLines.Item", "Items.Item"),
+            ("POLines", "Items"),
+            ("POBillTo", "InvoiceTo"),
+            ("POShipTo", "DeliverTo"),
+            ("Contact", "DeliverTo.Contact"),
+            ("Contact", "InvoiceTo.Contact"),
+            ("PO", "PurchaseOrder"),
+        ]
+    )
+
+
+def cidx_excel_gold() -> GoldMapping:
+    """Attribute-level gold correspondences (leaves)."""
+    pairs = [
+        ("POHeader.PONumber", "Header.orderNum"),
+        ("POHeader.PODate", "Header.orderDate"),
+        ("POLines.count", "Items.itemCount"),
+        ("POLines.Item.line", "Items.Item.itemNumber"),
+        ("POLines.Item.partno", "Items.Item.partNumber"),
+        ("POLines.Item.qty", "Items.Item.Quantity"),
+        ("POLines.Item.uom", "Items.Item.unitOfMeasure"),
+        ("POLines.Item.unitPrice", "Items.Item.unitPrice"),
+    ]
+    for cidx_context, excel_context in (
+        ("POShipTo", "DeliverTo"),
+        ("POBillTo", "InvoiceTo"),
+    ):
+        for cidx_attr, excel_attr in (
+            ("Street1", "street1"),
+            ("Street2", "street2"),
+            ("Street3", "street3"),
+            ("Street4", "street4"),
+            ("City", "city"),
+            ("StateProvince", "stateProvince"),
+            ("PostalCode", "postalCode"),
+            ("Country", "country"),
+        ):
+            pairs.append(
+                (
+                    f"{cidx_context}.{cidx_attr}",
+                    f"{excel_context}.Address.{excel_attr}",
+                )
+            )
+    # The single CIDX Contact corresponds to both Excel Contact copies.
+    for excel_context in ("DeliverTo", "InvoiceTo"):
+        pairs.extend(
+            [
+                ("Contact.ContactName", f"{excel_context}.Contact.contactName"),
+                ("Contact.ContactEmail", f"{excel_context}.Contact.e-mail"),
+                ("Contact.ContactPhone", f"{excel_context}.Contact.telephone"),
+            ]
+        )
+    return GoldMapping.from_pairs(pairs)

@@ -1,0 +1,49 @@
+"""Figure 1 — the introductory PO / POrder schemas.
+
+::
+
+    PO                      POrder
+      Lines                   Items
+        Item                    Item
+          Line                    ItemNumber
+          Qty                     Quantity
+          Uom                     UnitOfMeasure
+
+The paper's first example mapping element relates
+``Lines.Item.Line`` to ``Items.Item.ItemNumber``.
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import schema_from_tree
+from repro.model.schema import Schema
+
+
+def figure1_po() -> Schema:
+    return schema_from_tree(
+        "PO",
+        {
+            "Lines": {
+                "Item": {
+                    "Line": "integer",
+                    "Qty": "integer",
+                    "Uom": "string",
+                },
+            },
+        },
+    )
+
+
+def figure1_porder() -> Schema:
+    return schema_from_tree(
+        "POrder",
+        {
+            "Items": {
+                "Item": {
+                    "ItemNumber": "integer",
+                    "Quantity": "integer",
+                    "UnitOfMeasure": "string",
+                },
+            },
+        },
+    )

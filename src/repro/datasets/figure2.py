@@ -1,0 +1,85 @@
+"""Figure 2 — the PO / PurchaseOrder running example of Section 4.
+
+::
+
+    PO                          PurchaseOrder
+      POLines                     Items
+        Count                       ItemCount
+        Item                        Item
+          Line                        ItemNumber
+          Qty                         Quantity
+          UoM                         UnitOfMeasure
+      POShipTo                    DeliverTo
+        Street                      Address
+        City                          Street
+      POBillTo                        City
+        Street                    InvoiceTo
+        City                        Address
+                                      Street
+                                      City
+
+The schemas exercise exactly the variations Section 4 narrates:
+abbreviations (Qty/Quantity), acronyms (UoM/UnitOfMeasure), synonyms
+(Bill/Invoice, Ship/Deliver), an extra nesting level on the
+PurchaseOrder side (Address), and a structure-only pair
+(Line/ItemNumber).
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import schema_from_tree
+from repro.model.schema import Schema
+
+
+def figure2_po() -> Schema:
+    """The CIDX-flavoured PO schema (left side of Figure 2)."""
+    return schema_from_tree(
+        "PO",
+        {
+            "POLines": {
+                "Count": "integer",
+                "Item": {
+                    "Line": "integer",
+                    "Qty": "integer",
+                    "UoM": "string",
+                },
+            },
+            "POShipTo": {
+                "Street": "string",
+                "City": "string",
+            },
+            "POBillTo": {
+                "Street": "string",
+                "City": "string",
+            },
+        },
+    )
+
+
+def figure2_purchase_order() -> Schema:
+    """The Excel-flavoured PurchaseOrder schema (right side)."""
+    return schema_from_tree(
+        "PurchaseOrder",
+        {
+            "Items": {
+                "ItemCount": "integer",
+                "Item": {
+                    "ItemNumber": "integer",
+                    "Quantity": "integer",
+                    "UnitOfMeasure": "string",
+                },
+            },
+            "DeliverTo": {
+                "Address": {
+                    "Street": "string",
+                    "City": "string",
+                },
+            },
+            "InvoiceTo": {
+                "Address": {
+                    "Street": "string",
+                    "City": "string",
+                },
+            },
+        },
+    )

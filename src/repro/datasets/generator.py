@@ -1,0 +1,259 @@
+"""Synthetic schema generation and perturbation.
+
+Two uses:
+
+* the scalability benchmark (the paper lists "scalability analysis and
+  testing ... on large-sized schemas" as necessary future work — E9);
+* property-based tests: a schema matched against a *perturbed* copy of
+  itself has a known gold mapping, so invariants like "renaming with
+  known abbreviations preserves the mapping" become testable.
+
+All randomness flows through a seeded :class:`random.Random`, so every
+generated workload is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.gold import GoldMapping
+from repro.model.builder import SchemaBuilder
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+#: Vocabulary used for generated element names (business-domain words
+#: the bundled thesaurus knows, plus neutral filler).
+_WORDS = [
+    "order", "customer", "product", "invoice", "payment", "address",
+    "street", "city", "state", "country", "phone", "email", "name",
+    "date", "quantity", "price", "amount", "discount", "region",
+    "territory", "employee", "brand", "category", "supplier", "unit",
+    "code", "status", "type", "line", "detail", "total", "tax",
+    "shipment", "account", "contact", "number", "description",
+]
+
+_LEAF_TYPES = [
+    DataType.STRING, DataType.INTEGER, DataType.DECIMAL, DataType.DATE,
+    DataType.BOOLEAN, DataType.MONEY, DataType.IDENTIFIER,
+]
+
+#: Rename table for the "abbreviate" perturbation — inverse of the
+#: bundled thesaurus' expansions, so the perturbed schema should still
+#: match the original.
+_ABBREVIATIONS = {
+    "quantity": "qty",
+    "number": "num",
+    "amount": "amt",
+    "address": "addr",
+    "telephone": "tel",
+    "description": "desc",
+    "identifier": "id",
+    "customer": "cust",
+    "employee": "emp",
+    "order": "ord",
+    "product": "prod",
+}
+
+#: Synonym swaps drawn from the bundled lexicon.
+_SYNONYM_SWAPS = {
+    "invoice": "bill",
+    "ship": "deliver",
+    "phone": "telephone",
+    "state": "province",
+    "company": "organization",
+    "customer": "client",
+    "price": "cost",
+    "city": "town",
+}
+
+
+@dataclass
+class PerturbationConfig:
+    """Probabilities of each perturbation, applied per element."""
+
+    abbreviate: float = 0.3
+    synonym: float = 0.3
+    prefix_suffix: float = 0.1
+    retype: float = 0.1
+    flatten: float = 0.0
+    drop_leaf: float = 0.0
+
+    def validate(self) -> None:
+        for name in (
+            "abbreviate", "synonym", "prefix_suffix",
+            "retype", "flatten", "drop_leaf",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} outside [0, 1]")
+
+
+class SchemaGenerator:
+    """Seeded generator of hierarchical schemas and perturbed copies."""
+
+    def __init__(self, seed: int = 7) -> None:
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    def generate(
+        self,
+        name: str = "generated",
+        n_leaves: int = 30,
+        max_depth: int = 3,
+        fanout: int = 5,
+    ) -> Schema:
+        """Generate a schema with roughly ``n_leaves`` atomic elements."""
+        if n_leaves < 1:
+            raise ValueError("n_leaves must be >= 1")
+        builder = SchemaBuilder(name)
+        # Dedupe on word *multisets*, not spellings: "OrderCustomer" and
+        # "CustomerOrder" tokenize identically, and a digit suffix
+        # ("City2") is linguistically near-identical to its sibling —
+        # either would make self-match gold mappings inherently
+        # ambiguous.
+        used_keys: Dict[Tuple[str, ...], int] = {}
+
+        def fresh_name() -> str:
+            for _ in range(12):
+                word_count = self.rng.choice((1, 2, 2, 3))
+                words = [self.rng.choice(_WORDS) for _ in range(word_count)]
+                key = tuple(sorted(words))
+                if key not in used_keys:
+                    used_keys[key] = 1
+                    return "".join(w.capitalize() for w in words)
+            # Extremely unlikely fallback: extend with unused words.
+            words = list(key)
+            for extra in _WORDS:
+                candidate = tuple(sorted(words + [extra]))
+                if candidate not in used_keys:
+                    used_keys[candidate] = 1
+                    return "".join(
+                        w.capitalize() for w in words + [extra]
+                    )
+            count = used_keys[key] = used_keys.get(key, 1) + 1
+            return "".join(w.capitalize() for w in words) + str(count)
+
+        remaining = n_leaves
+        # Open slots: (element, its depth). The root never closes, so
+        # the requested leaf count is always reached even when every
+        # inner node fills up.
+        open_parents = [(builder.root, 0)]
+
+        while remaining > 0:
+            index = self.rng.randrange(len(open_parents))
+            parent, depth = open_parents[index]
+            children = len(builder.schema.contained_children(parent))
+            if parent is not builder.root and children >= fanout:
+                open_parents.pop(index)
+                continue
+            make_inner = (
+                depth < max_depth
+                and remaining > 1
+                and self.rng.random() < 0.35
+            )
+            if make_inner:
+                child = builder.add_child(parent, fresh_name())
+                open_parents.append((child, depth + 1))
+                # Seed the new inner node so it is never left empty.
+                builder.add_leaf(
+                    child, fresh_name(), self.rng.choice(_LEAF_TYPES)
+                )
+                remaining -= 1
+            else:
+                builder.add_leaf(
+                    parent,
+                    fresh_name(),
+                    self.rng.choice(_LEAF_TYPES),
+                    optional=self.rng.random() < 0.2,
+                )
+                remaining -= 1
+        return builder.schema
+
+    # ------------------------------------------------------------------
+    # Perturbation
+    # ------------------------------------------------------------------
+
+    def perturb(
+        self,
+        schema: Schema,
+        config: Optional[PerturbationConfig] = None,
+        name_suffix: str = "_perturbed",
+    ) -> Tuple[Schema, GoldMapping]:
+        """Copy ``schema`` with random edits; return (copy, gold).
+
+        The gold mapping pairs every surviving leaf of the original
+        with its (possibly renamed/re-typed/re-homed) counterpart.
+        """
+        config = config or PerturbationConfig()
+        config.validate()
+        builder = SchemaBuilder(schema.name + name_suffix)
+        gold = GoldMapping()
+
+        def copy_children(source_parent, target_parent, path, new_path):
+            for child in schema.contained_children(source_parent):
+                child_path = path + (child.name,)
+                if child.is_atomic:
+                    if self.rng.random() < config.drop_leaf:
+                        continue
+                    new_name = self._perturb_name(child.name, config)
+                    data_type = child.data_type
+                    if self.rng.random() < config.retype:
+                        data_type = self.rng.choice(_LEAF_TYPES)
+                    builder.add_leaf(
+                        target_parent, new_name, data_type,
+                        optional=child.optional,
+                    )
+                    gold.add(
+                        ".".join(child_path),
+                        ".".join(new_path + (new_name,)),
+                    )
+                else:
+                    if self.rng.random() < config.flatten:
+                        # Splice this inner node out: its children hang
+                        # directly off the current target parent.
+                        copy_children(
+                            child, target_parent, child_path, new_path
+                        )
+                    else:
+                        new_name = self._perturb_name(child.name, config)
+                        node = builder.add_child(target_parent, new_name)
+                        copy_children(
+                            child, node, child_path, new_path + (new_name,)
+                        )
+
+        copy_children(schema.root, builder.root, (), ())
+        return builder.schema, gold
+
+    def _perturb_name(self, name: str, config: PerturbationConfig) -> str:
+        lowered = name.lower()
+        roll = self.rng.random()
+        if roll < config.abbreviate:
+            for long_form, short in _ABBREVIATIONS.items():
+                if long_form in lowered:
+                    return self._replace_word(name, long_form, short)
+        roll = self.rng.random()
+        if roll < config.synonym:
+            for word, replacement in _SYNONYM_SWAPS.items():
+                if word in lowered:
+                    return self._replace_word(name, word, replacement)
+        roll = self.rng.random()
+        if roll < config.prefix_suffix:
+            return name + self.rng.choice(("Code", "Value", "Info"))
+        return name
+
+    @staticmethod
+    def _replace_word(name: str, word: str, replacement: str) -> str:
+        """Case-aware single replacement of ``word`` inside ``name``."""
+        index = name.lower().find(word)
+        if index < 0:
+            return name
+        original = name[index:index + len(word)]
+        if original[:1].isupper():
+            replacement = replacement.capitalize()
+        return name[:index] + replacement + name[index + len(word):]

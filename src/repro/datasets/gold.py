@@ -1,0 +1,122 @@
+"""Gold-standard mappings and matching helpers.
+
+A gold mapping is a set of expected correspondences expressed as
+path *suffixes* (``"POLines.Item.Qty" → "Items.Item.Quantity"``).
+Suffix matching lets one gold entry cover a node regardless of how
+many ancestors the schema root adds, while still distinguishing
+context-dependent copies (``DeliverTo.Address.City`` vs
+``InvoiceTo.Address.City``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.mapping.mapping import Mapping, MappingElement
+
+
+def _suffix_matches(path: Tuple[str, ...], suffix: Tuple[str, ...]) -> bool:
+    if len(suffix) > len(path):
+        return False
+    return path[len(path) - len(suffix):] == suffix
+
+
+def _parse(path: str) -> Tuple[str, ...]:
+    return tuple(p for p in path.split(".") if p)
+
+
+@dataclass
+class GoldMapping:
+    """Expected correspondences for one experiment."""
+
+    pairs: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, str]]) -> "GoldMapping":
+        return cls([(_parse(s), _parse(t)) for s, t in pairs])
+
+    def add(self, source_suffix: str, target_suffix: str) -> None:
+        self.pairs.append((_parse(source_suffix), _parse(target_suffix)))
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    # ------------------------------------------------------------------
+
+    def covers(self, element: MappingElement) -> bool:
+        """True if ``element`` matches some gold pair (suffix match)."""
+        return any(
+            _suffix_matches(element.source_path, gold_source)
+            and _suffix_matches(element.target_path, gold_target)
+            for gold_source, gold_target in self.pairs
+        )
+
+    def found_pairs(self, mapping: Mapping) -> Set[int]:
+        """Indices of gold pairs matched by at least one element."""
+        found: Set[int] = set()
+        for element in mapping:
+            for index, (gold_source, gold_target) in enumerate(self.pairs):
+                if _suffix_matches(element.source_path, gold_source) and (
+                    _suffix_matches(element.target_path, gold_target)
+                ):
+                    found.add(index)
+        return found
+
+    def missing_pairs(self, mapping: Mapping) -> List[Tuple[str, str]]:
+        found = self.found_pairs(mapping)
+        return [
+            (".".join(s), ".".join(t))
+            for index, (s, t) in enumerate(self.pairs)
+            if index not in found
+        ]
+
+    def false_positives(self, mapping: Mapping) -> List[MappingElement]:
+        return [e for e in mapping if not self.covers(e)]
+
+    # ------------------------------------------------------------------
+    # Target-grouped (alternative-aware) scoring
+    # ------------------------------------------------------------------
+
+    def targets(self) -> List[Tuple[str, ...]]:
+        """Distinct gold target suffixes, in first-appearance order."""
+        seen: List[Tuple[str, ...]] = []
+        for _, target in self.pairs:
+            if target not in seen:
+                seen.append(target)
+        return seen
+
+    def matched_targets(self, mapping: Mapping) -> Set[Tuple[str, ...]]:
+        """Targets for which *some* acceptable source was mapped.
+
+        Several gold pairs sharing a target act as alternatives — the
+        paper's "Orders or OrderDetails (or a join of the two) to
+        Sales" is three acceptable sources for the single Sales target.
+        """
+        matched: Set[Tuple[str, ...]] = set()
+        for element in mapping:
+            for gold_source, gold_target in self.pairs:
+                if _suffix_matches(element.source_path, gold_source) and (
+                    _suffix_matches(element.target_path, gold_target)
+                ):
+                    matched.add(gold_target)
+        return matched
+
+    def target_recall(self, mapping: Mapping) -> float:
+        """Fraction of distinct gold targets mapped to an acceptable source."""
+        targets = self.targets()
+        if not targets:
+            return 0.0
+        return len(self.matched_targets(mapping)) / len(targets)
+
+    def unmatched_targets(self, mapping: Mapping) -> List[str]:
+        matched = self.matched_targets(mapping)
+        return [
+            ".".join(target) for target in self.targets()
+            if target not in matched
+        ]

@@ -1,0 +1,254 @@
+"""Figure 8 — the RDB and Star warehouse schemas (Section 9.2).
+
+Both schemas are expressed as SQL DDL and imported through the mini DDL
+parser, exercising foreign keys end to end: "we tried to demonstrate
+further the utility of exploiting referential constraints as join
+nodes" — the join of Territories and Region should map to Geography,
+and Orders ⋈ OrderDetails to Sales.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.gold import GoldMapping
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.model.schema import Schema
+
+_STAR_DDL = """
+CREATE TABLE GEOGRAPHY (
+  PostalCode varchar(10) PRIMARY KEY,
+  TerritoryID int,
+  TerritoryDescription varchar(50),
+  RegionID int,
+  RegionDescription varchar(50)
+);
+
+CREATE TABLE CUSTOMERS (
+  CustomerID int PRIMARY KEY,
+  CustomerName varchar(40),
+  CustomerTypeID int,
+  CustomerTypeDescription varchar(50),
+  PostalCode varchar(10),
+  State varchar(20)
+);
+
+CREATE TABLE TIME (
+  Date datetime PRIMARY KEY,
+  DayOfWeek varchar(10),
+  Month int,
+  Year int,
+  Quarter int,
+  DayOfYear int,
+  Holiday bit,
+  Weekend bit,
+  YearMonth varchar(10),
+  WeekOfYear int
+);
+
+CREATE TABLE PRODUCTS (
+  ProductID int PRIMARY KEY,
+  ProductName varchar(40),
+  BrandID int,
+  BrandDescription varchar(50)
+);
+
+CREATE TABLE SALES (
+  OrderID int,
+  OrderDetailID int,
+  CustomerID int REFERENCES CUSTOMERS(CustomerID),
+  PostalCode varchar(10) REFERENCES GEOGRAPHY(PostalCode),
+  ProductID int REFERENCES PRODUCTS(ProductID),
+  OrderDate datetime REFERENCES TIME(Date),
+  Quantity int,
+  UnitPrice money,
+  Discount float,
+  PRIMARY KEY (OrderID, OrderDetailID)
+);
+"""
+
+_RDB_DDL = """
+CREATE TABLE SHIPPINGMETHODS (
+  ShippingMethodID int PRIMARY KEY,
+  ShippingMethod varchar(30)
+);
+
+CREATE TABLE REGION (
+  RegionID int PRIMARY KEY,
+  RegionDescription varchar(50)
+);
+
+CREATE TABLE TERRITORIES (
+  TerritoryID int PRIMARY KEY,
+  TerritoryDescription varchar(50)
+);
+
+CREATE TABLE TERRITORYREGION (
+  TerritoryID int REFERENCES TERRITORIES(TerritoryID),
+  RegionID int REFERENCES REGION(RegionID),
+  PRIMARY KEY (TerritoryID, RegionID)
+);
+
+CREATE TABLE EMPLOYEES (
+  EmployeeID int PRIMARY KEY,
+  FirstName varchar(30),
+  LastName varchar(30),
+  Title varchar(30),
+  EmailName varchar(40),
+  Extension varchar(10),
+  Workphone varchar(20)
+);
+
+CREATE TABLE EMPLOYEETERRITORY (
+  EmployeeID int REFERENCES EMPLOYEES(EmployeeID),
+  TerritoryID int REFERENCES TERRITORIES(TerritoryID),
+  PRIMARY KEY (EmployeeID, TerritoryID)
+);
+
+CREATE TABLE BRANDS (
+  BrandID int PRIMARY KEY,
+  BrandDescription varchar(50)
+);
+
+CREATE TABLE PRODUCTS (
+  ProductID int PRIMARY KEY,
+  BrandID int REFERENCES BRANDS(BrandID),
+  ProductName varchar(40),
+  BrandDescription varchar(50)
+);
+
+CREATE TABLE CUSTOMERS (
+  CustomerID int PRIMARY KEY,
+  CompanyName varchar(40),
+  ContactFirstName varchar(30),
+  ContactLastName varchar(30),
+  BillingAddress varchar(60),
+  City varchar(30),
+  StateOrProvince varchar(20),
+  PostalCode varchar(10),
+  Country varchar(30),
+  ContactTitle varchar(30),
+  PhoneNumber varchar(20),
+  FaxNumber varchar(20)
+);
+
+CREATE TABLE ORDERS (
+  OrderID int PRIMARY KEY,
+  ShippingMethodID int REFERENCES SHIPPINGMETHODS(ShippingMethodID),
+  EmployeeID int REFERENCES EMPLOYEES(EmployeeID),
+  CustomerID int REFERENCES CUSTOMERS(CustomerID),
+  OrderDate datetime,
+  Quantity int,
+  UnitPrice money,
+  Discount float,
+  PurchaseOrdNumber varchar(20),
+  ShipName varchar(40),
+  ShipAddress varchar(60),
+  ShipDate datetime,
+  FreightCharge money,
+  SalesTaxRate float
+);
+
+CREATE TABLE ORDERDETAILS (
+  OrderDetailID int PRIMARY KEY,
+  OrderID int REFERENCES ORDERS(OrderID),
+  ProductID int REFERENCES PRODUCTS(ProductID),
+  Quantity int,
+  UnitPrice money,
+  Discount float
+);
+
+CREATE TABLE PAYMENTMETHODS (
+  PaymentMethodID int PRIMARY KEY,
+  PaymentMethod varchar(30)
+);
+
+CREATE TABLE PAYMENT (
+  PaymentID int PRIMARY KEY,
+  OrderID int REFERENCES ORDERS(OrderID),
+  PaymentMethodID int REFERENCES PAYMENTMETHODS(PaymentMethodID),
+  PaymentAmount money,
+  PaymentDate datetime,
+  CreditCardNumber varchar(20),
+  CardholdersName varchar(40),
+  CredCardExpDate date
+);
+"""
+
+
+def rdb_schema() -> Schema:
+    """The operational RDB schema (source side of Section 9.2)."""
+    return parse_sql_ddl(_RDB_DDL, "RDB")
+
+
+def star_schema() -> Schema:
+    """The Star data-warehouse schema (target side of Section 9.2)."""
+    return parse_sql_ddl(_STAR_DDL, "Star")
+
+
+def rdb_star_table_gold() -> GoldMapping:
+    """Table-level good mapping per the Section 9.2 prose:
+
+    "A good mapping would map the join of Territories and Region to
+    Geography, Customers to Customers, Products to Products, and Orders
+    or OrderDetails (or a join of the two) to Sales."
+    """
+    return GoldMapping.from_pairs(
+        [
+            ("TERRITORYREGION-REGION-fk", "GEOGRAPHY"),
+            ("TERRITORYREGION-TERRITORIES-fk", "GEOGRAPHY"),
+            ("CUSTOMERS", "CUSTOMERS"),
+            ("PRODUCTS", "PRODUCTS"),
+            ("ORDERS", "SALES"),
+            ("ORDERDETAILS", "SALES"),
+            ("ORDERDETAILS-ORDERS-fk", "SALES"),
+        ]
+    )
+
+
+def rdb_star_column_gold() -> GoldMapping:
+    """Column-level gold correspondences discussed in Section 9.2."""
+    return GoldMapping.from_pairs(
+        [
+            # Products columns.
+            ("PRODUCTS.ProductID", "PRODUCTS.ProductID"),
+            ("PRODUCTS.ProductName", "PRODUCTS.ProductName"),
+            ("PRODUCTS.BrandID", "PRODUCTS.BrandID"),
+            ("PRODUCTS.BrandDescription", "PRODUCTS.BrandDescription"),
+            # Customers columns.
+            ("CUSTOMERS.CustomerID", "CUSTOMERS.CustomerID"),
+            ("CUSTOMERS.StateOrProvince", "CUSTOMERS.State"),
+            # All three Star PostalCode columns should map back to
+            # Customers.PostalCode ("This is desirable, since a Query
+            # Discovery module can then get the PostalCode column in
+            # each case by joining ... with Customers").
+            ("CUSTOMERS.PostalCode", "CUSTOMERS.PostalCode"),
+            ("CUSTOMERS.PostalCode", "GEOGRAPHY.PostalCode"),
+            ("CUSTOMERS.PostalCode", "SALES.PostalCode"),
+            # Geography columns come from Region/Territories.
+            ("REGION.RegionID", "GEOGRAPHY.RegionID"),
+            ("REGION.RegionDescription", "GEOGRAPHY.RegionDescription"),
+            ("TERRITORIES.TerritoryID", "GEOGRAPHY.TerritoryID"),
+            (
+                "TERRITORIES.TerritoryDescription",
+                "GEOGRAPHY.TerritoryDescription",
+            ),
+            ("TERRITORYREGION.RegionID", "GEOGRAPHY.RegionID"),
+            ("TERRITORYREGION.TerritoryID", "GEOGRAPHY.TerritoryID"),
+            # Sales columns come from Orders/OrderDetails.
+            ("ORDERS.OrderID", "SALES.OrderID"),
+            ("ORDERDETAILS.OrderID", "SALES.OrderID"),
+            ("ORDERDETAILS.OrderDetailID", "SALES.OrderDetailID"),
+            # The fact-table FK can trace to the Orders FK column or to
+            # the Customers PK it ultimately references — both joins
+            # reach the same data (alternatives, like PostalCode).
+            ("ORDERS.CustomerID", "SALES.CustomerID"),
+            ("CUSTOMERS.CustomerID", "SALES.CustomerID"),
+            ("ORDERS.OrderDate", "SALES.OrderDate"),
+            ("ORDERS.Quantity", "SALES.Quantity"),
+            ("ORDERDETAILS.Quantity", "SALES.Quantity"),
+            ("ORDERS.UnitPrice", "SALES.UnitPrice"),
+            ("ORDERDETAILS.UnitPrice", "SALES.UnitPrice"),
+            ("ORDERS.Discount", "SALES.Discount"),
+            ("ORDERDETAILS.Discount", "SALES.Discount"),
+            ("ORDERDETAILS.ProductID", "SALES.ProductID"),
+        ]
+    )

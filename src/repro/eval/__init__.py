@@ -1,0 +1,20 @@
+"""Evaluation harness: metrics, experiment runners, table rendering."""
+
+from repro.eval.metrics import MatchQuality, evaluate_mapping
+from repro.eval.reporting import render_table
+from repro.eval.runner import (
+    CanonicalVerdicts,
+    run_canonical_example,
+    run_cidx_excel,
+    run_rdb_star,
+)
+
+__all__ = [
+    "CanonicalVerdicts",
+    "MatchQuality",
+    "evaluate_mapping",
+    "render_table",
+    "run_canonical_example",
+    "run_cidx_excel",
+    "run_rdb_star",
+]

@@ -1,0 +1,64 @@
+"""Match-quality metrics.
+
+The paper's comparison is qualitative (Y/N per capability, per-pair
+inspection); follow-on schema-matching literature standardized on
+precision/recall/F1 against a gold mapping, which is also what our
+quantitative benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.datasets.gold import GoldMapping
+from repro.mapping.mapping import Mapping, MappingElement
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision/recall/F1 of a mapping against a gold standard."""
+
+    true_positives: int
+    false_positives: int
+    gold_total: int
+    gold_found: int
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_positives + self.false_positives
+        return self.true_positives / predicted if predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.gold_found / self.gold_total if self.gold_total else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"P={self.precision:.2f} R={self.recall:.2f} F1={self.f1:.2f} "
+            f"({self.gold_found}/{self.gold_total} gold, "
+            f"{self.false_positives} spurious)"
+        )
+
+
+def evaluate_mapping(mapping: Mapping, gold: GoldMapping) -> MatchQuality:
+    """Score ``mapping`` against ``gold``.
+
+    A mapping element is a true positive if some gold pair covers it
+    (suffix match on both paths); recall counts how many distinct gold
+    pairs were found (a 1:n gold pair found twice counts once).
+    """
+    true_positives = sum(1 for element in mapping if gold.covers(element))
+    false_positives = len(mapping) - true_positives
+    found = gold.found_pairs(mapping)
+    return MatchQuality(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        gold_total=len(gold),
+        gold_found=len(found),
+    )

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print the same rows the paper's tables report; this
+module renders them as aligned ASCII tables so ``pytest benchmarks/``
+output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    materialized: List[List[str]] = [
+        [str(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in materialized:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

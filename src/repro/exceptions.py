@@ -1,0 +1,77 @@
+"""Exception hierarchy for the Cupid reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. The hierarchy mirrors the pipeline stages: schema
+construction, importing, tree expansion, matching, and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema graph is malformed or violates an invariant.
+
+    Examples: an element contained by two parents, a relationship whose
+    endpoints belong to different schemas, or a dangling reference.
+    """
+
+
+class DuplicateElementError(SchemaError):
+    """Raised when an element id is registered twice in one schema."""
+
+
+class UnknownElementError(SchemaError):
+    """Raised when an operation names an element the schema does not hold."""
+
+
+class CyclicSchemaError(SchemaError):
+    """Raised when containment/IsDerivedFrom relationships form a cycle.
+
+    The paper (Section 8.2) explicitly defers recursive type definitions
+    to future work; schema-tree construction fails on them, and we
+    surface that failure as this exception.
+    """
+
+
+class ImportError_(ReproError):
+    """Base class for schema importer failures (SQL DDL, XML, OO DSL)."""
+
+
+class SqlDdlParseError(ImportError_):
+    """Raised when the mini SQL DDL parser cannot parse its input.
+
+    Carries ``line`` (1-based) and ``message`` describing the problem.
+    """
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        self.message = message
+        suffix = f" (line {line})" if line else ""
+        super().__init__(f"{message}{suffix}")
+
+
+class XmlSchemaParseError(ImportError_):
+    """Raised when the simplified XML schema importer rejects its input."""
+
+
+class OoModelParseError(ImportError_):
+    """Raised when the OO class-definition DSL parser rejects its input."""
+
+
+class MatchError(ReproError):
+    """Base class for failures during the matching pipeline itself."""
+
+
+class ConfigError(MatchError):
+    """Raised when a :class:`repro.config.CupidConfig` is inconsistent,
+
+    e.g. ``thhigh`` not greater than ``thaccept`` as Table 1 requires.
+    """
+
+
+class MappingError(ReproError):
+    """Raised for ill-formed mappings (unknown elements, bad confidence)."""

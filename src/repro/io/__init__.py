@@ -1,0 +1,39 @@
+"""Schema importers and serialization.
+
+The Cupid prototype "currently operates on XML and relational schemas"
+(Section 9); this package provides importers for both, plus the
+object-oriented class DSL used by the canonical examples of Section 9.1,
+the ER model used by the DIKE baseline, and JSON round-tripping.
+"""
+
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.io.xml_schema import parse_xml_schema
+from repro.io.dtd import parse_dtd
+from repro.io.oo_model import parse_oo_model
+from repro.io.er_model import (
+    ERAttribute,
+    EREntity,
+    ERModel,
+    ERRelationship,
+    er_model_from_schema,
+)
+from repro.io.json_io import (
+    mapping_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "ERAttribute",
+    "EREntity",
+    "ERModel",
+    "ERRelationship",
+    "er_model_from_schema",
+    "mapping_to_dict",
+    "parse_dtd",
+    "parse_oo_model",
+    "parse_sql_ddl",
+    "parse_xml_schema",
+    "schema_from_dict",
+    "schema_to_dict",
+]

@@ -1,0 +1,225 @@
+"""Mini XML DTD importer.
+
+Figure 5 of the paper shows referential constraints in "SQL Schemas and
+XML DTDs": ID/IDREF attribute pairs are the DTD form of foreign keys.
+This importer covers the DTD subset those examples need:
+
+* ``<!ELEMENT name (child1, child2*, child3?)>`` — containment; ``?``
+  and ``*`` mark optional members; ``#PCDATA`` content makes the
+  element atomic.
+* ``<!ATTLIST element attr CDATA #REQUIRED>`` — attributes with DTD
+  types (CDATA, ID, IDREF, NMTOKEN, enumerations); ``#IMPLIED`` marks
+  optional attributes.
+* ``ID`` attributes become key elements; each ``IDREF`` attribute
+  yields a RefInt element aggregating the referring attribute and
+  referencing the document's ID key — "the 1:n nature of the reference
+  relationship allows a single IDREF attribute to reference multiple
+  IDs in an XML DTD", which we model by referencing a document-wide ID
+  key when several elements declare IDs.
+
+The root element is the first declared element that no other element
+contains.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import XmlSchemaParseError
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+(?P<name>[\w.-]+)\s+(?P<content>[^>]+)>", re.IGNORECASE
+)
+_ATTLIST_RE = re.compile(
+    r"<!ATTLIST\s+(?P<element>[\w.-]+)\s+(?P<body>[^>]+)>", re.IGNORECASE
+)
+_ATTDEF_RE = re.compile(
+    r"(?P<name>[\w.-]+)\s+"
+    r"(?P<type>CDATA|ID|IDREF|IDREFS|NMTOKEN|NMTOKENS|ENTITY|"
+    r"\([^)]*\))\s+"
+    r"(?P<default>#REQUIRED|#IMPLIED|#FIXED\s+\"[^\"]*\"|\"[^\"]*\")",
+    re.IGNORECASE,
+)
+_CHILD_RE = re.compile(r"(?P<name>[\w.-]+)(?P<card>[?*+]?)")
+
+_DTD_TYPE_MAP = {
+    "CDATA": DataType.STRING,
+    "ID": DataType.IDENTIFIER,
+    "IDREF": DataType.IDENTIFIER,
+    "IDREFS": DataType.IDENTIFIER,
+    "NMTOKEN": DataType.STRING,
+    "NMTOKENS": DataType.STRING,
+    "ENTITY": DataType.STRING,
+}
+
+
+class _ElementDecl:
+    def __init__(self, name: str, content: str) -> None:
+        self.name = name
+        self.content = content.strip()
+        self.children: List[Tuple[str, bool]] = []  # (name, optional)
+        self.atomic = False
+        self._parse()
+
+    def _parse(self) -> None:
+        content = self.content
+        if "#PCDATA" in content.upper():
+            self.atomic = True
+            return
+        if content.upper() in ("EMPTY", "ANY"):
+            return
+        inner = content.strip()
+        if inner.startswith("(") and inner.endswith(")"):
+            inner = inner[1:-1]
+        # Only sequences/choices of named children are supported; the
+        # distinction between "," and "|" does not matter for matching
+        # (both are containment), but choice members are optional.
+        is_choice = "|" in inner
+        for match in _CHILD_RE.finditer(inner):
+            name = match.group("name")
+            if name.upper() == "EMPTY":
+                continue
+            optional = match.group("card") in ("?", "*") or is_choice
+            self.children.append((name, optional))
+
+
+def parse_dtd(text: str, schema_name: str = "dtd_schema") -> Schema:
+    """Parse a DTD document into a :class:`Schema`."""
+    text = re.sub(r"<!--.*?-->", "", text, flags=re.DOTALL)
+    declarations: Dict[str, _ElementDecl] = {}
+    order: List[str] = []
+    for match in _ELEMENT_RE.finditer(text):
+        name = match.group("name")
+        if name.lower() in declarations:
+            raise XmlSchemaParseError(f"duplicate <!ELEMENT {name}>")
+        declarations[name.lower()] = _ElementDecl(name, match.group("content"))
+        order.append(name)
+    if not order:
+        raise XmlSchemaParseError("no <!ELEMENT> declarations found")
+
+    attlists: Dict[str, List[Tuple[str, str, bool]]] = {}
+    for match in _ATTLIST_RE.finditer(text):
+        element = match.group("element").lower()
+        if element not in declarations:
+            raise XmlSchemaParseError(
+                f"<!ATTLIST {match.group('element')}> for undeclared element"
+            )
+        for attdef in _ATTDEF_RE.finditer(match.group("body")):
+            optional = attdef.group("default").upper() != "#REQUIRED"
+            attlists.setdefault(element, []).append(
+                (attdef.group("name"), attdef.group("type").upper(), optional)
+            )
+
+    contained: Set[str] = set()
+    for declaration in declarations.values():
+        contained.update(name.lower() for name, _ in declaration.children)
+    roots = [name for name in order if name.lower() not in contained]
+    root_name = roots[0] if roots else order[0]
+
+    schema = Schema(schema_name)
+    elements: Dict[str, SchemaElement] = {}
+
+    def build(name: str, parent: SchemaElement, optional: bool,
+              stack: Set[str]) -> None:
+        key = name.lower()
+        if key in stack:
+            # Recursive DTDs exist (e.g. nested sections); Cupid defers
+            # cyclic schemas, so we cut the recursion at one level.
+            return
+        declaration = declarations.get(key)
+        element = SchemaElement(
+            name=name,
+            kind=ElementKind.XML_ELEMENT,
+            data_type=(
+                DataType.STRING
+                if declaration is not None and declaration.atomic
+                and not attlists.get(key)
+                else None
+            ),
+            optional=optional,
+        )
+        schema.add_element(element)
+        schema.add_containment(parent, element)
+        elements.setdefault(key, element)
+        if declaration is None:
+            return
+        for attr_name, dtd_type, attr_optional in attlists.get(key, []):
+            attr_type = _DTD_TYPE_MAP.get(
+                dtd_type, DataType.ENUM if dtd_type.startswith("(") else (
+                    DataType.STRING
+                )
+            )
+            attribute = SchemaElement(
+                name=attr_name,
+                kind=ElementKind.XML_ATTRIBUTE,
+                data_type=attr_type,
+                optional=attr_optional,
+                is_key=dtd_type == "ID",
+            )
+            schema.add_element(attribute)
+            schema.add_containment(element, attribute)
+        stack.add(key)
+        for child_name, child_optional in declaration.children:
+            build(child_name, element, child_optional, stack)
+        stack.discard(key)
+
+    build(root_name, schema.root, False, set())
+
+    _reify_id_idref(schema, attlists, elements)
+    return schema
+
+
+def _reify_id_idref(
+    schema: Schema,
+    attlists: Dict[str, List[Tuple[str, str, bool]]],
+    elements: Dict[str, SchemaElement],
+) -> None:
+    """Model ID/IDREF pairs as KEY + RefInt elements (Figure 5)."""
+    id_keys: Dict[str, SchemaElement] = {}
+    for element_key, attributes in attlists.items():
+        owner = elements.get(element_key)
+        if owner is None:
+            continue
+        for attr_name, dtd_type, _ in attributes:
+            if dtd_type != "ID":
+                continue
+            key = SchemaElement(
+                name=f"{owner.name}_id_key",
+                kind=ElementKind.KEY,
+                not_instantiated=True,
+                is_key=True,
+            )
+            schema.add_element(key)
+            schema.add_containment(owner, key)
+            for child in schema.contained_children(owner):
+                if child.name == attr_name:
+                    schema.add_aggregation(key, child)
+            id_keys[element_key] = key
+
+    if not id_keys:
+        return
+    for element_key, attributes in attlists.items():
+        owner = elements.get(element_key)
+        if owner is None:
+            continue
+        for attr_name, dtd_type, _ in attributes:
+            if dtd_type not in ("IDREF", "IDREFS"):
+                continue
+            refint = SchemaElement(
+                name=f"{owner.name}-{attr_name}-idref",
+                kind=ElementKind.REFINT,
+                not_instantiated=True,
+            )
+            schema.add_element(refint)
+            schema.add_containment(owner, refint)
+            for child in schema.contained_children(owner):
+                if child.name == attr_name:
+                    schema.add_aggregation(refint, child)
+            # "A single IDREF attribute [may] reference multiple IDs":
+            # point at every declared ID key.
+            for key in id_keys.values():
+                schema.add_reference(refint, key)

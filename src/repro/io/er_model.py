@@ -1,0 +1,190 @@
+"""Entity-Relationship model for the DIKE baseline.
+
+DIKE "operates on ER models" (Section 9): schemas are "interpreted as
+graphs with entities, relationships and attributes as nodes". This
+module defines that graph shape and a converter from the generic
+schema model (used when the paper says "for DIKE we used a
+corresponding ER schema" / "we had to remodel the schemas as an
+appropriate ER model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SchemaError
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind
+from repro.model.schema import Schema
+
+
+@dataclass
+class ERAttribute:
+    """An attribute node of an ER graph."""
+
+    name: str
+    data_type: Optional[DataType] = None
+    is_key: bool = False
+
+    def __repr__(self) -> str:
+        key = " (key)" if self.is_key else ""
+        return f"<ERAttribute {self.name}{key}>"
+
+
+@dataclass
+class EREntity:
+    """An entity node with its attributes."""
+
+    name: str
+    attributes: List[ERAttribute] = field(default_factory=list)
+
+    def add_attribute(
+        self,
+        name: str,
+        data_type: Optional[DataType] = None,
+        is_key: bool = False,
+    ) -> ERAttribute:
+        attribute = ERAttribute(name=name, data_type=data_type, is_key=is_key)
+        self.attributes.append(attribute)
+        return attribute
+
+    def __repr__(self) -> str:
+        return f"<EREntity {self.name}: {len(self.attributes)} attributes>"
+
+
+@dataclass
+class ERRelationship:
+    """A relationship node connecting two or more entities.
+
+    DIKE supports n-ary relationships ("DeliverTo and InvoiceTo are
+    ternary relationships between PurchaseOrder, Address and Contact").
+    Relationships may carry their own attributes.
+    """
+
+    name: str
+    participants: List[str] = field(default_factory=list)  # entity names
+    attributes: List[ERAttribute] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ERRelationship {self.name} "
+            f"({', '.join(self.participants)})>"
+        )
+
+
+class ERModel:
+    """An ER schema: entities + relationships, with lookups."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entities: Dict[str, EREntity] = {}
+        self._relationships: Dict[str, ERRelationship] = {}
+
+    def add_entity(self, name: str) -> EREntity:
+        if name.lower() in self._entities:
+            raise SchemaError(f"duplicate entity {name!r} in ER model")
+        entity = EREntity(name=name)
+        self._entities[name.lower()] = entity
+        return entity
+
+    def add_relationship(
+        self, name: str, participants: Iterable[str]
+    ) -> ERRelationship:
+        participants = list(participants)
+        for participant in participants:
+            if participant.lower() not in self._entities:
+                raise SchemaError(
+                    f"relationship {name!r} references unknown entity "
+                    f"{participant!r}"
+                )
+        key = name.lower()
+        if key in self._relationships:
+            # Allow same-named relationships between different entities
+            # by disambiguating the key (DIKE's models do reuse names).
+            key = f"{key}:{':'.join(p.lower() for p in participants)}"
+        relationship = ERRelationship(name=name, participants=participants)
+        self._relationships[key] = relationship
+        return relationship
+
+    @property
+    def entities(self) -> List[EREntity]:
+        return list(self._entities.values())
+
+    @property
+    def relationships(self) -> List[ERRelationship]:
+        return list(self._relationships.values())
+
+    def entity(self, name: str) -> EREntity:
+        try:
+            return self._entities[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no entity {name!r} in ER model") from None
+
+    def neighbors(self, entity_name: str) -> List[str]:
+        """Entity names connected to ``entity_name`` via relationships."""
+        connected: List[str] = []
+        for relationship in self._relationships.values():
+            lowered = [p.lower() for p in relationship.participants]
+            if entity_name.lower() in lowered:
+                connected.extend(
+                    p for p in relationship.participants
+                    if p.lower() != entity_name.lower()
+                )
+        return connected
+
+    def __repr__(self) -> str:
+        return (
+            f"<ERModel {self.name!r}: {len(self._entities)} entities, "
+            f"{len(self._relationships)} relationships>"
+        )
+
+
+def er_model_from_schema(schema: Schema) -> ERModel:
+    """Mechanical remodeling of a hierarchical schema as an ER model.
+
+    The default convention the paper uses first: "model the root
+    elements and all XML-elements that had any attributes, as entities"
+    — inner (structural) elements with atomic children become entities
+    holding those children as attributes; containment between two
+    entities becomes a binary relationship named after the child.
+    """
+    model = ERModel(schema.name)
+
+    def is_entity(element) -> bool:
+        children = schema.contained_children(element)
+        return any(child.is_atomic for child in children) or element is schema.root
+
+    entity_names: Dict[str, str] = {}
+    for element in schema.iter_containment_preorder():
+        if element.not_instantiated:
+            continue
+        if is_entity(element):
+            if element.name.lower() in {n.lower() for n in entity_names.values()}:
+                continue  # entity names are unique in ER models
+            entity = model.add_entity(element.name)
+            entity_names[element.element_id] = element.name
+            for child in schema.contained_children(element):
+                if child.is_atomic and not child.not_instantiated:
+                    entity.add_attribute(
+                        child.name, child.data_type, child.is_key
+                    )
+
+    # Containment between entities (possibly through non-entity
+    # intermediates) becomes a relationship.
+    for element in schema.iter_containment_preorder():
+        if element.element_id not in entity_names or element is schema.root:
+            continue
+        ancestor = schema.container_of(element)
+        via: List[str] = []
+        while ancestor is not None and ancestor.element_id not in entity_names:
+            via.append(ancestor.name)
+            ancestor = schema.container_of(ancestor)
+        if ancestor is None:
+            continue
+        relationship_name = via[-1] if via else element.name
+        model.add_relationship(
+            relationship_name,
+            [entity_names[ancestor.element_id], entity_names[element.element_id]],
+        )
+    return model

@@ -1,0 +1,131 @@
+"""JSON serialization for schemas and mappings.
+
+The Cupid prototype displayed its output in BizTalk Mapper; our
+equivalent is a plain JSON rendering that downstream tools (and the
+test suite) can consume. Schemas round-trip exactly; mappings are
+export-only (they reference live tree nodes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import SchemaError
+from repro.mapping.mapping import Mapping
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """Serialize a schema graph to a JSON-compatible dict."""
+    elements: List[Dict[str, Any]] = []
+    for element in schema.elements:
+        elements.append(
+            {
+                "id": element.element_id,
+                "name": element.name,
+                "kind": element.kind.value,
+                "data_type": element.data_type.value if element.data_type else None,
+                "optional": element.optional,
+                "is_key": element.is_key,
+                "not_instantiated": element.not_instantiated,
+                "description": element.description,
+            }
+        )
+    relationships = [
+        {
+            "source": rel.source.element_id,
+            "target": rel.target.element_id,
+            "kind": rel.kind.value,
+        }
+        for rel in schema.relationships
+    ]
+    return {
+        "name": schema.name,
+        "root": schema.root.element_id,
+        "elements": elements,
+        "relationships": relationships,
+    }
+
+
+def schema_from_dict(data: Dict[str, Any]) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output.
+
+    The serialized ids are used to resolve relationships inside the
+    dict, but the rebuilt elements receive fresh process-unique ids so
+    the same dict can be loaded multiple times (e.g. to match a schema
+    against a copy of itself).
+    """
+    root_id = data["root"]
+    by_id: Dict[str, SchemaElement] = {}
+    schema: Optional[Schema] = None
+
+    for spec in data["elements"]:
+        element = SchemaElement(
+            name=spec["name"],
+            kind=ElementKind(spec["kind"]),
+            data_type=DataType(spec["data_type"]) if spec["data_type"] else None,
+            optional=spec.get("optional", False),
+            is_key=spec.get("is_key", False),
+            not_instantiated=spec.get("not_instantiated", False),
+            description=spec.get("description", ""),
+            # Fresh process-unique id: loading the same dict twice must
+            # not produce elements that compare equal across schemas.
+        )
+        by_id[spec["id"]] = element
+        if spec["id"] == root_id:
+            schema = Schema(data["name"])
+            # Swap the auto-created root for the deserialized one by
+            # reusing the created root object and copying fields.
+            schema.root.name = element.name
+            schema.root.kind = element.kind
+            by_id[spec["id"]] = schema.root
+
+    if schema is None:
+        raise SchemaError("serialized schema has no root element")
+
+    for spec in data["elements"]:
+        if spec["id"] != root_id:
+            schema.add_element(by_id[spec["id"]])
+
+    adders = {
+        RelationshipKind.CONTAINMENT: schema.add_containment,
+        RelationshipKind.AGGREGATION: schema.add_aggregation,
+        RelationshipKind.IS_DERIVED_FROM: schema.add_is_derived_from,
+        RelationshipKind.REFERENCE: schema.add_reference,
+    }
+    for rel in data["relationships"]:
+        kind = RelationshipKind(rel["kind"])
+        adders[kind](by_id[rel["source"]], by_id[rel["target"]])
+    return schema
+
+
+def schema_to_json(schema: Schema, indent: int = 2) -> str:
+    return json.dumps(schema_to_dict(schema), indent=indent)
+
+
+def schema_from_json(text: str) -> Schema:
+    return schema_from_dict(json.loads(text))
+
+
+def mapping_to_dict(mapping: Mapping) -> Dict[str, Any]:
+    """Serialize a mapping (export only)."""
+    return {
+        "source_schema": mapping.source_schema_name,
+        "target_schema": mapping.target_schema_name,
+        "elements": [
+            {
+                "source_path": list(element.source_path),
+                "target_path": list(element.target_path),
+                "similarity": round(element.similarity, 6),
+            }
+            for element in mapping
+        ],
+    }
+
+
+def mapping_to_json(mapping: Mapping, indent: int = 2) -> str:
+    return json.dumps(mapping_to_dict(mapping), indent=indent)

@@ -1,0 +1,127 @@
+"""Object-oriented class-definition DSL.
+
+The canonical examples of Section 9.1 are written as "object-oriented
+schemas with a small number of class definitions", e.g.::
+
+    class Customer (Customer_Number: integer (key), Name: string,
+                    Address: string)
+    class PurchaseOrder (OrderNumber: integer,
+                         ShippingAddress: Address,
+                         BillingAddress: Address)
+    class Address (Name: string, Street: string, City: string)
+
+Attributes typed with a *class name* become shared-type references
+(IsDerivedFrom) — exactly the type-substitution situation of canonical
+example 6. ``(key)`` marks key attributes, ``(optional)`` optional
+ones. Definitions may span lines; a definition ends at its closing
+parenthesis.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.exceptions import OoModelParseError
+from repro.model.datatypes import parse_data_type
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+_CLASS_RE = re.compile(
+    r"class\s+(?P<name>\w+)\s*\((?P<body>.*?)\)\s*(?=class\s|\Z)",
+    re.IGNORECASE | re.DOTALL,
+)
+_ATTR_RE = re.compile(
+    r"^(?P<name>\w+)\s*:\s*(?P<type>\w+)\s*(?P<flags>(?:\(\s*\w+\s*\)\s*)*)$"
+)
+
+
+def _split_attributes(body: str) -> List[str]:
+    """Split on commas outside parentheses (nested attrs like Name
+    (FirstName, LastName) are not part of this DSL, but flags are)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in parts if p]
+
+
+def parse_oo_model(text: str, schema_name: str = "oo_schema") -> Schema:
+    """Parse class definitions into a :class:`Schema`.
+
+    Classes become CLASS elements under the root; attributes with
+    scalar types become typed ATTRIBUTE leaves; attributes whose type
+    names another class add an intermediate attribute element with an
+    IsDerivedFrom edge to that class (shared type). The referenced
+    class stays instantiable as its own subtree only if some attribute
+    does not reference it — referenced classes are marked
+    not-instantiated, matching how XSD complexTypes behave.
+    """
+    schema = Schema(schema_name)
+    classes: Dict[str, SchemaElement] = {}
+    pending: List[Tuple[SchemaElement, str]] = []
+
+    stripped = text.strip()
+    if not stripped:
+        raise OoModelParseError("empty class-definition text")
+
+    matched_any = False
+    for match in _CLASS_RE.finditer(stripped):
+        matched_any = True
+        class_name = match.group("name")
+        if class_name.lower() in classes:
+            raise OoModelParseError(f"duplicate class {class_name!r}")
+        cls = SchemaElement(name=class_name, kind=ElementKind.CLASS)
+        schema.add_element(cls)
+        schema.add_containment(schema.root, cls)
+        classes[class_name.lower()] = cls
+
+        for attr_text in _split_attributes(match.group("body")):
+            normalized = " ".join(attr_text.split())
+            attr_match = _ATTR_RE.match(normalized)
+            if not attr_match:
+                raise OoModelParseError(
+                    f"cannot parse attribute {normalized!r} in class "
+                    f"{class_name!r}"
+                )
+            flags = {
+                f.strip("() ").lower()
+                for f in re.findall(r"\(\s*\w+\s*\)", attr_match.group("flags"))
+            }
+            attr_name = attr_match.group("name")
+            type_name = attr_match.group("type")
+            element = SchemaElement(
+                name=attr_name,
+                kind=ElementKind.ATTRIBUTE,
+                optional="optional" in flags,
+                is_key="key" in flags,
+            )
+            schema.add_element(element)
+            schema.add_containment(cls, element)
+            pending.append((element, type_name))
+
+    if not matched_any:
+        raise OoModelParseError(
+            "no class definitions found (expected 'class Name (...)')"
+        )
+
+    for element, type_name in pending:
+        target = classes.get(type_name.lower())
+        if target is not None:
+            schema.add_is_derived_from(element, target)
+            target.not_instantiated = True
+        else:
+            element.data_type = parse_data_type(type_name)
+    return schema

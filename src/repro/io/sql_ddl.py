@@ -1,0 +1,303 @@
+"""A mini SQL DDL importer.
+
+Parses the subset of SQL DDL needed to express the paper's relational
+examples (Figure 8's RDB and Star schemas and anything of similar
+shape) into the generic schema model:
+
+* ``CREATE TABLE t (...)`` with column definitions,
+* column constraints: ``PRIMARY KEY``, ``NOT NULL``, ``NULL``,
+  ``UNIQUE``, inline ``REFERENCES t(col)``,
+* table constraints: ``PRIMARY KEY (a, b)``,
+  ``FOREIGN KEY (a, b) REFERENCES t (c, d)``,
+* ``CREATE VIEW v AS SELECT a, b FROM t`` (column list only; the view
+  is modeled per Section 8.4 as an element aggregating its members).
+
+Tables become TABLE elements containing COLUMN elements. A primary key
+becomes a not-instantiated KEY element that aggregates its columns
+(Figure 5's modeling). Each foreign key becomes a not-instantiated
+REFINT element contained by the source table, aggregating the source
+columns and referencing the target table's key.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SqlDdlParseError
+from repro.model.datatypes import parse_data_type
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+_CREATE_TABLE_RE = re.compile(
+    r"create\s+table\s+(?P<name>\w+)\s*\((?P<body>.*?)\)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+_CREATE_VIEW_RE = re.compile(
+    r"create\s+view\s+(?P<name>\w+)\s+as\s+select\s+(?P<cols>.*?)\s+"
+    r"from\s+(?P<tables>[\w,\s]+?)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+_TABLE_PK_RE = re.compile(
+    r"^primary\s+key\s*\((?P<cols>[^)]*)\)$", re.IGNORECASE
+)
+_TABLE_FK_RE = re.compile(
+    r"^(?:constraint\s+(?P<cname>\w+)\s+)?foreign\s+key\s*"
+    r"\((?P<cols>[^)]*)\)\s*references\s+(?P<table>\w+)\s*"
+    r"(?:\((?P<refcols>[^)]*)\))?$",
+    re.IGNORECASE,
+)
+_COLUMN_RE = re.compile(
+    r"^(?P<name>\w+)\s+(?P<type>\w+(?:\s*\([\d,\s]*\))?)(?P<rest>.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_INLINE_REF_RE = re.compile(
+    r"references\s+(?P<table>\w+)\s*(?:\((?P<col>\w+)\))?", re.IGNORECASE
+)
+
+
+def _split_top_level(body: str) -> List[str]:
+    """Split a CREATE TABLE body on commas outside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in parts if p]
+
+
+class _PendingForeignKey:
+    def __init__(
+        self,
+        name: str,
+        table: str,
+        columns: Sequence[str],
+        target_table: str,
+        target_columns: Sequence[str],
+    ) -> None:
+        self.name = name
+        self.table = table
+        self.columns = list(columns)
+        self.target_table = target_table
+        self.target_columns = list(target_columns)
+
+
+def parse_sql_ddl(ddl: str, schema_name: str = "sql_schema") -> Schema:
+    """Parse DDL text into a :class:`Schema`.
+
+    Raises :class:`SqlDdlParseError` on malformed statements. Foreign
+    keys may reference tables defined later in the script; they are
+    resolved at the end.
+    """
+    schema = Schema(schema_name)
+    tables: Dict[str, SchemaElement] = {}
+    columns: Dict[Tuple[str, str], SchemaElement] = {}
+    primary_keys: Dict[str, SchemaElement] = {}
+    pending_fks: List[_PendingForeignKey] = []
+
+    consumed_spans: List[Tuple[int, int]] = []
+    for match in _CREATE_TABLE_RE.finditer(ddl):
+        consumed_spans.append(match.span())
+        table_name = match.group("name")
+        table = SchemaElement(name=table_name, kind=ElementKind.TABLE)
+        schema.add_element(table)
+        schema.add_containment(schema.root, table)
+        tables[table_name.lower()] = table
+
+        pk_columns: List[str] = []
+        for clause in _split_top_level(match.group("body")):
+            normalized = " ".join(clause.split())
+            pk = _TABLE_PK_RE.match(normalized)
+            if pk:
+                pk_columns.extend(
+                    c.strip() for c in pk.group("cols").split(",") if c.strip()
+                )
+                continue
+            fk = _TABLE_FK_RE.match(normalized)
+            if fk:
+                fk_columns = [
+                    c.strip() for c in fk.group("cols").split(",") if c.strip()
+                ]
+                ref_cols = [
+                    c.strip()
+                    for c in (fk.group("refcols") or "").split(",")
+                    if c.strip()
+                ]
+                fk_name = fk.group("cname") or (
+                    f"{table_name}-{fk.group('table')}-fk"
+                )
+                pending_fks.append(
+                    _PendingForeignKey(
+                        fk_name, table_name, fk_columns,
+                        fk.group("table"), ref_cols,
+                    )
+                )
+                continue
+            col = _COLUMN_RE.match(normalized)
+            if not col:
+                raise SqlDdlParseError(
+                    f"cannot parse column or constraint: {normalized!r} "
+                    f"in table {table_name!r}"
+                )
+            col_name = col.group("name")
+            rest = col.group("rest").lower()
+            element = SchemaElement(
+                name=col_name,
+                kind=ElementKind.COLUMN,
+                data_type=parse_data_type(col.group("type")),
+                optional="not null" not in rest and "primary key" not in rest,
+                is_key="primary key" in rest or "unique" in rest,
+            )
+            schema.add_element(element)
+            schema.add_containment(table, element)
+            columns[(table_name.lower(), col_name.lower())] = element
+            if "primary key" in rest:
+                pk_columns.append(col_name)
+            inline_ref = _INLINE_REF_RE.search(col.group("rest"))
+            if inline_ref:
+                pending_fks.append(
+                    _PendingForeignKey(
+                        f"{table_name}-{inline_ref.group('table')}-fk",
+                        table_name,
+                        [col_name],
+                        inline_ref.group("table"),
+                        [inline_ref.group("col")] if inline_ref.group("col") else [],
+                    )
+                )
+
+        if pk_columns:
+            key = SchemaElement(
+                name=f"{table_name}_pk",
+                kind=ElementKind.KEY,
+                not_instantiated=True,
+                is_key=True,
+            )
+            schema.add_element(key)
+            schema.add_containment(table, key)
+            primary_keys[table_name.lower()] = key
+            for col_name in pk_columns:
+                column = columns.get((table_name.lower(), col_name.lower()))
+                if column is None:
+                    raise SqlDdlParseError(
+                        f"primary key column {col_name!r} not defined in "
+                        f"table {table_name!r}"
+                    )
+                column.is_key = True
+                column.optional = False
+                schema.add_aggregation(key, column)
+
+    for match in _CREATE_VIEW_RE.finditer(ddl):
+        consumed_spans.append(match.span())
+        view = SchemaElement(
+            name=match.group("name"),
+            kind=ElementKind.VIEW,
+            not_instantiated=True,
+        )
+        schema.add_element(view)
+        schema.add_containment(schema.root, view)
+        from_tables = [
+            t.strip().lower()
+            for t in match.group("tables").split(",")
+            if t.strip()
+        ]
+        for col_spec in match.group("cols").split(","):
+            col_spec = col_spec.strip()
+            if not col_spec:
+                continue
+            if "." in col_spec:
+                table_part, col_part = col_spec.split(".", 1)
+                member = columns.get((table_part.lower(), col_part.lower()))
+            else:
+                member = None
+                for table_name in from_tables:
+                    member = columns.get((table_name, col_spec.lower()))
+                    if member is not None:
+                        break
+            if member is None:
+                raise SqlDdlParseError(
+                    f"view {match.group('name')!r} selects unknown column "
+                    f"{col_spec!r}"
+                )
+            schema.add_aggregation(view, member)
+
+    _check_leftover(ddl, consumed_spans)
+    _resolve_foreign_keys(
+        schema, tables, columns, primary_keys, pending_fks
+    )
+    return schema
+
+
+def _check_leftover(ddl: str, consumed_spans: List[Tuple[int, int]]) -> None:
+    """Reject statements the importer did not understand."""
+    covered = [False] * len(ddl)
+    for start, end in consumed_spans:
+        for i in range(start, end):
+            covered[i] = True
+    leftover = "".join(
+        ch for i, ch in enumerate(ddl) if not covered[i]
+    ).strip()
+    leftover = re.sub(r"--[^\n]*", "", leftover).strip()
+    if leftover:
+        snippet = " ".join(leftover.split())[:80]
+        raise SqlDdlParseError(f"unrecognized DDL near: {snippet!r}")
+
+
+def _resolve_foreign_keys(
+    schema: Schema,
+    tables: Dict[str, SchemaElement],
+    columns: Dict[Tuple[str, str], SchemaElement],
+    primary_keys: Dict[str, SchemaElement],
+    pending: List[_PendingForeignKey],
+) -> None:
+    for fk in pending:
+        source_table = tables.get(fk.table.lower())
+        target_table = tables.get(fk.target_table.lower())
+        if source_table is None or target_table is None:
+            raise SqlDdlParseError(
+                f"foreign key {fk.name!r} references unknown table "
+                f"{fk.target_table!r}"
+            )
+        refint = SchemaElement(
+            name=fk.name, kind=ElementKind.REFINT, not_instantiated=True
+        )
+        schema.add_element(refint)
+        schema.add_containment(source_table, refint)
+        for col_name in fk.columns:
+            column = columns.get((fk.table.lower(), col_name.lower()))
+            if column is None:
+                raise SqlDdlParseError(
+                    f"foreign key {fk.name!r} uses unknown column "
+                    f"{col_name!r}"
+                )
+            schema.add_aggregation(refint, column)
+        target_key = primary_keys.get(fk.target_table.lower())
+        if target_key is None:
+            # Referenced table has no declared PK: synthesize one over
+            # the referenced columns (or the whole table if unspecified).
+            target_key = SchemaElement(
+                name=f"{fk.target_table}_key",
+                kind=ElementKind.KEY,
+                not_instantiated=True,
+                is_key=True,
+            )
+            schema.add_element(target_key)
+            schema.add_containment(target_table, target_key)
+            for col_name in fk.target_columns:
+                column = columns.get(
+                    (fk.target_table.lower(), col_name.lower())
+                )
+                if column is not None:
+                    schema.add_aggregation(target_key, column)
+            primary_keys[fk.target_table.lower()] = target_key
+        schema.add_reference(refint, target_key)

@@ -1,0 +1,175 @@
+"""Simplified XML schema importer.
+
+Parses a compact XSD-like XML dialect into the generic model. The
+dialect covers what the paper's XML examples need:
+
+.. code-block:: xml
+
+    <schema name="PurchaseOrder">
+      <complexType name="Address">
+        <attribute name="Street" type="string"/>
+        <attribute name="City" type="string"/>
+      </complexType>
+      <element name="DeliverTo" type="Address"/>
+      <element name="InvoiceTo" type="Address"/>
+      <element name="Items">
+        <element name="Item">
+          <attribute name="Quantity" type="integer"/>
+          <attribute name="UnitOfMeasure" type="string" optional="true"/>
+        </element>
+      </element>
+    </schema>
+
+* ``<element>`` — XML elements; nested elements/attributes are
+  containment. A ``type="T"`` attribute adds an IsDerivedFrom
+  relationship to the named complexType (shared type, Section 8.2).
+* ``<attribute>`` — atomic leaves with a ``type`` data type.
+* ``<complexType>`` — a shared type; contained by the root but marked
+  not-instantiated, so it only materializes through the elements that
+  reference it.
+* ``optional="true"`` / ``minOccurs="0"`` / ``use="optional"`` mark
+  optionality (Section 8.4).
+* ``<key name="...">`` children are modeled as not-instantiated KEY
+  elements.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from repro.exceptions import XmlSchemaParseError
+from repro.model.datatypes import parse_data_type
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+
+def parse_xml_schema(text: str) -> Schema:
+    """Parse the XML schema dialect above into a :class:`Schema`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlSchemaParseError(f"malformed XML: {exc}") from exc
+    if root.tag != "schema":
+        raise XmlSchemaParseError(
+            f"expected root tag <schema>, found <{root.tag}>"
+        )
+    name = root.get("name")
+    if not name:
+        raise XmlSchemaParseError("<schema> requires a name attribute")
+
+    schema = Schema(name)
+    shared_types: Dict[str, SchemaElement] = {}
+    pending_derivations: List[tuple] = []  # (element, type name)
+
+    # First pass: declare complexTypes so forward references resolve.
+    for child in root:
+        if child.tag == "complexType":
+            type_name = child.get("name")
+            if not type_name:
+                raise XmlSchemaParseError("<complexType> requires a name")
+            if type_name in shared_types:
+                raise XmlSchemaParseError(
+                    f"duplicate complexType {type_name!r}"
+                )
+            element = SchemaElement(
+                name=type_name,
+                kind=ElementKind.TYPE,
+                not_instantiated=True,
+            )
+            schema.add_element(element)
+            schema.add_containment(schema.root, element)
+            shared_types[type_name] = element
+
+    for child in root:
+        if child.tag == "complexType":
+            _parse_members(
+                schema, child, shared_types[child.get("name")],
+                shared_types, pending_derivations,
+            )
+        else:
+            _parse_node(
+                schema, child, schema.root, shared_types, pending_derivations
+            )
+
+    for element, type_name in pending_derivations:
+        base = shared_types.get(type_name)
+        if base is None:
+            raise XmlSchemaParseError(
+                f"element {element.name!r} references undefined type "
+                f"{type_name!r}"
+            )
+        schema.add_is_derived_from(element, base)
+    return schema
+
+
+def _is_optional(node: ET.Element) -> bool:
+    return (
+        node.get("optional", "").lower() == "true"
+        or node.get("minOccurs") == "0"
+        or node.get("use", "").lower() == "optional"
+    )
+
+
+def _parse_node(
+    schema: Schema,
+    node: ET.Element,
+    parent: SchemaElement,
+    shared_types: Dict[str, SchemaElement],
+    pending: List[tuple],
+) -> None:
+    name = node.get("name")
+    if not name:
+        raise XmlSchemaParseError(f"<{node.tag}> requires a name attribute")
+
+    if node.tag == "element":
+        type_ref = node.get("type")
+        data_type = None
+        if type_ref and type_ref not in shared_types and len(node) == 0:
+            # A simple-typed element is an atomic leaf.
+            data_type = parse_data_type(type_ref)
+            type_ref = None
+        element = SchemaElement(
+            name=name,
+            kind=ElementKind.XML_ELEMENT,
+            data_type=data_type,
+            optional=_is_optional(node),
+        )
+        schema.add_element(element)
+        schema.add_containment(parent, element)
+        if type_ref:
+            pending.append((element, type_ref))
+        _parse_members(schema, node, element, shared_types, pending)
+    elif node.tag == "attribute":
+        element = SchemaElement(
+            name=name,
+            kind=ElementKind.XML_ATTRIBUTE,
+            data_type=parse_data_type(node.get("type", "string")),
+            optional=_is_optional(node),
+        )
+        schema.add_element(element)
+        schema.add_containment(parent, element)
+    elif node.tag == "key":
+        element = SchemaElement(
+            name=name,
+            kind=ElementKind.KEY,
+            not_instantiated=True,
+            is_key=True,
+        )
+        schema.add_element(element)
+        schema.add_containment(parent, element)
+    else:
+        raise XmlSchemaParseError(
+            f"unsupported tag <{node.tag}> under {parent.name!r}"
+        )
+
+
+def _parse_members(
+    schema: Schema,
+    node: ET.Element,
+    parent: SchemaElement,
+    shared_types: Dict[str, SchemaElement],
+    pending: List[tuple],
+) -> None:
+    for child in node:
+        _parse_node(schema, child, parent, shared_types, pending)

@@ -1,0 +1,70 @@
+"""Linguistic matching (paper Section 5).
+
+The first phase of Cupid: normalization (tokenize, expand, eliminate,
+tag), categorization (cluster elements into keyword-identified
+categories to prune comparisons), and comparison (token-set name
+similarity scaled by category similarity) yielding the ``lsim`` table.
+
+Note: ``repro.config`` imports :class:`TokenType` from this package, so
+the config-dependent members (categorizer, name similarity, matcher)
+are exposed lazily via module ``__getattr__`` to keep imports acyclic.
+"""
+
+from repro.linguistic.tokens import Token, TokenType
+from repro.linguistic.tokenizer import tokenize
+from repro.linguistic.thesaurus import Thesaurus, ThesaurusEntry, empty_thesaurus
+from repro.linguistic.lexicon import (
+    builtin_thesaurus,
+    paper_experiment_thesaurus,
+)
+from repro.linguistic.normalizer import NormalizedName, Normalizer
+
+__all__ = [
+    "Categorizer",
+    "Category",
+    "LinguisticMatcher",
+    "LsimTable",
+    "NormalizedName",
+    "Normalizer",
+    "Thesaurus",
+    "ThesaurusEntry",
+    "Token",
+    "TokenType",
+    "builtin_thesaurus",
+    "element_name_similarity",
+    "empty_thesaurus",
+    "paper_experiment_thesaurus",
+    "token_set_similarity",
+    "token_similarity",
+    "tokenize",
+]
+
+_LAZY = {
+    "Categorizer": ("repro.linguistic.categorization", "Categorizer"),
+    "Category": ("repro.linguistic.categorization", "Category"),
+    "LinguisticMatcher": ("repro.linguistic.matcher", "LinguisticMatcher"),
+    "LsimTable": ("repro.linguistic.matcher", "LsimTable"),
+    "element_name_similarity": (
+        "repro.linguistic.name_similarity", "element_name_similarity"
+    ),
+    "token_set_similarity": (
+        "repro.linguistic.name_similarity", "token_set_similarity"
+    ),
+    "token_similarity": (
+        "repro.linguistic.name_similarity", "token_similarity"
+    ),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve config-dependent members (PEP 562)."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

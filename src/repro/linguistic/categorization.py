@@ -1,0 +1,160 @@
+"""Categorization (Section 5.2).
+
+"Cupid clusters schema elements belonging to the two schemas into
+categories. A category is a group of elements that can be identified by
+a set of keywords, which are derived from concepts, data types, and
+element names. ... The purpose of categorization is to reduce the
+number of element-to-element comparisons."
+
+Three category sources, one per bullet in the paper:
+
+* **Concept tagging** — one category per unique concept tag.
+* **Data types** — one category per broad data type ("Number", ...).
+* **Container** — one category per containing element, keyed by the
+  container's name tokens (Street/City under Address → category with
+  keyword Address).
+
+Elements can belong to multiple categories. Two categories are
+*compatible* when the name similarity of their keyword token sets
+exceeds ``thns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import CupidConfig
+from repro.linguistic.name_similarity import token_set_similarity
+from repro.linguistic.normalizer import NormalizedName, Normalizer
+from repro.linguistic.thesaurus import Thesaurus
+from repro.linguistic.tokens import Token, TokenType
+from repro.model.datatypes import BROAD_CLASS
+from repro.model.element import SchemaElement
+from repro.model.schema import Schema
+
+
+@dataclass
+class Category:
+    """A keyword-identified group of schema elements."""
+
+    key: str                      # unique id within its schema, e.g. "dtype:Number"
+    keywords: Tuple[Token, ...]   # tokens identifying the category
+    source: str                   # "concept" | "dtype" | "container"
+    members: List[SchemaElement] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        kw = " ".join(t.text for t in self.keywords)
+        return f"<Category {self.key} [{kw}]: {len(self.members)} members>"
+
+
+class Categorizer:
+    """Builds per-schema categories and decides category compatibility."""
+
+    def __init__(
+        self,
+        thesaurus: Thesaurus,
+        normalizer: Normalizer,
+        config: CupidConfig,
+    ) -> None:
+        self.thesaurus = thesaurus
+        self.normalizer = normalizer
+        self.config = config
+
+    def categorize(self, schema: Schema) -> Dict[str, Category]:
+        """Assign every named element of ``schema`` to its categories.
+
+        Returns categories keyed by their unique key. Each element may
+        appear in several categories (concept + data type + container).
+        """
+        categories: Dict[str, Category] = {}
+
+        def get_or_create(
+            key: str, keywords: Tuple[Token, ...], source: str
+        ) -> Category:
+            category = categories.get(key)
+            if category is None:
+                category = Category(key=key, keywords=keywords, source=source)
+                categories[key] = category
+            return category
+
+        # The schema root belongs to a dedicated category so roots are
+        # linguistically comparable across schemas (they have no
+        # container, data type, or — usually — concept of their own).
+        root_category = get_or_create(
+            "root", (Token("schema", TokenType.CONTENT),), "container"
+        )
+        root_category.members.append(schema.root)
+
+        for element in schema.elements:
+            if element.not_instantiated or not element.name:
+                continue
+            normalized = self.normalizer.normalize(element.name)
+
+            # 1. Concept tagging: a category per unique concept tag.
+            for concept in sorted(normalized.concepts):
+                category = get_or_create(
+                    f"concept:{concept}",
+                    (Token(concept, TokenType.CONCEPT),),
+                    "concept",
+                )
+                category.members.append(element)
+
+            # 1b. Name tokens: keywords are "derived from concepts,
+            # data types, and element names" (Section 5.2) — the money
+            # category example includes elements where the keyword
+            # "appears in its name". One category per significant
+            # (content/concept) name token.
+            for token in normalized.comparable_tokens():
+                if token.token_type in (TokenType.CONTENT, TokenType.CONCEPT):
+                    category = get_or_create(
+                        f"name:{token.text}",
+                        (Token(token.text, TokenType.CONTENT),),
+                        "name",
+                    )
+                    category.members.append(element)
+
+            # 2. Broad data type: Number, Text, Temporal, ...
+            if element.data_type is not None:
+                broad = BROAD_CLASS[element.data_type]
+                category = get_or_create(
+                    f"dtype:{broad}",
+                    (Token(broad.lower(), TokenType.CONTENT),),
+                    "dtype",
+                )
+                category.members.append(element)
+
+            # 3. Container: the containing element names a category.
+            container = schema.container_of(element)
+            if container is not None and container.name and not container.not_instantiated:
+                container_tokens = tuple(
+                    self.normalizer.normalize(container.name).comparable_tokens()
+                )
+                if container_tokens:
+                    category = get_or_create(
+                        f"container:{container.element_id}",
+                        container_tokens,
+                        "container",
+                    )
+                    category.members.append(element)
+
+        return categories
+
+    def category_similarity(self, c1: Category, c2: Category) -> float:
+        """Name similarity of two categories' keyword token sets."""
+        return token_set_similarity(
+            c1.keywords, c2.keywords, self.thesaurus, self.config
+        )
+
+    def compatible(self, c1: Category, c2: Category) -> bool:
+        """"Two categories are compatible if the name similarity of
+        their token sets exceeds a given threshold, thns."
+
+        Data-type categories additionally only pair with data-type
+        categories: the paper uses them "primarily to prune the
+        matching", and cross-pairing a type keyword like "number" with
+        content names would create spurious compatibilities.
+        """
+        if (c1.source == "dtype") != (c2.source == "dtype"):
+            return False
+        return self.category_similarity(c1, c2) >= self.config.thns

@@ -1,0 +1,166 @@
+"""Incremental thesaurus learning from validated mappings.
+
+Paper, Section 9.3 conclusion 2: "A robust solution will need a module
+to incrementally learn synonyms and abbreviations from mappings that
+are performed over time."
+
+:class:`ThesaurusLearner` consumes user-validated mappings and mines
+candidate lexical knowledge from them:
+
+* **Synonyms** — when a confirmed element pair has exactly one
+  unmatched token on each side, those tokens are aligned; pairs seen
+  repeatedly graduate to synonym proposals with confidence growing in
+  the evidence count.
+* **Abbreviations** — an aligned pair where one token is a prefix or a
+  subsequence of the other (``qty``/``quantity``, ``num``/``number``)
+  is proposed as an abbreviation instead.
+
+The learner never mutates the base thesaurus; :meth:`proposals` returns
+scored candidates and :meth:`learned_thesaurus` materializes the
+accepted ones merged over a base — so a human stays in the loop, as the
+paper's validation-centric workflow prescribes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.linguistic.normalizer import Normalizer
+from repro.linguistic.thesaurus import Thesaurus
+from repro.linguistic.tokens import TokenType
+from repro.mapping.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class LexicalProposal:
+    """One mined candidate entry."""
+
+    term_a: str
+    term_b: str
+    kind: str          # "synonym" | "abbreviation"
+    evidence: int      # number of validated pairs supporting it
+    confidence: float  # in [0, 1], grows with evidence
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind}: {self.term_a} ~ {self.term_b} "
+            f"(evidence={self.evidence}, confidence={self.confidence:.2f})"
+        )
+
+
+def _is_subsequence(short: str, long: str) -> bool:
+    it = iter(long)
+    return all(ch in it for ch in short)
+
+
+def _looks_like_abbreviation(a: str, b: str) -> Optional[Tuple[str, str]]:
+    """Return (short, long) if one term abbreviates the other."""
+    short, long = (a, b) if len(a) < len(b) else (b, a)
+    if len(short) >= len(long) or len(short) < 2:
+        return None
+    if long.startswith(short) or _is_subsequence(short, long):
+        return (short, long)
+    return None
+
+
+class ThesaurusLearner:
+    """Mines synonym/abbreviation candidates from validated mappings."""
+
+    def __init__(
+        self,
+        normalizer: Normalizer,
+        min_evidence: int = 1,
+        base_confidence: float = 0.7,
+    ) -> None:
+        if not 0.0 < base_confidence <= 1.0:
+            raise ValueError("base_confidence must be in (0, 1]")
+        self.normalizer = normalizer
+        self.min_evidence = min_evidence
+        self.base_confidence = base_confidence
+        self._pair_counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+
+    def observe(self, mapping: Mapping) -> int:
+        """Mine one validated mapping; returns pairs extracted."""
+        extracted = 0
+        for element in mapping:
+            pair = self._align(element.source_name, element.target_name)
+            if pair is not None:
+                self._pair_counts[pair] += 1
+                extracted += 1
+        return extracted
+
+    def _align(self, name1: str, name2: str) -> Optional[Tuple[str, str]]:
+        """Align the single unmatched token pair of two names, if any."""
+        tokens1 = {
+            t.text for t in self.normalizer.normalize(name1).comparable_tokens()
+            if t.token_type in (TokenType.CONTENT, TokenType.CONCEPT)
+        }
+        tokens2 = {
+            t.text for t in self.normalizer.normalize(name2).comparable_tokens()
+            if t.token_type in (TokenType.CONTENT, TokenType.CONCEPT)
+        }
+        only1 = sorted(tokens1 - tokens2)
+        only2 = sorted(tokens2 - tokens1)
+        if len(only1) == 1 and len(only2) == 1:
+            a, b = only1[0], only2[0]
+            if a != b:
+                return tuple(sorted((a, b)))  # symmetric key
+        return None
+
+    # ------------------------------------------------------------------
+
+    def proposals(self) -> List[LexicalProposal]:
+        """Scored candidates, strongest first."""
+        results: List[LexicalProposal] = []
+        for (a, b), count in self._pair_counts.items():
+            if count < self.min_evidence:
+                continue
+            confidence = min(
+                1.0, self.base_confidence + 0.1 * (count - 1)
+            )
+            abbreviation = _looks_like_abbreviation(a, b)
+            if abbreviation is not None:
+                results.append(
+                    LexicalProposal(
+                        term_a=abbreviation[0],
+                        term_b=abbreviation[1],
+                        kind="abbreviation",
+                        evidence=count,
+                        confidence=confidence,
+                    )
+                )
+            else:
+                results.append(
+                    LexicalProposal(
+                        term_a=a, term_b=b, kind="synonym",
+                        evidence=count, confidence=confidence,
+                    )
+                )
+        results.sort(key=lambda p: (-p.confidence, p.term_a, p.term_b))
+        return results
+
+    def learned_thesaurus(
+        self,
+        base: Optional[Thesaurus] = None,
+        accept: Optional[Iterable[LexicalProposal]] = None,
+    ) -> Thesaurus:
+        """Materialize accepted proposals merged over ``base``.
+
+        ``accept`` defaults to all current proposals (auto-accept) —
+        callers wanting human validation pass the reviewed subset.
+        """
+        learned = Thesaurus(name="learned")
+        for proposal in accept if accept is not None else self.proposals():
+            if proposal.kind == "abbreviation":
+                learned.add_abbreviation(proposal.term_a, [proposal.term_b])
+            else:
+                learned.add_synonym(
+                    proposal.term_a, proposal.term_b, proposal.confidence
+                )
+        if base is None:
+            return learned
+        return base.merged_with(learned)

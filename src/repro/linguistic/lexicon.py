@@ -1,0 +1,177 @@
+"""Bundled lexical knowledge.
+
+The Cupid prototype used a thesaurus combining "terms used in common
+language as well as domain-specific references" (Section 5.1). We have
+no network access to WordNet, so we bundle a hand-curated lexicon that
+covers common business/schema vocabulary — a strict superset of the six
+entries the paper's own CIDX–Excel experiment used (4 abbreviations:
+UOM, PO, Qty, Num; 2 synonym pairs: Invoice≈Bill, Ship≈Deliver).
+
+Two constructors are exported:
+
+* :func:`builtin_thesaurus` — the full bundled lexicon, the default for
+  library users.
+* :func:`paper_experiment_thesaurus` — exactly the paper's six entries,
+  used by the Table 3 benchmark for fidelity to Section 9.2.
+"""
+
+from __future__ import annotations
+
+from repro.linguistic.thesaurus import Thesaurus
+
+#: Articles, prepositions, and conjunctions eliminated in Section 5.1.
+STOPWORDS = (
+    "a an the of in on at to for by with from as and or nor but so "
+    "per via is are was be been"
+).split()
+
+#: (short form, expansion tokens) — abbreviations and acronyms.
+ABBREVIATIONS = [
+    ("po", ["purchase", "order"]),
+    ("qty", ["quantity"]),
+    ("uom", ["unit", "of", "measure"]),
+    ("num", ["number"]),
+    ("no", ["number"]),
+    ("nbr", ["number"]),
+    ("amt", ["amount"]),
+    ("addr", ["address"]),
+    ("tel", ["telephone"]),
+    ("ph", ["phone"]),
+    ("fax", ["facsimile"]),
+    ("id", ["identifier"]),
+    ("desc", ["description"]),
+    ("descr", ["description"]),
+    ("acct", ["account"]),
+    ("cust", ["customer"]),
+    ("emp", ["employee"]),
+    ("ord", ["order"]),
+    ("prod", ["product"]),
+    ("attn", ["attention"]),
+    ("ssn", ["social", "security", "number"]),
+    ("dob", ["date", "of", "birth"]),
+    ("fk", ["foreign", "key"]),
+    ("pk", ["primary", "key"]),
+    ("min", ["minimum"]),
+    ("max", ["maximum"]),
+    ("avg", ["average"]),
+    ("org", ["organization"]),
+    ("dept", ["department"]),
+    ("mgr", ["manager"]),
+    ("cat", ["category"]),
+    ("exp", ["expiration"]),
+    ("cred", ["credit"]),
+    ("rdb", ["relational", "database"]),
+]
+
+#: (a, b, strength) synonym entries.
+SYNONYMS = [
+    ("invoice", "bill", 0.95),
+    ("ship", "deliver", 0.95),
+    ("shipping", "delivery", 0.95),
+    # Related but not interchangeable: strong enough to support a match
+    # when nothing better exists, weak enough that an exact-name
+    # counterpart (Count vs ItemCount) always wins over the synonym.
+    ("quantity", "count", 0.7),
+    ("telephone", "phone", 0.95),
+    ("e-mail", "email", 1.0),
+    ("mail", "email", 0.7),
+    ("zip", "postal", 0.9),
+    ("state", "province", 0.85),
+    ("company", "organization", 0.85),
+    ("client", "customer", 0.9),
+    ("cost", "price", 0.9),
+    ("value", "amount", 0.8),
+    ("item", "article", 0.85),
+    ("item", "product", 0.75),
+    ("goods", "product", 0.8),
+    ("vendor", "supplier", 0.9),
+    ("purchase", "order", 0.5),
+    ("city", "town", 0.85),
+    ("street", "road", 0.8),
+    ("first", "given", 0.8),
+    ("last", "family", 0.8),
+    ("surname", "last", 0.8),
+    ("salary", "pay", 0.85),
+    ("wage", "pay", 0.85),
+    ("begin", "start", 0.9),
+    ("end", "finish", 0.9),
+    ("car", "automobile", 0.95),
+    ("employee", "worker", 0.85),
+    ("header", "heading", 0.8),
+    ("line", "row", 0.7),
+    ("function", "role", 0.7),
+    ("code", "identifier", 0.6),
+    ("contact", "person", 0.6),
+    ("territory", "region", 0.8),
+    ("area", "region", 0.8),
+    ("brand", "make", 0.7),
+    ("payment", "remittance", 0.8),
+    ("freight", "shipping", 0.7),
+    ("discount", "rebate", 0.8),
+]
+
+#: (term, broader term, strength) hypernym entries.
+HYPERNYMS = [
+    ("customer", "person", 0.75),
+    ("employee", "person", 0.75),
+    ("contact", "person", 0.7),
+    ("city", "place", 0.6),
+    ("country", "place", 0.6),
+    ("invoice", "document", 0.5),
+    ("order", "document", 0.5),
+    ("car", "vehicle", 0.75),
+    ("truck", "vehicle", 0.75),
+    ("street", "address", 0.5),
+    ("quantity", "number", 0.5),
+    ("price", "money", 0.6),
+]
+
+#: concept name → trigger tokens (Section 5.1 "Tagging": "elements with
+#: tokens Price, Cost and Value are all associated with ... Money").
+CONCEPTS = {
+    "money": ["price", "cost", "value", "amount", "charge", "fee",
+              "salary", "wage", "pay", "rate", "discount", "total"],
+    "address": ["street", "city", "state", "province", "zip", "postal",
+                "country", "address"],
+    "person": ["name", "contact", "attention", "person"],
+    "time": ["date", "day", "month", "year", "time", "quarter", "week",
+             "holiday", "weekend"],
+    "identifier": ["identifier", "key", "code", "ssn", "guid"],
+    "communication": ["telephone", "phone", "email", "facsimile",
+                      "extension", "workphone"],
+    "quantity": ["quantity", "count", "measure", "unit"],
+}
+
+
+def builtin_thesaurus() -> Thesaurus:
+    """The full bundled common-language + business-domain thesaurus."""
+    thesaurus = Thesaurus(name="builtin")
+    thesaurus.add_stopwords(STOPWORDS)
+    for short, expansion in ABBREVIATIONS:
+        thesaurus.add_abbreviation(short, expansion)
+    for a, b, strength in SYNONYMS:
+        thesaurus.add_synonym(a, b, strength)
+    for term, broader, strength in HYPERNYMS:
+        thesaurus.add_hypernym(term, broader, strength)
+    for concept, triggers in CONCEPTS.items():
+        thesaurus.add_concept(concept, triggers)
+    return thesaurus
+
+
+def paper_experiment_thesaurus() -> Thesaurus:
+    """Exactly the thesaurus of the paper's CIDX–Excel run (§9.2).
+
+    "For Cupid, the thesauri had a total of 4 abbreviations (UOM, PO,
+    Qty, Num) and 2 synonymy entries (Invoice,Bill; Ship,Deliver) that
+    were relevant to the example." Stopwords are kept: elimination is
+    part of normalization, not of the domain thesaurus.
+    """
+    thesaurus = Thesaurus(name="paper-cidx-excel")
+    thesaurus.add_stopwords(STOPWORDS)
+    thesaurus.add_abbreviation("uom", ["unit", "of", "measure"])
+    thesaurus.add_abbreviation("po", ["purchase", "order"])
+    thesaurus.add_abbreviation("qty", ["quantity"])
+    thesaurus.add_abbreviation("num", ["number"])
+    thesaurus.add_synonym("invoice", "bill", 0.95)
+    thesaurus.add_synonym("ship", "deliver", 0.95)
+    return thesaurus

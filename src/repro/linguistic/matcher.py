@@ -1,0 +1,158 @@
+"""The linguistic matching phase (Section 5) producing the lsim table.
+
+Pipeline: normalize all element names → categorize both schemas →
+find compatible category pairs → compare elements of compatible
+categories → ``lsim(m1, m2) = ns(m1, m2) × max_{c1,c2} ns(c1, c2)``.
+
+"The similarity is assumed to be zero for schema elements that do not
+belong to any compatible categories."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.config import DEFAULT_CONFIG, CupidConfig
+from repro.linguistic.categorization import Categorizer, Category
+from repro.linguistic.name_similarity import element_name_similarity
+from repro.linguistic.normalizer import Normalizer
+from repro.linguistic.thesaurus import Thesaurus
+from repro.model.element import SchemaElement
+from repro.model.schema import Schema
+
+
+class LsimTable:
+    """Sparse table of linguistic similarity coefficients.
+
+    Keys are ``(source_element_id, target_element_id)``; absent pairs
+    read as 0.0 (not linguistically comparable).
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[str, str], float] = {}
+
+    def set(self, source: SchemaElement, target: SchemaElement, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"lsim {value} outside [0, 1]")
+        self._table[(source.element_id, target.element_id)] = value
+
+    def get(self, source: SchemaElement, target: SchemaElement) -> float:
+        return self._table.get((source.element_id, target.element_id), 0.0)
+
+    def get_by_id(self, source_id: str, target_id: str) -> float:
+        return self._table.get((source_id, target_id), 0.0)
+
+    def items(self) -> Iterable[Tuple[Tuple[str, str], float]]:
+        return self._table.items()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class LinguisticMatcher:
+    """Computes lsim between all comparable element pairs of two schemas."""
+
+    def __init__(
+        self,
+        thesaurus: Thesaurus,
+        config: Optional[CupidConfig] = None,
+    ) -> None:
+        self.thesaurus = thesaurus
+        self.config = config or DEFAULT_CONFIG
+        self.config.validate()
+        self.normalizer = Normalizer(thesaurus)
+        self.categorizer = Categorizer(thesaurus, self.normalizer, self.config)
+        self._descriptions = None
+        if self.config.use_descriptions:
+            from repro.linguistic.descriptions import DescriptionMatcher
+
+            self._descriptions = DescriptionMatcher(
+                thesaurus, self.normalizer, self.config
+            )
+
+    def compute(self, source: Schema, target: Schema) -> LsimTable:
+        """Build the full lsim table for ``source`` × ``target``.
+
+        Only element pairs that share at least one compatible category
+        pair are compared; for them,
+        ``lsim = ns(m1, m2) × max ns(c1, c2)`` over the compatible
+        category pairs both belong to.
+        """
+        source_categories = self.categorizer.categorize(source)
+        target_categories = self.categorizer.categorize(target)
+
+        # Map element id -> categories it belongs to, per schema.
+        source_membership = _membership(source_categories.values())
+        target_membership = _membership(target_categories.values())
+
+        # Precompute compatible category pairs and their similarity.
+        compatible_pairs: Dict[Tuple[str, str], float] = {}
+        for c1 in source_categories.values():
+            for c2 in target_categories.values():
+                if self.categorizer.compatible(c1, c2):
+                    compatible_pairs[(c1.key, c2.key)] = (
+                        self.categorizer.category_similarity(c1, c2)
+                    )
+
+        # For each element pair in some compatible category pair, the
+        # category scale factor is the max over all its compatible pairs.
+        scale: Dict[Tuple[str, str], float] = {}
+        elements_by_id_s = {e.element_id: e for e in source.elements}
+        elements_by_id_t = {e.element_id: e for e in target.elements}
+        for (key1, key2), cat_sim in compatible_pairs.items():
+            for m1 in source_categories[key1].members:
+                for m2 in target_categories[key2].members:
+                    pair = (m1.element_id, m2.element_id)
+                    if cat_sim > scale.get(pair, 0.0):
+                        scale[pair] = cat_sim
+
+        table = LsimTable()
+        for (id1, id2), cat_scale in scale.items():
+            m1 = elements_by_id_s[id1]
+            m2 = elements_by_id_t[id2]
+            ns = element_name_similarity(
+                self.normalizer.normalize(m1.name),
+                self.normalizer.normalize(m2.name),
+                self.thesaurus,
+                self.config,
+            )
+            lsim = min(1.0, ns * cat_scale)
+            if self._descriptions is not None:
+                # Annotations can only raise lsim: a strong description
+                # match rescues pairs with uninformative names.
+                desc = self._descriptions.similarity(m1, m2)
+                lsim = max(lsim, self.config.description_weight * desc)
+            if lsim > 0.0:
+                table.set(m1, m2, lsim)
+
+        if self._descriptions is not None:
+            # Categorization prunes by names; annotated pairs whose
+            # names share nothing still deserve a description-driven
+            # comparison (that is the point of the annotations).
+            described_s = [
+                e for e in source.elements
+                if e.description and not e.not_instantiated
+            ]
+            described_t = [
+                e for e in target.elements
+                if e.description and not e.not_instantiated
+            ]
+            for m1 in described_s:
+                for m2 in described_t:
+                    if (m1.element_id, m2.element_id) in scale:
+                        continue
+                    desc = self._descriptions.similarity(m1, m2)
+                    lsim = self.config.description_weight * desc
+                    if lsim > 0.0:
+                        table.set(m1, m2, lsim)
+        return table
+
+
+def _membership(
+    categories: Iterable[Category],
+) -> Dict[str, List[Category]]:
+    membership: Dict[str, List[Category]] = {}
+    for category in categories:
+        for member in category.members:
+            membership.setdefault(member.element_id, []).append(category)
+    return membership

@@ -1,0 +1,141 @@
+"""Name-similarity functions (Sections 5.2 and 5.3).
+
+Three layers, bottom-up:
+
+* :func:`token_similarity` — ``sim(t1, t2)``: thesaurus lookup, falling
+  back to common prefix/suffix substring matching.
+* :func:`token_set_similarity` — ``ns(T1, T2)``: "the average of the
+  best similarity of each token with a token in the other set".
+* :func:`element_name_similarity` — ``ns(m1, m2)``: "a weighted mean of
+  the per-token-type name similarity", weighting content and concept
+  tokens more heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.config import CupidConfig
+from repro.linguistic.normalizer import NormalizedName
+from repro.linguistic.thesaurus import Thesaurus
+from repro.linguistic.tokens import Token, TokenType
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+def _common_suffix_len(a: str, b: str) -> int:
+    n = min(len(a), len(b))
+    for i in range(1, n + 1):
+        if a[-i] != b[-i]:
+            return i - 1
+    return n
+
+
+def substring_similarity(a: str, b: str, ceiling: float = 0.8) -> float:
+    """Prefix/suffix overlap similarity in [0, ceiling].
+
+    "In the absence of such entries, we match sub-strings of the words
+    t1 and t2 to identify common prefixes or suffixes" (Section 5.2).
+    The overlap fraction is measured against the longer word, so
+    ``customername`` vs ``name`` scores on suffix overlap, and a short
+    accidental overlap (``count`` vs ``country``: prefix "count")
+    is scaled down by the longer word's length. Overlaps shorter than
+    3 characters are treated as noise.
+    """
+    if not a or not b:
+        return 0.0
+    overlap = max(_common_prefix_len(a, b), _common_suffix_len(a, b))
+    if overlap < 3:
+        return 0.0
+    # Divide before scaling so a full overlap is exactly `ceiling`.
+    return ceiling * (overlap / max(len(a), len(b)))
+
+
+def token_similarity(
+    t1: Token,
+    t2: Token,
+    thesaurus: Thesaurus,
+    config: Optional[CupidConfig] = None,
+) -> float:
+    """``sim(t1, t2)``: identical → 1; thesaurus entry → its strength;
+    otherwise substring similarity."""
+    ceiling = config.substring_sim_ceiling if config else 0.8
+    floor = config.min_token_sim if config else 0.0
+    if t1.text == t2.text:
+        return 1.0
+    related = thesaurus.relatedness(t1.text, t2.text)
+    if related is not None:
+        return max(related, floor)
+    return max(substring_similarity(t1.text, t2.text, ceiling), floor)
+
+
+def token_set_similarity(
+    tokens1: Sequence[Token],
+    tokens2: Sequence[Token],
+    thesaurus: Thesaurus,
+    config: Optional[CupidConfig] = None,
+) -> float:
+    """``ns(T1, T2)`` — the paper's bidirectional best-match average:
+
+    ``(Σ_{t1∈T1} max_{t2∈T2} sim(t1,t2) + Σ_{t2∈T2} max_{t1∈T1}
+    sim(t1,t2)) / (|T1| + |T2|)``
+
+    Ignored (common-word) tokens are excluded by callers; if either set
+    is empty the similarity is 0 (nothing to compare).
+    """
+    t1 = [t for t in tokens1 if not t.ignored]
+    t2 = [t for t in tokens2 if not t.ignored]
+    if not t1 or not t2:
+        return 0.0
+    forward = sum(
+        max(token_similarity(a, b, thesaurus, config) for b in t2) for a in t1
+    )
+    backward = sum(
+        max(token_similarity(a, b, thesaurus, config) for a in t1) for b in t2
+    )
+    return (forward + backward) / (len(t1) + len(t2))
+
+
+def element_name_similarity(
+    name1: NormalizedName,
+    name2: NormalizedName,
+    thesaurus: Thesaurus,
+    config: CupidConfig,
+) -> float:
+    """``ns(m1, m2)`` — weighted mean of per-token-type similarities.
+
+    For each token type ``i`` present in either name, the per-type
+    similarity ``ns(T1i, T2i)`` contributes with weight
+    ``w_i · (|T1i| + |T2i|)``; the result is normalized by the total
+    weight so it stays in [0, 1]:
+
+    ``ns(m1,m2) = Σ_i w_i·ns(T1i,T2i)·(|T1i|+|T2i|) / Σ_i
+    w_i·(|T1i|+|T2i|)``
+
+    This matches the printed formula when all five types are populated
+    and degrades gracefully when a type is absent from both names.
+    Content and concept tokens carry higher ``w_i`` (Section 5.3).
+    """
+    numerator = 0.0
+    denominator = 0.0
+    for token_type, weight in config.token_type_weights.items():
+        t1 = name1.tokens_of_type(token_type)
+        t2 = name2.tokens_of_type(token_type)
+        count = len(t1) + len(t2)
+        if count == 0 or weight == 0.0:
+            continue
+        denominator += weight * count
+        if t1 and t2:
+            per_type = token_set_similarity(t1, t2, thesaurus, config)
+            numerator += weight * per_type * count
+        # If only one side has tokens of this type, those tokens have no
+        # counterpart: they contribute weight (penalty) but 0 similarity.
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,84 @@
+"""Name tokenization (Section 5.1, "Tokenization").
+
+"The names are parsed into tokens by a customizable tokenizer using
+punctuation, upper case, special symbols, digits, etc.
+E.g. POLines -> {PO, Lines}."
+
+The tokenizer handles the naming conventions that occur in the paper's
+schemas: CamelCase (``UnitOfMeasure``), embedded acronyms (``POLines``
+→ ``PO`` + ``Lines``), digits (``Street4`` → ``Street`` + ``4``),
+punctuation/underscores (``Customer_Number``, ``e-mail``), and special
+symbols (``#``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+#: Characters treated as special-symbol tokens in their own right.
+_SPECIAL_CHARS = set("#$%&@*+!?")
+
+#: Split points: non-alphanumeric runs are separators, except the
+#: special symbols above, which are kept as tokens.
+_SEPARATOR_RE = re.compile(r"[^A-Za-z0-9#$%&@*+!?]+")
+
+#: Case/digit transitions inside an alphanumeric word:
+#:   lower→Upper    (poLines   → po | Lines)
+#:   ACRONYMWord    (POLines   → PO | Lines)
+#:   letter→digit   (Street4   → Street | 4)
+#:   digit→letter   (4thStreet → 4 | thStreet)
+_CAMEL_RE = re.compile(
+    r"""
+    [A-Z]+(?=[A-Z][a-z])   # acronym followed by a capitalized word
+    | [A-Z]?[a-z]+          # capitalized or lowercase word
+    | [A-Z]+                # trailing acronym
+    | [0-9]+                # digit run
+    """,
+    re.VERBOSE,
+)
+
+
+def split_camel(word: str) -> List[str]:
+    """Split one alphanumeric word on case and digit transitions."""
+    return _CAMEL_RE.findall(word)
+
+
+def tokenize(name: str) -> List[str]:
+    """Split a raw element name into lower-cased token strings.
+
+    >>> tokenize("POLines")
+    ['po', 'lines']
+    >>> tokenize("Customer_Number")
+    ['customer', 'number']
+    >>> tokenize("Street4")
+    ['street', '4']
+    >>> tokenize("Item#")
+    ['item', '#']
+    """
+    if not name:
+        return []
+    tokens: List[str] = []
+    # Separate out special-symbol characters first so "#": survives.
+    pieces: List[str] = []
+    current = []
+    for ch in name:
+        if ch in _SPECIAL_CHARS:
+            if current:
+                pieces.append("".join(current))
+                current = []
+            pieces.append(ch)
+        else:
+            current.append(ch)
+    if current:
+        pieces.append("".join(current))
+
+    for piece in pieces:
+        if piece in _SPECIAL_CHARS:
+            tokens.append(piece)
+            continue
+        for word in _SEPARATOR_RE.split(piece):
+            if not word:
+                continue
+            tokens.extend(part.lower() for part in split_camel(word))
+    return tokens

@@ -1,0 +1,53 @@
+"""Token model for linguistic matching (Section 5.1).
+
+"Each name token is also marked as being one of five token types:
+number, special symbol (e.g. #), common word (prepositions and
+conjunctions), concept (as explained earlier) or content (all the
+rest)."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """The five token types of Section 5.1."""
+
+    NUMBER = "number"
+    SPECIAL = "special"
+    COMMON = "common"
+    CONCEPT = "concept"
+    CONTENT = "content"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TokenType.{self.name}"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A normalized name token.
+
+    ``text`` is the lower-cased (possibly expanded) token string;
+    ``token_type`` is its Section 5.1 classification; ``ignored`` marks
+    articles/prepositions/conjunctions that the Elimination step flags
+    ("marked to be ignored during comparison").
+    """
+
+    text: str
+    token_type: TokenType = TokenType.CONTENT
+    ignored: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("tokens must have non-empty text")
+
+    def with_type(self, token_type: TokenType) -> "Token":
+        return Token(self.text, token_type, self.ignored)
+
+    def mark_ignored(self) -> "Token":
+        return Token(self.text, self.token_type, True)
+
+    def __str__(self) -> str:
+        return self.text

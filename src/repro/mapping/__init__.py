@@ -1,0 +1,13 @@
+"""Mappings and mapping generation (paper Sections 2 and 7)."""
+
+from repro.mapping.mapping import Mapping, MappingElement
+from repro.mapping.generator import MappingGenerator
+from repro.mapping.assignment import greedy_one_to_one, hungarian_one_to_one
+
+__all__ = [
+    "Mapping",
+    "MappingElement",
+    "MappingGenerator",
+    "greedy_one_to_one",
+    "hungarian_one_to_one",
+]

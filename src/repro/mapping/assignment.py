@@ -1,0 +1,80 @@
+"""1:1 mapping extraction (paper Section 7).
+
+"Query Discovery might require a 1:1 mapping instead of the 1:n mapping
+returned by the naïve scheme above. Such requirements need to be
+captured by a ... tool-specific mapping-generator that takes the
+computed similarities as input."
+
+Two extractors over a 1:n mapping's candidate set:
+
+* :func:`greedy_one_to_one` — pick elements in descending similarity,
+  skipping any whose source or target is already used (stable,
+  dependency-free).
+* :func:`hungarian_one_to_one` — optimal assignment maximizing total
+  similarity via ``scipy.optimize.linear_sum_assignment``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.mapping.mapping import Mapping, MappingElement
+
+
+def greedy_one_to_one(mapping: Mapping) -> Mapping:
+    """Greedy maximum-weight matching over the mapping's elements."""
+    result = Mapping(mapping.source_schema_name, mapping.target_schema_name)
+    used_sources: Set[str] = set()
+    used_targets: Set[str] = set()
+    for element in mapping.sorted_by_similarity():
+        source_key = ".".join(element.source_path)
+        target_key = ".".join(element.target_path)
+        if source_key in used_sources or target_key in used_targets:
+            continue
+        used_sources.add(source_key)
+        used_targets.add(target_key)
+        result.add(element)
+    return result
+
+
+def hungarian_one_to_one(mapping: Mapping) -> Mapping:
+    """Optimal 1:1 extraction (requires scipy).
+
+    Builds the dense similarity matrix over the mapping's distinct
+    source/target paths (absent pairs are 0) and solves the linear sum
+    assignment problem for maximum total similarity. Assignments with
+    zero similarity are dropped.
+    """
+    try:
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+    except ImportError as exc:  # pragma: no cover - environment-specific
+        raise ImportError(
+            "hungarian_one_to_one requires numpy and scipy; "
+            "use greedy_one_to_one instead"
+        ) from exc
+
+    sources: List[str] = sorted({".".join(e.source_path) for e in mapping})
+    targets: List[str] = sorted({".".join(e.target_path) for e in mapping})
+    if not sources or not targets:
+        return Mapping(mapping.source_schema_name, mapping.target_schema_name)
+
+    source_index = {path: i for i, path in enumerate(sources)}
+    target_index = {path: j for j, path in enumerate(targets)}
+    best_element: Dict[Tuple[int, int], MappingElement] = {}
+
+    matrix = np.zeros((len(sources), len(targets)))
+    for element in mapping:
+        i = source_index[".".join(element.source_path)]
+        j = target_index[".".join(element.target_path)]
+        if element.similarity > matrix[i, j]:
+            matrix[i, j] = element.similarity
+            best_element[(i, j)] = element
+
+    rows, cols = linear_sum_assignment(matrix, maximize=True)
+    result = Mapping(mapping.source_schema_name, mapping.target_schema_name)
+    for i, j in zip(rows, cols):
+        element = best_element.get((i, j))
+        if element is not None and matrix[i, j] > 0:
+            result.add(element)
+    return result

@@ -1,0 +1,87 @@
+"""Mapping reuse: inversion and composition.
+
+The taxonomy (Section 3) lists reuse of past match information:
+"Reusing past match information can also help, for example, to compute
+a mapping that is the composition of mappings that were performed
+earlier." Since Cupid's mappings are non-directional (Section 2),
+inversion is lossless; composition chains A→B and B→C through shared
+B-side paths with multiplicative confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import MappingError
+from repro.mapping.mapping import Mapping, MappingElement
+
+
+def invert_mapping(mapping: Mapping) -> Mapping:
+    """Swap source and target sides ("we treat mappings as
+    non-directional")."""
+    inverted = Mapping(mapping.target_schema_name, mapping.source_schema_name)
+    for element in mapping:
+        inverted.add(
+            MappingElement(
+                source_path=element.target_path,
+                target_path=element.source_path,
+                similarity=element.similarity,
+                source_node=element.target_node,
+                target_node=element.source_node,
+            )
+        )
+    return inverted
+
+
+def compose_mappings(
+    first: Mapping,
+    second: Mapping,
+    min_similarity: float = 0.0,
+) -> Mapping:
+    """Compose A→B with B→C into A→C.
+
+    Elements join on exact B-side paths; composite similarity is the
+    product of the two links (both must hold for the composite to
+    hold). Pairs reachable through several intermediates keep their
+    strongest composite. Raises :class:`MappingError` when the shared
+    schema names disagree, which catches accidental mis-chaining.
+    """
+    if first.target_schema_name != second.source_schema_name:
+        raise MappingError(
+            f"cannot compose: first maps into "
+            f"{first.target_schema_name!r} but second maps from "
+            f"{second.source_schema_name!r}"
+        )
+    by_b: Dict[str, List[MappingElement]] = {}
+    for element in second:
+        by_b.setdefault(".".join(element.source_path), []).append(element)
+
+    best: Dict[Tuple[str, str], MappingElement] = {}
+    for left in first:
+        b_key = ".".join(left.target_path)
+        for right in by_b.get(b_key, []):
+            similarity = left.similarity * right.similarity
+            if similarity < min_similarity:
+                continue
+            key = (
+                ".".join(left.source_path),
+                ".".join(right.target_path),
+            )
+            current = best.get(key)
+            if current is None or similarity > current.similarity:
+                best[key] = MappingElement(
+                    source_path=left.source_path,
+                    target_path=right.target_path,
+                    similarity=similarity,
+                    source_node=left.source_node,
+                    target_node=right.target_node,
+                )
+
+    composed = Mapping(
+        first.source_schema_name, second.target_schema_name
+    )
+    for element in sorted(
+        best.values(), key=lambda e: (-e.similarity, e.path_pair())
+    ):
+        composed.add(element)
+    return composed

@@ -1,0 +1,108 @@
+"""Hierarchical mapping structure (paper Section 7).
+
+"A further step would be to enrich the structure of the map itself.
+For example, the mapping element between two XML-elements e1 and e2
+would have as its sub-elements the mapping elements between matching
+XML-attributes of e1 and e2. Such a mapping would be consistent with
+the vision of model management ... which proposed treating both
+schemas and mappings as similar objects (models). However, we defer
+such treatment to future work."
+
+This module implements that future work: a :class:`HierarchicalMapping`
+nests each leaf correspondence under the deepest non-leaf
+correspondence whose endpoints contain it on both sides, turning the
+flat list into a mapping *model*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapping.mapping import Mapping, MappingElement
+
+
+@dataclass
+class MappingNode:
+    """One correspondence with its nested sub-correspondences."""
+
+    element: MappingElement
+    children: List["MappingNode"] = field(default_factory=list)
+
+    def iter_depth_first(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_depth_first()
+
+    def render(self, indent: int = 0) -> str:
+        lines = [("  " * indent) + str(self.element)]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class HierarchicalMapping:
+    """A forest of nested mapping elements."""
+
+    def __init__(self, roots: List[MappingNode]) -> None:
+        self.roots = roots
+
+    def __len__(self) -> int:
+        return sum(1 for root in self.roots for _ in root.iter_depth_first())
+
+    def render(self) -> str:
+        return "\n".join(root.render() for root in self.roots)
+
+    def find(self, source_path: str, target_path: str) -> Optional[MappingNode]:
+        for root in self.roots:
+            for node in root.iter_depth_first():
+                if node.element.path_pair() == (source_path, target_path):
+                    return node
+        return None
+
+
+def _is_prefix_or_equal(
+    prefix: Tuple[str, ...], path: Tuple[str, ...]
+) -> bool:
+    return len(prefix) <= len(path) and path[: len(prefix)] == prefix
+
+
+def build_hierarchical_mapping(
+    nonleaf: Mapping, leaf: Mapping
+) -> HierarchicalMapping:
+    """Nest correspondences by containment on both sides.
+
+    A correspondence (s2, t2) becomes a child of (s1, t1) when s1 is a
+    path prefix of s2 and t1 of t2 — strictly deeper on at least one
+    side (1:n mappings legitimately share a source path, e.g. POBillTo
+    mapping to both InvoiceTo and InvoiceTo.Address) — and no deeper
+    such parent exists. Orphans become roots.
+    """
+    all_elements = list(nonleaf) + list(leaf)
+    nodes = [MappingNode(element) for element in all_elements]
+
+    def depth(node: MappingNode) -> int:
+        return len(node.element.source_path) + len(node.element.target_path)
+
+    roots: List[MappingNode] = []
+    for node in nodes:
+        best_parent: Optional[MappingNode] = None
+        for candidate in nodes:
+            if candidate is node or depth(candidate) >= depth(node):
+                continue
+            if _is_prefix_or_equal(
+                candidate.element.source_path, node.element.source_path
+            ) and _is_prefix_or_equal(
+                candidate.element.target_path, node.element.target_path
+            ):
+                if best_parent is None or depth(candidate) > depth(best_parent):
+                    best_parent = candidate
+        if best_parent is None:
+            roots.append(node)
+        else:
+            best_parent.children.append(node)
+
+    for node in nodes:
+        node.children.sort(key=lambda n: n.element.path_pair())
+    roots.sort(key=lambda n: n.element.path_pair())
+    return HierarchicalMapping(roots)

@@ -1,0 +1,130 @@
+"""Mappings — the output of Match (paper Section 2).
+
+"A mapping consists of a set of mapping elements, each of which
+indicates that certain elements of schema S1 are related to certain
+elements of schema S2." Because Cupid matches schema *tree* nodes, a
+mapping element carries full context paths ("the resulting output
+mappings identify similar elements, qualified by contexts",
+Section 8.2), plus the similarity score that justified it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import MappingError
+from repro.tree.schema_tree import SchemaTreeNode
+
+
+@dataclass(frozen=True)
+class MappingElement:
+    """One correspondence between a source and a target tree node."""
+
+    source_path: Tuple[str, ...]
+    target_path: Tuple[str, ...]
+    similarity: float
+    source_node: Optional[SchemaTreeNode] = None
+    target_node: Optional[SchemaTreeNode] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity <= 1.0:
+            raise MappingError(
+                f"mapping similarity {self.similarity} outside [0, 1]"
+            )
+        if not self.source_path or not self.target_path:
+            raise MappingError("mapping elements need non-empty paths")
+
+    @property
+    def source_name(self) -> str:
+        return self.source_path[-1]
+
+    @property
+    def target_name(self) -> str:
+        return self.target_path[-1]
+
+    def name_pair(self) -> Tuple[str, str]:
+        return (self.source_name, self.target_name)
+
+    def path_pair(self) -> Tuple[str, str]:
+        return (".".join(self.source_path), ".".join(self.target_path))
+
+    def __str__(self) -> str:
+        return (
+            f"{'.'.join(self.source_path)} -> {'.'.join(self.target_path)} "
+            f"({self.similarity:.3f})"
+        )
+
+
+class Mapping:
+    """An ordered collection of mapping elements with lookup helpers."""
+
+    def __init__(
+        self,
+        source_schema_name: str,
+        target_schema_name: str,
+        elements: Optional[Sequence[MappingElement]] = None,
+    ) -> None:
+        self.source_schema_name = source_schema_name
+        self.target_schema_name = target_schema_name
+        self._elements: List[MappingElement] = list(elements or [])
+
+    def add(self, element: MappingElement) -> None:
+        self._elements.append(element)
+
+    @property
+    def elements(self) -> List[MappingElement]:
+        return list(self._elements)
+
+    def __iter__(self) -> Iterator[MappingElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def path_pairs(self) -> Set[Tuple[str, str]]:
+        """All (source path, target path) string pairs."""
+        return {e.path_pair() for e in self._elements}
+
+    def name_pairs(self) -> Set[Tuple[str, str]]:
+        """All (source name, target name) pairs (context dropped)."""
+        return {e.name_pair() for e in self._elements}
+
+    def targets_of(self, source_path: str) -> List[MappingElement]:
+        return [
+            e for e in self._elements
+            if ".".join(e.source_path) == source_path
+        ]
+
+    def sources_of(self, target_path: str) -> List[MappingElement]:
+        return [
+            e for e in self._elements
+            if ".".join(e.target_path) == target_path
+        ]
+
+    def best_per_target(self) -> Dict[str, MappingElement]:
+        """Highest-similarity element per target path."""
+        best: Dict[str, MappingElement] = {}
+        for element in self._elements:
+            key = ".".join(element.target_path)
+            current = best.get(key)
+            if current is None or element.similarity > current.similarity:
+                best[key] = element
+        return best
+
+    def sorted_by_similarity(self) -> List[MappingElement]:
+        return sorted(
+            self._elements, key=lambda e: (-e.similarity, e.path_pair())
+        )
+
+    def is_one_to_one(self) -> bool:
+        """True if no source or target path appears twice."""
+        sources = [".".join(e.source_path) for e in self._elements]
+        targets = [".".join(e.target_path) for e in self._elements]
+        return len(set(sources)) == len(sources) and len(set(targets)) == len(targets)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Mapping {self.source_schema_name!r} -> "
+            f"{self.target_schema_name!r}: {len(self)} elements>"
+        )

@@ -1,0 +1,34 @@
+"""Generic schema model (paper Sections 2 and 8.1).
+
+A schema is a rooted graph of :class:`~repro.model.element.SchemaElement`
+nodes connected by containment, aggregation, IsDerivedFrom, and reference
+relationships. Referential constraints are reified as RefInt elements
+(Figure 5 of the paper). This package is the substrate every other part
+of the library builds on.
+"""
+
+from repro.model.datatypes import (
+    BROAD_CLASS,
+    DataType,
+    TypeCompatibilityTable,
+    default_compatibility_table,
+)
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.relationships import Relationship, RelationshipKind
+from repro.model.schema import Schema
+from repro.model.builder import SchemaBuilder
+from repro.model.validation import validate_schema
+
+__all__ = [
+    "BROAD_CLASS",
+    "DataType",
+    "ElementKind",
+    "Relationship",
+    "RelationshipKind",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaElement",
+    "TypeCompatibilityTable",
+    "default_compatibility_table",
+    "validate_schema",
+]

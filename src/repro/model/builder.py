@@ -1,0 +1,181 @@
+"""Fluent construction of schemas.
+
+Datasets and tests build many small schemas; doing that through raw
+``add_element`` / ``add_containment`` calls is noisy. ``SchemaBuilder``
+offers a compact nested-dict / helper-method surface while still going
+through the :class:`~repro.model.schema.Schema` invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError
+from repro.model.datatypes import DataType, parse_data_type
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+#: Shorthand accepted for leaf specs: a DataType, a type-name string
+#: ("varchar(40)"), or None for untyped leaves.
+TypeSpec = Union[DataType, str, None]
+
+#: A nested tree spec: {"Name": subtree | TypeSpec}.
+TreeSpec = Dict[str, Union["TreeSpec", TypeSpec]]
+
+
+def _coerce_type(spec: TypeSpec) -> Optional[DataType]:
+    if spec is None or isinstance(spec, DataType):
+        return spec
+    return parse_data_type(spec)
+
+
+class SchemaBuilder:
+    """Builds a :class:`Schema` incrementally.
+
+    Example
+    -------
+    >>> builder = SchemaBuilder("PO")
+    >>> lines = builder.add_child(builder.root, "POLines")
+    >>> item = builder.add_child(lines, "Item")
+    >>> _ = builder.add_leaf(item, "Qty", "integer")
+    >>> schema = builder.schema
+    """
+
+    def __init__(
+        self, name: str, root_kind: ElementKind = ElementKind.SCHEMA
+    ) -> None:
+        self.schema = Schema(name, root_kind=root_kind)
+
+    @property
+    def root(self) -> SchemaElement:
+        return self.schema.root
+
+    # ------------------------------------------------------------------
+    # Incremental API
+    # ------------------------------------------------------------------
+
+    def add_child(
+        self,
+        parent: SchemaElement,
+        name: str,
+        kind: ElementKind = ElementKind.XML_ELEMENT,
+        optional: bool = False,
+        description: str = "",
+    ) -> SchemaElement:
+        """Add a structural (non-atomic) element contained by ``parent``."""
+        element = SchemaElement(
+            name=name, kind=kind, optional=optional, description=description
+        )
+        self.schema.add_element(element)
+        self.schema.add_containment(parent, element)
+        return element
+
+    def add_leaf(
+        self,
+        parent: SchemaElement,
+        name: str,
+        data_type: TypeSpec = None,
+        kind: ElementKind = ElementKind.XML_ATTRIBUTE,
+        optional: bool = False,
+        is_key: bool = False,
+        description: str = "",
+    ) -> SchemaElement:
+        """Add an atomic element contained by ``parent``."""
+        element = SchemaElement(
+            name=name,
+            kind=kind,
+            data_type=_coerce_type(data_type) or DataType.ANY,
+            optional=optional,
+            is_key=is_key,
+            description=description,
+        )
+        self.schema.add_element(element)
+        self.schema.add_containment(parent, element)
+        return element
+
+    def add_shared_type(
+        self,
+        name: str,
+        kind: ElementKind = ElementKind.TYPE,
+    ) -> SchemaElement:
+        """Add a free-standing type element (target of IsDerivedFrom).
+
+        Shared types hang off the root by containment so the schema
+        stays rooted, but are marked *not instantiated* so tree
+        expansion does not materialize them in place — only through the
+        elements that derive from them.
+        """
+        element = SchemaElement(name=name, kind=kind, not_instantiated=True)
+        self.schema.add_element(element)
+        self.schema.add_containment(self.schema.root, element)
+        return element
+
+    def derive_from(self, element: SchemaElement, base: SchemaElement) -> None:
+        self.schema.add_is_derived_from(element, base)
+
+    # ------------------------------------------------------------------
+    # Declarative API
+    # ------------------------------------------------------------------
+
+    def add_tree(
+        self,
+        parent: SchemaElement,
+        spec: TreeSpec,
+        element_kind: ElementKind = ElementKind.XML_ELEMENT,
+        leaf_kind: ElementKind = ElementKind.XML_ATTRIBUTE,
+    ) -> List[SchemaElement]:
+        """Materialize a nested-dict tree spec under ``parent``.
+
+        Dict values are subtrees; ``DataType``/str/None values are
+        leaves. Returns the elements created at the top level of the
+        spec, in order.
+        """
+        created: List[SchemaElement] = []
+        for name, sub in spec.items():
+            if isinstance(sub, dict):
+                node = self.add_child(parent, name, kind=element_kind)
+                self.add_tree(
+                    node, sub, element_kind=element_kind, leaf_kind=leaf_kind
+                )
+            else:
+                node = self.add_leaf(parent, name, sub, kind=leaf_kind)
+            created.append(node)
+        return created
+
+    def find(self, *path: str) -> SchemaElement:
+        """Resolve an element by containment path from the root.
+
+        ``find("POLines", "Item", "Qty")`` walks name-by-name. Raises
+        :class:`SchemaError` if a step is missing or ambiguous.
+        """
+        node = self.schema.root
+        for step in path:
+            matches = [
+                child
+                for child in self.schema.contained_children(node)
+                if child.name == step
+            ]
+            if not matches:
+                raise SchemaError(
+                    f"no child {step!r} under {node.name!r} in {self.schema.name!r}"
+                )
+            if len(matches) > 1:
+                raise SchemaError(
+                    f"ambiguous child {step!r} under {node.name!r}"
+                )
+            node = matches[0]
+        return node
+
+
+def schema_from_tree(
+    name: str,
+    spec: TreeSpec,
+    element_kind: ElementKind = ElementKind.XML_ELEMENT,
+    leaf_kind: ElementKind = ElementKind.XML_ATTRIBUTE,
+) -> Schema:
+    """One-shot helper: build a whole schema from a nested-dict spec."""
+    builder = SchemaBuilder(name)
+    builder.add_tree(
+        builder.root, spec, element_kind=element_kind, leaf_kind=leaf_kind
+    )
+    return builder.schema

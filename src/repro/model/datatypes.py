@@ -1,0 +1,217 @@
+"""Data types and the data-type compatibility table.
+
+The paper initializes the structural similarity of two leaves to the
+*type compatibility* of their data types, "a lookup in a compatibility
+table" with values in [0, 0.5] where identical types score 0.5
+(Section 6). The table here is the tunable equivalent of the one the
+Cupid prototype shipped with ("accessible and tunable in the case of
+Cupid", Section 9.1 example 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+class DataType(enum.Enum):
+    """Canonical data types used by schema elements.
+
+    Importers map concrete SQL / XML type names onto these canonical
+    types via :func:`parse_data_type`.
+    """
+
+    STRING = "string"
+    TEXT = "text"
+    CHAR = "char"
+    INTEGER = "integer"
+    SMALLINT = "smallint"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    FLOAT = "float"
+    MONEY = "money"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    TIME = "time"
+    DATETIME = "datetime"
+    BINARY = "binary"
+    IDENTIFIER = "identifier"
+    ENUM = "enum"
+    ANY = "any"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType.{self.name}"
+
+
+#: Broad classes used for category formation (Section 5.2: "a category
+#: for each broad data type, e.g. all elements with a numeric data type
+#: are grouped together").
+BROAD_CLASS: Mapping[DataType, str] = {
+    DataType.STRING: "Text",
+    DataType.TEXT: "Text",
+    DataType.CHAR: "Text",
+    DataType.INTEGER: "Number",
+    DataType.SMALLINT: "Number",
+    DataType.BIGINT: "Number",
+    DataType.DECIMAL: "Number",
+    DataType.FLOAT: "Number",
+    DataType.MONEY: "Number",
+    DataType.BOOLEAN: "Boolean",
+    DataType.DATE: "Temporal",
+    DataType.TIME: "Temporal",
+    DataType.DATETIME: "Temporal",
+    DataType.BINARY: "Binary",
+    DataType.IDENTIFIER: "Identifier",
+    DataType.ENUM: "Text",
+    DataType.ANY: "Any",
+}
+
+
+_SQL_TYPE_ALIASES: Mapping[str, DataType] = {
+    "varchar": DataType.STRING,
+    "nvarchar": DataType.STRING,
+    "string": DataType.STRING,
+    "text": DataType.TEXT,
+    "clob": DataType.TEXT,
+    "char": DataType.CHAR,
+    "nchar": DataType.CHAR,
+    "int": DataType.INTEGER,
+    "integer": DataType.INTEGER,
+    "smallint": DataType.SMALLINT,
+    "tinyint": DataType.SMALLINT,
+    "bigint": DataType.BIGINT,
+    "long": DataType.BIGINT,
+    "decimal": DataType.DECIMAL,
+    "numeric": DataType.DECIMAL,
+    "number": DataType.DECIMAL,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "money": DataType.MONEY,
+    "currency": DataType.MONEY,
+    "bool": DataType.BOOLEAN,
+    "boolean": DataType.BOOLEAN,
+    "bit": DataType.BOOLEAN,
+    "date": DataType.DATE,
+    "time": DataType.TIME,
+    "datetime": DataType.DATETIME,
+    "timestamp": DataType.DATETIME,
+    "binary": DataType.BINARY,
+    "varbinary": DataType.BINARY,
+    "blob": DataType.BINARY,
+    "id": DataType.IDENTIFIER,
+    "idref": DataType.IDENTIFIER,
+    "identifier": DataType.IDENTIFIER,
+    "guid": DataType.IDENTIFIER,
+    "uuid": DataType.IDENTIFIER,
+    "enum": DataType.ENUM,
+    "any": DataType.ANY,
+}
+
+
+def parse_data_type(name: str) -> DataType:
+    """Map a concrete type name (e.g. ``VARCHAR(40)``) to a canonical type.
+
+    Unknown names fall back to :attr:`DataType.ANY` rather than failing;
+    a matcher should degrade, not crash, on exotic types.
+    """
+    base = name.strip().lower()
+    if "(" in base:
+        base = base[: base.index("(")].strip()
+    return _SQL_TYPE_ALIASES.get(base, DataType.ANY)
+
+
+class TypeCompatibilityTable:
+    """Symmetric lookup table of data-type compatibility in [0, 0.5].
+
+    Identical types score ``identical`` (default 0.5, the paper's
+    maximum, chosen so structural-similarity increases still have
+    headroom). Types in the same broad class score ``same_class``;
+    convertible cross-class pairs get explicit entries; everything else
+    scores ``default``.
+    """
+
+    def __init__(
+        self,
+        identical: float = 0.5,
+        same_class: float = 0.4,
+        default: float = 0.15,
+        overrides: Optional[Mapping[Tuple[DataType, DataType], float]] = None,
+    ) -> None:
+        if not 0.0 <= default <= same_class <= identical <= 0.5:
+            raise ValueError(
+                "compatibility scores must satisfy "
+                "0 <= default <= same_class <= identical <= 0.5"
+            )
+        self.identical = identical
+        self.same_class = same_class
+        self.default = default
+        self._overrides: Dict[Tuple[DataType, DataType], float] = {}
+        for (a, b), score in (overrides or {}).items():
+            self.set(a, b, score)
+
+    def set(self, a: DataType, b: DataType, score: float) -> None:
+        """Register a symmetric override for the pair ``(a, b)``."""
+        if not 0.0 <= score <= 0.5:
+            raise ValueError(f"compatibility score {score} outside [0, 0.5]")
+        self._overrides[(a, b)] = score
+        self._overrides[(b, a)] = score
+
+    def compatibility(self, a: Optional[DataType], b: Optional[DataType]) -> float:
+        """Return the compatibility of two (possibly missing) data types.
+
+        Elements without a declared type (inner nodes promoted to leaves
+        by pruning, XML elements with element-only content) compare as
+        :attr:`DataType.ANY`.
+        """
+        a = a or DataType.ANY
+        b = b or DataType.ANY
+        if a is b:
+            return self.identical
+        override = self._overrides.get((a, b))
+        if override is not None:
+            return override
+        if DataType.ANY in (a, b):
+            # An untyped element is weakly compatible with everything.
+            return self.same_class * 0.75
+        if BROAD_CLASS[a] == BROAD_CLASS[b]:
+            return self.same_class
+        return self.default
+
+    def items(self) -> Iterable[Tuple[Tuple[DataType, DataType], float]]:
+        """Iterate over explicit overrides (for serialization/tests)."""
+        return self._overrides.items()
+
+
+def default_compatibility_table() -> TypeCompatibilityTable:
+    """Build the default table with common convertible-pair overrides.
+
+    The overrides capture conversions any data-translation runtime can
+    do losslessly or near-losslessly (int→decimal, char→string, string
+    holding a number, identifier↔integer surrogate keys, ...).
+    """
+    table = TypeCompatibilityTable()
+    convertible = [
+        (DataType.INTEGER, DataType.DECIMAL, 0.45),
+        (DataType.INTEGER, DataType.FLOAT, 0.4),
+        (DataType.SMALLINT, DataType.INTEGER, 0.45),
+        (DataType.INTEGER, DataType.BIGINT, 0.45),
+        (DataType.DECIMAL, DataType.MONEY, 0.45),
+        (DataType.FLOAT, DataType.DECIMAL, 0.45),
+        (DataType.CHAR, DataType.STRING, 0.45),
+        (DataType.STRING, DataType.TEXT, 0.45),
+        (DataType.STRING, DataType.ENUM, 0.4),
+        (DataType.DATE, DataType.DATETIME, 0.45),
+        (DataType.TIME, DataType.DATETIME, 0.4),
+        (DataType.IDENTIFIER, DataType.INTEGER, 0.35),
+        (DataType.IDENTIFIER, DataType.STRING, 0.35),
+        # A string column can always hold a rendered number or date;
+        # the reverse is lossy, hence the low-but-nonzero scores.
+        (DataType.STRING, DataType.INTEGER, 0.25),
+        (DataType.STRING, DataType.DECIMAL, 0.25),
+        (DataType.STRING, DataType.DATE, 0.2),
+        (DataType.STRING, DataType.DATETIME, 0.2),
+    ]
+    for a, b, score in convertible:
+        table.set(a, b, score)
+    return table

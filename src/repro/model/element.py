@@ -1,0 +1,134 @@
+"""Schema elements — the nodes of the generic schema graph (Section 8.1).
+
+"In a relational schema, the elements are tables, columns, user-defined
+types, keys, etc. In an XML schema the elements are XML elements and
+attributes." Every node carries the metadata the matcher consumes: a
+name, a data type, optionality, key-ness, and the *not-instantiated*
+flag used by schema-tree construction to skip structural artifacts such
+as keys (Section 8.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.model.datatypes import DataType
+
+
+class ElementKind(enum.Enum):
+    """What role an element plays in its source data model.
+
+    The kind never affects the matching math directly (Cupid is generic
+    across data models); it feeds categorization keywords, importer
+    bookkeeping, and report rendering.
+    """
+
+    SCHEMA = "schema"
+    TABLE = "table"
+    COLUMN = "column"
+    XML_ELEMENT = "xml_element"
+    XML_ATTRIBUTE = "xml_attribute"
+    CLASS = "class"
+    ATTRIBUTE = "attribute"
+    ENTITY = "entity"
+    RELATIONSHIP = "relationship"
+    TYPE = "type"
+    KEY = "key"
+    REFINT = "refint"
+    VIEW = "view"
+    JOIN_VIEW = "join_view"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ElementKind.{self.name}"
+
+
+_id_counter = itertools.count(1)
+
+
+def _next_element_id() -> str:
+    return f"e{next(_id_counter)}"
+
+
+@dataclass(eq=False)
+class SchemaElement:
+    """A node of a schema graph.
+
+    Parameters
+    ----------
+    name:
+        The element's declared name. Linguistic matching runs on this.
+    kind:
+        Role in the source model (table, column, XML element, ...).
+    data_type:
+        Canonical data type for atomic elements; ``None`` for structural
+        elements (tables, complex XML elements, classes).
+    optional:
+        True for non-required elements (e.g. optional XML attributes).
+        Optional leaves are discounted by structural matching (§8.4).
+    is_key:
+        True for key/unique elements; importers set this from PRIMARY
+        KEY / ID declarations.
+    not_instantiated:
+        True for elements that should be skipped during schema-tree
+        construction (keys, RefInt scaffolding) — Figure 4.
+    description:
+        Free-text annotation (the paper lists using such annotations as
+        future work; we store them and expose them to the tokenizer).
+    element_id:
+        Unique id within a process; auto-generated when omitted.
+    """
+
+    name: str
+    kind: ElementKind = ElementKind.XML_ELEMENT
+    data_type: Optional[DataType] = None
+    optional: bool = False
+    is_key: bool = False
+    not_instantiated: bool = False
+    description: str = ""
+    element_id: str = field(default_factory=_next_element_id)
+
+    def __post_init__(self) -> None:
+        if not self.name and not self.not_instantiated:
+            raise ValueError("schema elements must have a non-empty name")
+
+    @property
+    def is_atomic(self) -> bool:
+        """True if this element carries a data type (i.e. holds data)."""
+        return self.data_type is not None
+
+    def clone(self, element_id: Optional[str] = None) -> "SchemaElement":
+        """Copy this element under a fresh (or given) id.
+
+        Used by schema-tree expansion, which makes "a private copy of
+        the subschema rooted at the target of each IsDerivedFrom"
+        (Section 8.2).
+        """
+        return SchemaElement(
+            name=self.name,
+            kind=self.kind,
+            data_type=self.data_type,
+            optional=self.optional,
+            is_key=self.is_key,
+            not_instantiated=self.not_instantiated,
+            description=self.description,
+            element_id=element_id or _next_element_id(),
+        )
+
+    def key(self) -> Tuple[str, str]:
+        """Hashable identity used by mappings: (element_id, name)."""
+        return (self.element_id, self.name)
+
+    def __hash__(self) -> int:
+        return hash(self.element_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SchemaElement):
+            return NotImplemented
+        return self.element_id == other.element_id
+
+    def __repr__(self) -> str:
+        type_part = f":{self.data_type.value}" if self.data_type else ""
+        return f"<{self.kind.value} {self.name}{type_part} #{self.element_id}>"

@@ -1,0 +1,69 @@
+"""Relationships between schema elements (Section 8.1).
+
+The paper's generic model interconnects elements with three relationship
+types — containment, aggregation, IsDerivedFrom — plus the *reference*
+relationship introduced for RefInt elements in Section 8.3:
+
+* **Containment** models physical containment: every element except the
+  root is contained by exactly one other element. Schema trees are
+  containment hierarchies.
+* **Aggregation** groups elements more weakly (multiple parents allowed,
+  no delete propagation): a compound key aggregates columns.
+* **IsDerivedFrom** abstracts IsA/IsTypeOf to model shared types; it
+  shortcuts containment (a type's members are implicitly members of the
+  deriving element).
+* **Reference** points from a RefInt element to the key it refers to
+  (Figure 5: a foreign key *aggregates* its source columns and
+  *references* the target primary key).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.model.element import SchemaElement
+
+
+class RelationshipKind(enum.Enum):
+    CONTAINMENT = "containment"
+    AGGREGATION = "aggregation"
+    IS_DERIVED_FROM = "is_derived_from"
+    REFERENCE = "reference"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelationshipKind.{self.name}"
+
+
+#: Relationship kinds that are followed when expanding a schema graph
+#: into a schema tree (Figure 4 follows "containment or isDerivedFrom").
+TREE_KINDS = frozenset(
+    {RelationshipKind.CONTAINMENT, RelationshipKind.IS_DERIVED_FROM}
+)
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A directed, typed edge ``source --kind--> target``.
+
+    For containment and aggregation, ``source`` is the container/group
+    and ``target`` the member. For IsDerivedFrom, ``source`` is the
+    deriving element and ``target`` the type it derives from. For
+    reference, ``source`` is the RefInt element and ``target`` the
+    referenced key.
+    """
+
+    source: SchemaElement
+    target: SchemaElement
+    kind: RelationshipKind
+
+    def __post_init__(self) -> None:
+        if self.source is self.target:
+            raise ValueError(
+                f"self-relationship on {self.source!r} is not allowed"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.source.name} --{self.kind.value}--> {self.target.name}>"
+        )

@@ -1,0 +1,289 @@
+"""The Schema class — a rooted graph of elements (Sections 2 and 8.1).
+
+A :class:`Schema` owns a set of elements and the typed relationships
+between them, enforces the model invariants (single containment parent,
+single root, endpoints registered), and offers the graph navigation the
+rest of the pipeline relies on (children, parents, leaves, traversals,
+topological orders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.exceptions import (
+    DuplicateElementError,
+    SchemaError,
+    UnknownElementError,
+)
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.relationships import (
+    Relationship,
+    RelationshipKind,
+    TREE_KINDS,
+)
+
+
+class Schema:
+    """A named, rooted schema graph.
+
+    The root element is created by the constructor; every other element
+    is attached with :meth:`add_element` plus one of the ``add_*``
+    relationship methods (or through :class:`repro.model.SchemaBuilder`).
+    """
+
+    def __init__(self, name: str, root_kind: ElementKind = ElementKind.SCHEMA) -> None:
+        if not name:
+            raise ValueError("schemas must have a non-empty name")
+        self.name = name
+        self._elements: Dict[str, SchemaElement] = {}
+        self._relationships: List[Relationship] = []
+        # Adjacency indexes, one per relationship kind, by element id.
+        self._out: Dict[RelationshipKind, Dict[str, List[SchemaElement]]] = {
+            kind: {} for kind in RelationshipKind
+        }
+        self._in: Dict[RelationshipKind, Dict[str, List[SchemaElement]]] = {
+            kind: {} for kind in RelationshipKind
+        }
+        self.root = SchemaElement(name=name, kind=root_kind)
+        self._register(self.root)
+
+    # ------------------------------------------------------------------
+    # Element management
+    # ------------------------------------------------------------------
+
+    def _register(self, element: SchemaElement) -> None:
+        if element.element_id in self._elements:
+            raise DuplicateElementError(
+                f"element id {element.element_id!r} already in schema {self.name!r}"
+            )
+        self._elements[element.element_id] = element
+
+    def add_element(self, element: SchemaElement) -> SchemaElement:
+        """Register a free-standing element (no relationships yet)."""
+        self._register(element)
+        return element
+
+    def has_element(self, element: SchemaElement) -> bool:
+        return self._elements.get(element.element_id) is element
+
+    def _require(self, element: SchemaElement) -> None:
+        if not self.has_element(element):
+            raise UnknownElementError(
+                f"{element!r} is not part of schema {self.name!r}"
+            )
+
+    @property
+    def elements(self) -> List[SchemaElement]:
+        """All elements, in registration order (root first)."""
+        return list(self._elements.values())
+
+    def element_by_id(self, element_id: str) -> SchemaElement:
+        try:
+            return self._elements[element_id]
+        except KeyError:
+            raise UnknownElementError(
+                f"no element with id {element_id!r} in schema {self.name!r}"
+            ) from None
+
+    def elements_named(self, name: str) -> List[SchemaElement]:
+        """All elements carrying ``name`` (names need not be unique)."""
+        return [e for e in self._elements.values() if e.name == name]
+
+    def element_named(self, name: str) -> SchemaElement:
+        """The unique element named ``name``; raises if absent/ambiguous."""
+        found = self.elements_named(name)
+        if not found:
+            raise UnknownElementError(
+                f"no element named {name!r} in schema {self.name!r}"
+            )
+        if len(found) > 1:
+            raise SchemaError(
+                f"{len(found)} elements named {name!r} in schema "
+                f"{self.name!r}; use element_by_id or paths"
+            )
+        return found[0]
+
+    # ------------------------------------------------------------------
+    # Relationship management
+    # ------------------------------------------------------------------
+
+    def _add_relationship(
+        self, source: SchemaElement, target: SchemaElement, kind: RelationshipKind
+    ) -> Relationship:
+        self._require(source)
+        self._require(target)
+        rel = Relationship(source=source, target=target, kind=kind)
+        self._relationships.append(rel)
+        self._out[kind].setdefault(source.element_id, []).append(target)
+        self._in[kind].setdefault(target.element_id, []).append(source)
+        return rel
+
+    def add_containment(
+        self, container: SchemaElement, member: SchemaElement
+    ) -> Relationship:
+        """Attach ``member`` under ``container``.
+
+        Enforces the model invariant that "each element (except the
+        root) is contained by exactly one other element".
+        """
+        if member is self.root:
+            raise SchemaError("the root element cannot be contained")
+        existing = self._in[RelationshipKind.CONTAINMENT].get(member.element_id)
+        if existing:
+            raise SchemaError(
+                f"{member!r} already contained by {existing[0]!r}; "
+                "containment allows exactly one parent"
+            )
+        return self._add_relationship(
+            container, member, RelationshipKind.CONTAINMENT
+        )
+
+    def add_aggregation(
+        self, group: SchemaElement, member: SchemaElement
+    ) -> Relationship:
+        """Group ``member`` under ``group`` (weak grouping, many parents)."""
+        return self._add_relationship(group, member, RelationshipKind.AGGREGATION)
+
+    def add_is_derived_from(
+        self, element: SchemaElement, base: SchemaElement
+    ) -> Relationship:
+        """Record that ``element`` IsDerivedFrom ``base`` (shared type)."""
+        return self._add_relationship(
+            element, base, RelationshipKind.IS_DERIVED_FROM
+        )
+
+    def add_reference(
+        self, refint: SchemaElement, target: SchemaElement
+    ) -> Relationship:
+        """Point a RefInt element at the key it references (Figure 5)."""
+        return self._add_relationship(refint, target, RelationshipKind.REFERENCE)
+
+    @property
+    def relationships(self) -> List[Relationship]:
+        return list(self._relationships)
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def contained_children(self, element: SchemaElement) -> List[SchemaElement]:
+        """Members attached to ``element`` by containment, in add order."""
+        return list(self._out[RelationshipKind.CONTAINMENT].get(element.element_id, []))
+
+    def container_of(self, element: SchemaElement) -> Optional[SchemaElement]:
+        parents = self._in[RelationshipKind.CONTAINMENT].get(element.element_id)
+        return parents[0] if parents else None
+
+    def derived_bases(self, element: SchemaElement) -> List[SchemaElement]:
+        """Types/supertypes ``element`` IsDerivedFrom."""
+        return list(
+            self._out[RelationshipKind.IS_DERIVED_FROM].get(element.element_id, [])
+        )
+
+    def deriving_elements(self, base: SchemaElement) -> List[SchemaElement]:
+        """Elements that IsDerivedFrom ``base`` (its type users)."""
+        return list(
+            self._in[RelationshipKind.IS_DERIVED_FROM].get(base.element_id, [])
+        )
+
+    def aggregated_members(self, group: SchemaElement) -> List[SchemaElement]:
+        return list(self._out[RelationshipKind.AGGREGATION].get(group.element_id, []))
+
+    def reference_targets(self, refint: SchemaElement) -> List[SchemaElement]:
+        return list(self._out[RelationshipKind.REFERENCE].get(refint.element_id, []))
+
+    def refint_elements(self) -> List[SchemaElement]:
+        """All reified referential constraints in this schema."""
+        return [e for e in self._elements.values() if e.kind is ElementKind.REFINT]
+
+    def tree_children(self, element: SchemaElement) -> List[SchemaElement]:
+        """Targets of outgoing containment *or* IsDerivedFrom edges.
+
+        This is the successor function Figure 4's construction follows.
+        """
+        children: List[SchemaElement] = []
+        for kind in (RelationshipKind.CONTAINMENT, RelationshipKind.IS_DERIVED_FROM):
+            children.extend(self._out[kind].get(element.element_id, []))
+        return children
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+
+    def iter_containment_preorder(
+        self, start: Optional[SchemaElement] = None
+    ) -> Iterator[SchemaElement]:
+        """Pre-order walk of the containment hierarchy from ``start``."""
+        stack = [start or self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self.contained_children(node)))
+
+    def iter_containment_postorder(
+        self, start: Optional[SchemaElement] = None
+    ) -> Iterator[SchemaElement]:
+        """Post-order walk of the containment hierarchy from ``start``."""
+        root = start or self.root
+        result: List[SchemaElement] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(self.contained_children(node))
+        return iter(reversed(result))
+
+    def containment_leaves(self, element: SchemaElement) -> List[SchemaElement]:
+        """Atomic descendants of ``element`` in the containment tree."""
+        return [
+            node
+            for node in self.iter_containment_preorder(element)
+            if not self.contained_children(node)
+        ]
+
+    def containment_depth(self, element: SchemaElement) -> int:
+        """Distance from the root along containment (root is depth 0)."""
+        self._require(element)
+        depth = 0
+        node: Optional[SchemaElement] = element
+        while node is not None and node is not self.root:
+            node = self.container_of(node)
+            depth += 1
+        if node is None:
+            raise SchemaError(f"{element!r} is not connected to the root")
+        return depth
+
+    def tree_edge_topological_order(self) -> List[SchemaElement]:
+        """Inverse-topological order over containment + IsDerivedFrom.
+
+        The order lazy expansion enumerates elements in (Section 8.4):
+        every element appears after all elements reachable from it via
+        tree edges. Raises :class:`SchemaError` on cycles.
+        """
+        state: Dict[str, int] = {}  # 0=unvisited, 1=in progress, 2=done
+        order: List[SchemaElement] = []
+
+        def visit(node: SchemaElement) -> None:
+            status = state.get(node.element_id, 0)
+            if status == 1:
+                raise SchemaError(
+                    f"cycle through {node!r} in containment/IsDerivedFrom edges"
+                )
+            if status == 2:
+                return
+            state[node.element_id] = 1
+            for child in self.tree_children(node):
+                visit(child)
+            state[node.element_id] = 2
+            order.append(node)
+
+        for element in self._elements.values():
+            visit(element)
+        return order
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:
+        return f"<Schema {self.name!r}: {len(self)} elements>"

@@ -1,0 +1,90 @@
+"""Structural validation of schema graphs.
+
+:func:`validate_schema` checks the invariants the rest of the pipeline
+assumes. Importers call it after construction; tests use it as an
+oracle for property-based schema generation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import SchemaError
+from repro.model.element import ElementKind
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+
+
+def validate_schema(schema: Schema, require_connected: bool = True) -> List[str]:
+    """Validate ``schema`` and return a list of warnings.
+
+    Hard violations (invariant breaks) raise :class:`SchemaError`;
+    suspicious-but-legal conditions (e.g. a RefInt without a reference
+    target) are returned as human-readable warning strings.
+    """
+    warnings: List[str] = []
+
+    _check_containment_is_forest(schema)
+    if require_connected:
+        _check_connected(schema, warnings)
+    _check_refints(schema, warnings)
+    _check_atomic_leaves(schema, warnings)
+    return warnings
+
+
+def _check_containment_is_forest(schema: Schema) -> None:
+    """Containment must be acyclic with the schema root as sole root."""
+    for element in schema.elements:
+        seen = {element.element_id}
+        node = schema.container_of(element)
+        while node is not None:
+            if node.element_id in seen:
+                raise SchemaError(
+                    f"containment cycle through {node!r} in {schema.name!r}"
+                )
+            seen.add(node.element_id)
+            node = schema.container_of(node)
+
+
+def _check_connected(schema: Schema, warnings: List[str]) -> None:
+    """Every element should be reachable from the root via containment."""
+    reachable = {
+        node.element_id for node in schema.iter_containment_preorder()
+    }
+    for element in schema.elements:
+        if element.element_id not in reachable:
+            warnings.append(
+                f"element {element.name!r} (#{element.element_id}) is not "
+                f"reachable from the root of {schema.name!r} by containment"
+            )
+
+
+def _check_refints(schema: Schema, warnings: List[str]) -> None:
+    """RefInts should aggregate ≥1 source and reference ≥1 target.
+
+    The reference relationship is 1:n — "a single IDREF attribute [may]
+    reference multiple IDs in an XML DTD" (Section 8.3) — so multiple
+    targets are legal; zero targets is a dangling constraint.
+    """
+    for refint in schema.refint_elements():
+        sources = schema.aggregated_members(refint)
+        targets = schema.reference_targets(refint)
+        if not sources:
+            warnings.append(
+                f"RefInt {refint.name!r} aggregates no source elements"
+            )
+        if not targets:
+            warnings.append(
+                f"RefInt {refint.name!r} references 0 targets "
+                "(expected at least 1)"
+            )
+
+
+def _check_atomic_leaves(schema: Schema, warnings: List[str]) -> None:
+    """Atomic (typed) elements should not contain other elements."""
+    for element in schema.elements:
+        if element.is_atomic and schema.contained_children(element):
+            warnings.append(
+                f"atomic element {element.name!r} has contained children; "
+                "the matcher treats it as an inner node"
+            )

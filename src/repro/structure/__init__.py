@@ -1,0 +1,6 @@
+"""Structure matching (paper Section 6): the TreeMatch algorithm."""
+
+from repro.structure.similarity import SimilarityStore
+from repro.structure.treematch import TreeMatch, TreeMatchResult
+
+__all__ = ["SimilarityStore", "TreeMatch", "TreeMatchResult"]

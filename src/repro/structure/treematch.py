@@ -1,0 +1,250 @@
+"""The TreeMatch algorithm (Figure 3 of the paper).
+
+Post-order double loop over the two schema trees. For every node pair:
+
+1. compute structural similarity ``ssim`` — for a pair of leaves this
+   is the (mutable) stored value; otherwise it is the fraction of
+   leaves in the two subtrees that have a *strong link* (a leaf pair
+   whose ``wsim`` exceeds ``thaccept``) into the other subtree;
+2. compute ``wsim = wstruct·ssim + (1−wstruct)·lsim``;
+3. if ``wsim > thhigh``, multiply the ssim of every leaf pair in the
+   two subtrees by ``cinc`` (leaves of highly similar ancestors occur
+   in similar contexts); if ``wsim < thlow``, multiply by ``cdec``.
+
+The post-order traversals ensure both subtrees are fully compared
+before their roots are, giving the mutually recursive flavor the paper
+describes. Node pairs with very different subtree leaf counts are
+skipped ("say within a factor of 2"), which both prunes work and avoids
+dragging down leaf similarities with hopeless comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import DEFAULT_CONFIG, CupidConfig
+from repro.linguistic.matcher import LsimTable
+from repro.model.datatypes import TypeCompatibilityTable, default_compatibility_table
+from repro.structure.similarity import SimilarityStore
+from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
+
+
+@dataclass
+class TreeMatchResult:
+    """Everything TreeMatch computed.
+
+    ``wsim`` holds the weighted similarity of every compared node pair
+    (as of the moment it was compared — the paper's Section 7 notes
+    non-leaf values may be stale after later leaf updates, hence
+    :meth:`recompute_wsim` for mapping generation's second pass).
+    """
+
+    source_tree: SchemaTree
+    target_tree: SchemaTree
+    sims: SimilarityStore
+    wsim: Dict[Tuple[int, int], float]
+    compared_pairs: int = 0
+    pruned_pairs: int = 0
+
+    def wsim_of(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
+        return self.wsim.get((s.node_id, t.node_id), 0.0)
+
+
+class TreeMatch:
+    """Runs the Figure 3 algorithm over two schema trees."""
+
+    def __init__(
+        self,
+        config: Optional[CupidConfig] = None,
+        compat: Optional[TypeCompatibilityTable] = None,
+    ) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.config.validate()
+        self.compat = compat or default_compatibility_table()
+
+    # ------------------------------------------------------------------
+    # Main algorithm
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        source_tree: SchemaTree,
+        target_tree: SchemaTree,
+        lsim_table: LsimTable,
+    ) -> TreeMatchResult:
+        config = self.config
+        sims = SimilarityStore(lsim_table, config, self.compat)
+        result = TreeMatchResult(
+            source_tree=source_tree,
+            target_tree=target_tree,
+            sims=sims,
+            wsim={},
+        )
+
+        # Leaf ssim initialization is implicit: SimilarityStore defaults
+        # to data-type compatibility, exactly the first loop of Figure 3.
+
+        source_order = source_tree.postorder()
+        target_order = target_tree.postorder()
+        source_root = source_tree.root
+        target_root = target_tree.root
+
+        for s in source_order:
+            s_leaf_count = s.leaf_count()
+            for t in target_order:
+                if self._pruned(s, t, s_leaf_count, source_root, target_root):
+                    result.pruned_pairs += 1
+                    continue
+                ssim = self._structural_similarity(s, t, sims)
+                if not (s.is_leaf and t.is_leaf):
+                    sims.set_ssim(s, t, ssim)
+                wsim = sims.wsim(s, t)
+                result.wsim[(s.node_id, t.node_id)] = wsim
+                result.compared_pairs += 1
+
+                if wsim > config.thhigh:
+                    self._scale_leaf_pairs(s, t, sims, config.cinc)
+                elif wsim < config.thlow:
+                    self._scale_leaf_pairs(s, t, sims, config.cdec)
+        return result
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+
+    def _pruned(
+        self,
+        s: SchemaTreeNode,
+        t: SchemaTreeNode,
+        s_leaf_count: int,
+        source_root: SchemaTreeNode,
+        target_root: SchemaTreeNode,
+    ) -> bool:
+        """Leaf-count ratio pruning (Section 6). Roots always compare."""
+        if not self.config.prune_by_leaf_count:
+            return False
+        if s is source_root and t is target_root:
+            return False
+        t_count = t.leaf_count()
+        ratio = self.config.leaf_count_ratio
+        return s_leaf_count > ratio * t_count or t_count > ratio * s_leaf_count
+
+    def _effective_leaves(
+        self, node: SchemaTreeNode
+    ) -> Dict[SchemaTreeNode, bool]:
+        """Leaves of ``node``'s subtree with their *required* flags.
+
+        With ``leaf_prune_depth`` k > 0 (Section 8.4 "Pruning leaves"),
+        the frontier is cut at depth k: nodes at that depth stand in
+        for their subtrees.
+        """
+        depth_limit = self.config.leaf_prune_depth
+        if depth_limit <= 0:
+            return node.leaves_with_required_flag()
+        frontier: Dict[SchemaTreeNode, bool] = {}
+        stack: List[Tuple[SchemaTreeNode, int, bool]] = [(node, 0, False)]
+        while stack:
+            current, depth, saw_optional = stack.pop()
+            if not current.children or depth == depth_limit:
+                required = not saw_optional
+                frontier[current] = frontier.get(current, False) or required
+                continue
+            for child in current.children:
+                stack.append(
+                    (child, depth + 1, saw_optional or child.optional)
+                )
+        return frontier
+
+    def _structural_similarity(
+        self, s: SchemaTreeNode, t: SchemaTreeNode, sims: SimilarityStore
+    ) -> float:
+        """ssim(s, t) per Section 6 (+ optional-leaf discount of §8.4).
+
+        For a leaf pair, the stored (possibly already incremented)
+        value. Otherwise, the fraction of leaves in the union of both
+        subtrees with at least one strong link to the other side.
+        """
+        if s.is_leaf and t.is_leaf:
+            return sims.ssim(s, t)
+
+        s_leaves = self._effective_leaves(s)
+        t_leaves = self._effective_leaves(t)
+        if not s_leaves or not t_leaves:
+            return 0.0
+
+        thaccept = self.config.thaccept
+        discount = self.config.discount_optional_leaves
+
+        s_linked = 0
+        s_total = 0
+        for x, x_required in s_leaves.items():
+            has_link = any(
+                sims.wsim(x, y) >= thaccept for y in t_leaves
+            )
+            if has_link:
+                s_linked += 1
+                s_total += 1
+            elif x_required or not discount:
+                s_total += 1
+            # Optional leaf without a strong link: excluded from both
+            # numerator and denominator (§8.4) when discounting is on.
+
+        t_linked = 0
+        t_total = 0
+        for y, y_required in t_leaves.items():
+            has_link = any(
+                sims.wsim(x, y) >= thaccept for x in s_leaves
+            )
+            if has_link:
+                t_linked += 1
+                t_total += 1
+            elif y_required or not discount:
+                t_total += 1
+
+        denominator = s_total + t_total
+        if denominator == 0:
+            return 0.0
+        return (s_linked + t_linked) / denominator
+
+    def _scale_leaf_pairs(
+        self,
+        s: SchemaTreeNode,
+        t: SchemaTreeNode,
+        sims: SimilarityStore,
+        factor: float,
+    ) -> None:
+        """Multiply ssim of every (leaf of s, leaf of t) pair by factor."""
+        for x in s.leaves():
+            for y in t.leaves():
+                sims.scale_ssim(x, y, factor)
+
+    # ------------------------------------------------------------------
+    # Second pass (Section 7)
+    # ------------------------------------------------------------------
+
+    def recompute_wsim(self, result: TreeMatchResult) -> Dict[Tuple[int, int], float]:
+        """Second post-order pass re-computing non-leaf similarities.
+
+        "To generate non-leaf mappings, we need a second post-order
+        traversal ... because the updating of leaf similarities during
+        tree-match may affect the structural similarity of non-leaf
+        nodes after they were first calculated." No threshold updates
+        happen here; leaf pair values pass through unchanged.
+        """
+        sims = result.sims
+        refreshed: Dict[Tuple[int, int], float] = {}
+        source_root = result.source_tree.root
+        target_root = result.target_tree.root
+        for s in result.source_tree.postorder():
+            s_leaf_count = s.leaf_count()
+            for t in result.target_tree.postorder():
+                if self._pruned(s, t, s_leaf_count, source_root, target_root):
+                    continue
+                if not (s.is_leaf and t.is_leaf):
+                    sims.set_ssim(
+                        s, t, self._structural_similarity(s, t, sims)
+                    )
+                refreshed[(s.node_id, t.node_id)] = sims.wsim(s, t)
+        result.wsim = refreshed
+        return refreshed

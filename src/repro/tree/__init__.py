@@ -1,0 +1,21 @@
+"""Schema trees (paper Sections 8.1–8.4).
+
+Structure matching runs on *schema trees*: the schema graph is expanded
+by type substitution so every containment/IsDerivedFrom path from the
+root becomes an explicit node (context-dependent matching), and
+referential constraints are reified as join-view nodes that make the
+tree a DAG (Figure 6).
+"""
+
+from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
+from repro.tree.construction import construct_schema_tree
+from repro.tree.refint import augment_with_join_views
+from repro.tree.lazy import construct_schema_tree_lazy
+
+__all__ = [
+    "SchemaTree",
+    "SchemaTreeNode",
+    "augment_with_join_views",
+    "construct_schema_tree",
+    "construct_schema_tree_lazy",
+]

@@ -1,0 +1,84 @@
+"""Lazy schema-tree expansion (Section 8.4, "Lazy expansion").
+
+Eager construction (Figure 4) duplicates a shared type's subtree into
+every context, and TreeMatch then compares each duplicate separately.
+The paper's lazy variant "compares elements of the schema graph before
+converting it to a tree", avoiding the duplicate comparisons.
+
+Our implementation realizes the same cost saving by building a
+*compressed* tree: each shared type's subtree is constructed once and
+attached to every deriving node as a shared child (a DAG, exactly like
+join views). TreeMatch's deduplicating post-order then compares the
+shared subtree once.
+
+Trade-off (documented in DESIGN.md): within a shared subtree, leaf
+nodes are physically shared across contexts, so ancestor-driven
+similarity increments from different contexts accumulate on the same
+nodes instead of differentiating per-context copies. When no two
+contexts would have pulled a shared leaf in different directions, the
+results are identical to eager expansion — the condition under which
+the paper claims exactness. The E8 ablation benchmark measures both the
+agreement and the speedup on schemas with heavy type sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.exceptions import CyclicSchemaError
+from repro.model.element import SchemaElement
+from repro.model.schema import Schema
+from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
+
+
+def construct_schema_tree_lazy(schema: Schema) -> SchemaTree:
+    """Expand ``schema`` into a compressed tree with shared subtrees."""
+    # One reusable subtree root per shared type element.
+    built: Dict[str, SchemaTreeNode] = {}
+    in_progress: Set[str] = set()
+
+    def expand_members(element: SchemaElement, attach_to: SchemaTreeNode) -> None:
+        """Attach element's members (containment + type substitution)."""
+        if element.element_id in in_progress:
+            raise CyclicSchemaError(
+                f"recursive type definition through {element.name!r} in "
+                f"schema {schema.name!r}; cyclic schemas are not supported"
+            )
+        in_progress.add(element.element_id)
+        try:
+            for child in schema.contained_children(element):
+                if child.not_instantiated:
+                    continue
+                node = SchemaTreeNode(child)
+                attach_to.add_child(node)
+                expand_members(child, node)
+            for base in schema.derived_bases(element):
+                if base.element_id in in_progress:
+                    # The memo would otherwise absorb the cycle silently
+                    # (a half-built carrier looks like a finished one).
+                    raise CyclicSchemaError(
+                        f"recursive type definition through {base.name!r} "
+                        f"in schema {schema.name!r}; cyclic schemas are "
+                        "not supported"
+                    )
+                shared = built.get(base.element_id)
+                if shared is None:
+                    # Build the type's member subtree once, under a
+                    # carrier node we then splice children from.
+                    shared = SchemaTreeNode(base)
+                    built[base.element_id] = shared
+                    expand_members(base, shared)
+                for member in shared.children:
+                    if member.parent is shared:
+                        # First context adopts the members as primary
+                        # children; later contexts share them.
+                        member.parent = None
+                        attach_to.add_child(member)
+                    else:
+                        attach_to.add_shared_child(member)
+        finally:
+            in_progress.discard(element.element_id)
+
+    root_node = SchemaTreeNode(schema.root)
+    expand_members(schema.root, root_node)
+    return SchemaTree(schema, root_node)

@@ -1,0 +1,163 @@
+"""Join-view augmentation for referential constraints (Section 8.3).
+
+"We interpret referential constraints as potential join views. For each
+foreign key, we introduce a node that represents the join of the
+participating tables. ... the join view node has as its children the
+columns from both the tables. The common ancestor of the two tables is
+made the parent of the new join view node." (Figure 6.)
+
+The join-view children are the *same* tree nodes as the tables' columns
+(not copies), so that matching a pair of join views increases the
+structural similarity of the underlying columns — the paper's first
+stated benefit. This turns the schema tree into a DAG, with the
+determinism caveat handled by :meth:`SchemaTree.postorder`.
+
+View definitions (Section 8.4 "Views") are "treated like referential
+constraints": each VIEW element gets a node whose children are the
+tree nodes of the elements the view aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import SchemaError
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
+
+
+def augment_with_join_views(tree: SchemaTree) -> List[SchemaTreeNode]:
+    """Add join-view nodes for every RefInt, and view nodes for views.
+
+    Returns the nodes added. Idempotent inputs are the caller's
+    responsibility (call once per tree).
+    """
+    schema = tree.schema
+    node_of = _element_to_node_index(tree)
+    added: List[SchemaTreeNode] = []
+
+    for refint in schema.refint_elements():
+        # Reference is 1:n (an IDREF may point at several IDs): one
+        # join view per referenced target.
+        for target in schema.reference_targets(refint):
+            join_node = _add_join_view(tree, schema, refint, target, node_of)
+            if join_node is not None:
+                added.append(join_node)
+
+    for view in (e for e in schema.elements if e.kind is ElementKind.VIEW):
+        view_node = _add_view_node(tree, schema, view, node_of)
+        if view_node is not None:
+            added.append(view_node)
+
+    if added:
+        tree.invalidate_leaf_caches()
+    return added
+
+
+def _element_to_node_index(tree: SchemaTree) -> Dict[str, List[SchemaTreeNode]]:
+    index: Dict[str, List[SchemaTreeNode]] = {}
+    for node in tree.nodes():
+        index.setdefault(node.element.element_id, []).append(node)
+    return index
+
+
+def _table_of(schema: Schema, element: SchemaElement) -> Optional[SchemaElement]:
+    """The containment parent of a column/key element (its table)."""
+    return schema.container_of(element)
+
+
+def _add_join_view(
+    tree: SchemaTree,
+    schema: Schema,
+    refint: SchemaElement,
+    target: SchemaElement,
+    node_of: Dict[str, List[SchemaTreeNode]],
+) -> Optional[SchemaTreeNode]:
+    """Reify one (constraint, target) pair as a join-view node."""
+    sources = schema.aggregated_members(refint)
+    if not sources:
+        return None  # validation warns about these; skip quietly here
+
+    source_table = _table_of(schema, sources[0])
+    if target.kind is ElementKind.KEY:
+        target_table = _table_of(schema, target)
+    else:
+        # The reference may point directly at a column or a table.
+        target_table = (
+            target if schema.contained_children(target) else _table_of(schema, target)
+        )
+    if source_table is None or target_table is None:
+        return None
+    if source_table is target_table:
+        return None  # self-referencing FK: joining a table to itself
+        # adds no leaf information, only cycles; skip.
+
+    source_nodes = node_of.get(source_table.element_id, [])
+    target_nodes = node_of.get(target_table.element_id, [])
+    if not source_nodes or not target_nodes:
+        return None
+    source_node = source_nodes[0]
+    target_node = target_nodes[0]
+
+    ancestor = _lowest_common_ancestor(source_node, target_node)
+    if ancestor is None:
+        ancestor = tree.root
+
+    join_element = SchemaElement(
+        name=refint.name or f"{source_table.name}-{target_table.name}-join",
+        kind=ElementKind.JOIN_VIEW,
+    )
+    join_node = SchemaTreeNode(join_element, is_join_view=True)
+    # Children: the columns from both tables (the tables' child nodes).
+    for child in source_node.children:
+        join_node.add_shared_child(child)
+    for child in target_node.children:
+        join_node.add_shared_child(child)
+    # Appended last so post-order compares the join view after both
+    # tables (the ordering Section 8.3 suggests for determinism).
+    ancestor.add_child(join_node)
+    return join_node
+
+
+def _add_view_node(
+    tree: SchemaTree,
+    schema: Schema,
+    view: SchemaElement,
+    node_of: Dict[str, List[SchemaTreeNode]],
+) -> Optional[SchemaTreeNode]:
+    """Reify a view definition as a node grouping its members' nodes."""
+    members = schema.aggregated_members(view)
+    if not members:
+        return None
+    member_nodes: List[SchemaTreeNode] = []
+    for member in members:
+        nodes = node_of.get(member.element_id, [])
+        if nodes:
+            member_nodes.append(nodes[0])
+    if not member_nodes:
+        return None
+
+    view_element = SchemaElement(name=view.name, kind=ElementKind.VIEW)
+    view_node = SchemaTreeNode(view_element)
+    for node in member_nodes:
+        view_node.add_shared_child(node)
+    tree.root.add_child(view_node)
+    return view_node
+
+
+def _lowest_common_ancestor(
+    a: SchemaTreeNode, b: SchemaTreeNode
+) -> Optional[SchemaTreeNode]:
+    """LCA along primary parents."""
+    ancestors = set()
+    node: Optional[SchemaTreeNode] = a
+    while node is not None:
+        ancestors.add(node.node_id)
+        node = node.parent
+    node = b
+    while node is not None:
+        if node.node_id in ancestors:
+            return node
+        node = node.parent
+    return None

@@ -1,0 +1,249 @@
+"""Schema tree nodes and the tree/DAG container.
+
+Each :class:`SchemaTreeNode` wraps one schema element *in one context*:
+a shared type referenced from two places expands to two tree nodes
+wrapping clones of the same elements, which is exactly what lets Cupid
+produce context-dependent mappings (Section 8.2).
+
+Join-view augmentation (Section 8.3) later attaches existing column
+nodes as children of new join-view nodes, turning the tree into a DAG:
+nodes can have one *primary* parent (their containment context, used
+for paths) plus any number of extra parents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.model.datatypes import DataType
+from repro.model.element import SchemaElement
+from repro.model.schema import Schema
+
+_node_counter = itertools.count(1)
+
+
+class SchemaTreeNode:
+    """One element occurrence in the expanded schema tree."""
+
+    __slots__ = (
+        "element",
+        "parent",
+        "extra_parents",
+        "children",
+        "node_id",
+        "is_join_view",
+        "_leaves_cache",
+    )
+
+    def __init__(
+        self,
+        element: SchemaElement,
+        parent: Optional["SchemaTreeNode"] = None,
+        is_join_view: bool = False,
+    ) -> None:
+        self.element = element
+        self.parent = parent
+        self.extra_parents: List["SchemaTreeNode"] = []
+        self.children: List["SchemaTreeNode"] = []
+        self.node_id: int = next(_node_counter)
+        self.is_join_view = is_join_view
+        self._leaves_cache: Optional[Tuple["SchemaTreeNode", ...]] = None
+
+    # -- element passthroughs ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.element.name
+
+    @property
+    def data_type(self) -> Optional[DataType]:
+        return self.element.data_type
+
+    @property
+    def optional(self) -> bool:
+        return self.element.optional
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    # -- structure -----------------------------------------------------------
+
+    def add_child(self, child: "SchemaTreeNode") -> None:
+        """Attach ``child`` with this node as primary parent."""
+        if child.parent is not None:
+            raise ValueError(
+                f"{child!r} already has a primary parent {child.parent!r}"
+            )
+        child.parent = self
+        self.children.append(child)
+        self._leaves_cache = None
+
+    def add_shared_child(self, child: "SchemaTreeNode") -> None:
+        """Attach an *existing* node as an extra child (join views)."""
+        self.children.append(child)
+        child.extra_parents.append(self)
+        self._leaves_cache = None
+
+    def path(self) -> Tuple[str, ...]:
+        """Names from the root to this node along primary parents."""
+        parts: List[str] = []
+        node: Optional[SchemaTreeNode] = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return tuple(reversed(parts))
+
+    def path_string(self) -> str:
+        return ".".join(self.path())
+
+    def leaves(self) -> Tuple["SchemaTreeNode", ...]:
+        """Leaf nodes of the subtree rooted here (deduped, stable order).
+
+        "leaves(s) = set of leaves in the subtree rooted at s"
+        (Section 6). Cached: TreeMatch asks for leaf sets of every node
+        pair in its double loop.
+        """
+        if self._leaves_cache is not None:
+            return self._leaves_cache
+        if not self.children:
+            self._leaves_cache = (self,)
+            return self._leaves_cache
+        collected: List[SchemaTreeNode] = []
+        stack: List[SchemaTreeNode] = [self]
+        visited: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node.node_id in visited:
+                continue
+            visited.add(node.node_id)
+            if not node.children:
+                collected.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        self._leaves_cache = tuple(collected)
+        return self._leaves_cache
+
+    def leaf_count(self) -> int:
+        return len(self.leaves())
+
+    def leaves_with_required_flag(self) -> Dict["SchemaTreeNode", bool]:
+        """Map each leaf of this subtree to a *required* flag.
+
+        Section 8.4 ("Optionality"): "A leaf is optional if it has at
+        least one optional node on each path from n to the leaf."
+        Equivalently, a leaf is required iff some path from here to it
+        traverses no optional node (the starting node's own optionality
+        does not count — it is the context, not the path).
+        """
+        required: Dict[SchemaTreeNode, bool] = {}
+        stack: List[Tuple[SchemaTreeNode, bool]] = [(self, False)]
+        # Track the best (least-optional) way each node was reached so a
+        # node revisited via a required path upgrades its leaves.
+        best: Dict[int, bool] = {}
+        while stack:
+            node, saw_optional = stack.pop()
+            previous = best.get(node.node_id)
+            if previous is not None and previous <= saw_optional:
+                continue  # already reached at least as cleanly
+            best[node.node_id] = saw_optional
+            if not node.children and node is not self:
+                is_required = not saw_optional
+                required[node] = required.get(node, False) or is_required
+                continue
+            if not node.children and node is self:
+                required[node] = not saw_optional
+                continue
+            for child in node.children:
+                stack.append((child, saw_optional or child.optional))
+        return required
+
+    def iter_subtree(self) -> Iterator["SchemaTreeNode"]:
+        """All nodes of this subtree (pre-order, deduped for DAGs)."""
+        visited: Set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.node_id in visited:
+                continue
+            visited.add(node.node_id)
+            yield node
+            stack.extend(reversed(node.children))
+
+    def subtree_depth(self) -> int:
+        """Height of the subtree rooted here (leaf = 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.subtree_depth() for child in self.children)
+
+    def __repr__(self) -> str:
+        marker = " (join)" if self.is_join_view else ""
+        return f"<TreeNode {self.path_string()}{marker} n{self.node_id}>"
+
+
+class SchemaTree:
+    """The expanded schema tree (or DAG, after join-view augmentation)."""
+
+    def __init__(self, schema: Schema, root: SchemaTreeNode) -> None:
+        self.schema = schema
+        self.root = root
+
+    def nodes(self) -> List[SchemaTreeNode]:
+        """All nodes reachable from the root, pre-order, deduped."""
+        return list(self.root.iter_subtree())
+
+    def postorder(self) -> List[SchemaTreeNode]:
+        """Deterministic inverse-topological (post-order) enumeration.
+
+        For plain trees this is the unique post-order the paper uses.
+        After join-view augmentation the structure is a DAG and
+        post-order is no longer unique (the non-Church-Rosser caveat of
+        Section 8.3); we fix determinism by visiting children in
+        insertion order, which — because join views are appended after
+        the ordinary children — compares join views after the tables
+        they join, the ordering the paper suggests.
+        """
+        order: List[SchemaTreeNode] = []
+        visited: Set[int] = set()
+        # Iterative DFS with explicit phase to get true post-order.
+        stack: List[Tuple[SchemaTreeNode, bool]] = [(self.root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if node.node_id in visited:
+                continue
+            visited.add(node.node_id)
+            stack.append((node, True))
+            for child in reversed(node.children):
+                if child.node_id not in visited:
+                    stack.append((child, False))
+        return order
+
+    def leaves(self) -> List[SchemaTreeNode]:
+        return list(self.root.leaves())
+
+    def node_for_path(self, *names: str) -> SchemaTreeNode:
+        """Resolve a node by its name path below the root."""
+        node = self.root
+        for step in names:
+            matches = [c for c in node.children if c.name == step]
+            if len(matches) != 1:
+                raise KeyError(
+                    f"path step {step!r} under {node.path_string()!r} matched "
+                    f"{len(matches)} children"
+                )
+            node = matches[0]
+        return node
+
+    def invalidate_leaf_caches(self) -> None:
+        for node in self.nodes():
+            node._leaves_cache = None
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+    def __repr__(self) -> str:
+        return f"<SchemaTree of {self.schema.name!r}: {len(self)} nodes>"

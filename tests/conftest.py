@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CupidMatcher, builtin_thesaurus
+from repro.config import CupidConfig
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.linguistic.normalizer import Normalizer
+from repro.model.builder import SchemaBuilder, schema_from_tree
+
+
+@pytest.fixture
+def thesaurus():
+    return builtin_thesaurus()
+
+
+@pytest.fixture
+def normalizer(thesaurus):
+    return Normalizer(thesaurus)
+
+
+@pytest.fixture
+def config():
+    return CupidConfig()
+
+
+@pytest.fixture
+def po_schema():
+    return figure2_po()
+
+
+@pytest.fixture
+def purchase_order_schema():
+    return figure2_purchase_order()
+
+
+@pytest.fixture
+def figure2_result(po_schema, purchase_order_schema):
+    """A full Cupid run on the Figure 2 running example."""
+    return CupidMatcher().match(po_schema, purchase_order_schema)
+
+
+@pytest.fixture
+def tiny_pair():
+    """A minimal source/target schema pair with one obvious match."""
+    source = schema_from_tree(
+        "Source", {"Order": {"Qty": "integer", "Price": "money"}}
+    )
+    target = schema_from_tree(
+        "Target", {"Order": {"Quantity": "integer", "Cost": "money"}}
+    )
+    return source, target

@@ -1,0 +1,121 @@
+"""Tests for the DIKE baseline matcher."""
+
+import pytest
+
+from repro.baselines.dike import DikeMatcher, LSPD
+from repro.io.er_model import ERModel
+from repro.model.datatypes import DataType
+
+
+def _customer_model(name="M1", class_name="Customer", attrs=None):
+    model = ERModel(name)
+    entity = model.add_entity(class_name)
+    for attr_name, data_type, key in attrs or [
+        ("CustomerNumber", DataType.INTEGER, True),
+        ("Name", DataType.STRING, False),
+        ("Address", DataType.STRING, False),
+    ]:
+        entity.add_attribute(attr_name, data_type, key)
+    return model
+
+
+class TestLSPD:
+    def test_symmetric_case_insensitive(self):
+        lspd = LSPD([("Name", "CustomerName", 0.9)])
+        assert lspd.lookup("customername", "NAME") == 0.9
+
+    def test_missing_is_none(self):
+        assert LSPD().lookup("a", "b") is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LSPD([("a", "b", 2.0)])
+
+    def test_len_counts_pairs_once(self):
+        assert len(LSPD([("a", "b", 0.5), ("c", "d", 0.6)])) == 2
+
+
+class TestDikeMatching:
+    def test_identical_models_merge(self):
+        result = DikeMatcher().match(_customer_model("M1"), _customer_model("M2"))
+        assert result.entity_merged("Customer", "Customer")
+        assert result.attribute_merged("customer.name", "customer.name")
+
+    def test_renamed_attributes_need_lspd(self):
+        """'LSPD entries ... are needed for DIKE to perform the
+        integration correctly' (canonical example 3)."""
+        renamed = _customer_model(
+            "M2",
+            attrs=[
+                ("CustomerNumber", DataType.INTEGER, True),
+                ("CustomerName", DataType.STRING, False),
+                ("StreetAddress", DataType.STRING, False),
+            ],
+        )
+        without = DikeMatcher().match(_customer_model(), renamed)
+        assert not without.attribute_merged(
+            "customer.name", "customer.customername"
+        )
+
+        lspd = LSPD([
+            ("Name", "CustomerName", 0.9),
+            ("Address", "StreetAddress", 0.9),
+        ])
+        with_lspd = DikeMatcher(lspd=lspd).match(_customer_model(), renamed)
+        assert with_lspd.attribute_merged(
+            "customer.name", "customer.customername"
+        )
+
+    def test_renamed_entity_merges_by_vicinity(self):
+        """'DIKE merges the entities together even without an LSPD
+        entry' when attributes coincide (canonical example 4)."""
+        person = _customer_model("M2", class_name="Person")
+        result = DikeMatcher().match(_customer_model(), person)
+        assert result.entity_merged("Customer", "Person")
+
+    def test_unrelated_entities_do_not_merge(self):
+        other = ERModel("M2")
+        entity = other.add_entity("Shipment")
+        entity.add_attribute("TrackingCode", DataType.STRING)
+        entity.add_attribute("Weight", DataType.FLOAT)
+        result = DikeMatcher().match(_customer_model(), other)
+        assert not result.entity_merged("Customer", "Shipment")
+
+    def test_similarities_recorded(self):
+        result = DikeMatcher().match(_customer_model("M1"), _customer_model("M2"))
+        assert result.similarities["customer", "customer"] > 0.9
+
+    def test_shared_type_creates_ambiguous_group(self):
+        """Canonical example 6: Address merges with both ShipTo and
+        BillTo — the merge group lumps all three together."""
+        m1 = ERModel("M1")
+        po1 = m1.add_entity("PurchaseOrder")
+        po1.add_attribute("OrderNumber", DataType.INTEGER, True)
+        address = m1.add_entity("Address")
+        for attr in ("Name", "Street", "City", "Zip", "Telephone"):
+            address.add_attribute(attr, DataType.STRING)
+        m1.add_relationship("ShippingAddress", ["PurchaseOrder", "Address"])
+        m1.add_relationship("BillingAddress", ["PurchaseOrder", "Address"])
+
+        m2 = ERModel("M2")
+        po2 = m2.add_entity("PurchaseOrder")
+        po2.add_attribute("OrderNumber", DataType.INTEGER, True)
+        for entity_name, rel in (("ShipTo", "ShippingAddress"),
+                                 ("BillTo", "BillingAddress")):
+            entity = m2.add_entity(entity_name)
+            for attr in ("Name", "Street", "City", "Zip", "Telephone"):
+                entity.add_attribute(attr, DataType.STRING)
+            m2.add_relationship(rel, ["PurchaseOrder", entity_name])
+
+        result = DikeMatcher().match(m1, m2)
+        assert result.entity_merged("Address", "ShipTo")
+        assert result.entity_merged("Address", "BillTo")
+        # One source entity -> two targets: context is lost.
+        targets = {
+            n2 for (n1, n2) in result.entity_pairs if n1 == "address"
+        }
+        assert len(targets) >= 2
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            DikeMatcher(decay=1.0)

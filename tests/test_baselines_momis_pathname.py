@@ -1,0 +1,161 @@
+"""Tests for the MOMIS/ARTEMIS and path-name baselines."""
+
+import pytest
+
+from repro.baselines.momis import MomisMatcher
+from repro.baselines.pathname import PathNameMatcher
+from repro.io.oo_model import parse_oo_model
+from repro.linguistic.lexicon import builtin_thesaurus
+from repro.model.builder import schema_from_tree
+
+_CUSTOMER_1 = """
+class Customer (CustomerNumber: integer (key), Name: string,
+                Address: string)
+"""
+
+
+class TestMomis:
+    def test_identical_classes_cluster(self):
+        s1 = parse_oo_model(_CUSTOMER_1, "S1")
+        s2 = parse_oo_model(_CUSTOMER_1, "S2")
+        result = MomisMatcher().match(s1, s2)
+        assert result.clustered_together("Customer", "Customer")
+        assert result.attributes_fused("Customer.Name", "Customer.Name")
+
+    def test_renamed_attributes_need_annotations(self):
+        """Table 2 footnote b: the user must add the relationships."""
+        s1 = parse_oo_model(_CUSTOMER_1, "S1")
+        s2 = parse_oo_model(
+            """
+            class Customer (CustomerNumber: integer (key),
+                            CustomerName: string, StreetAddress: string)
+            """,
+            "S2",
+        )
+        plain = MomisMatcher().match(s1, s2)
+        assert not plain.attributes_fused("Customer.Name", "Customer.CustomerName")
+
+        annotated = MomisMatcher(
+            sense_annotations=[
+                ("Name", "CustomerName", 0.9),
+                ("Address", "StreetAddress", 0.9),
+            ]
+        ).match(s1, s2)
+        assert annotated.attributes_fused(
+            "Customer.Name", "Customer.CustomerName"
+        )
+
+    def test_renamed_class_needs_hypernym_annotation(self):
+        s1 = parse_oo_model(_CUSTOMER_1, "S1")
+        s2 = parse_oo_model(
+            """
+            class Person (CustomerNumber: integer (key), Name: string,
+                          Address: string)
+            """,
+            "S2",
+        )
+        annotated = MomisMatcher(
+            sense_annotations=[("Customer", "Person", 0.8)]
+        ).match(s1, s2)
+        assert annotated.clustered_together("Customer", "Person")
+
+    def test_nesting_breaks_subclass_clusters(self):
+        """Canonical example 5: 'MOMIS clusters the two Customer classes
+        together, but not the two other classes.'"""
+        nested = parse_oo_model(
+            """
+            class Customer (SSN: integer (key), Telephone: string,
+                            Name: Name, Address: Address)
+            class Name (FirstName: string, LastName: string)
+            class Address (Street: string, City: string)
+            """,
+            "S1",
+        )
+        flat = parse_oo_model(
+            """
+            class Customer (SSN: integer (key), Telephone: string,
+                            FirstName: string, LastName: string,
+                            Street: string, City: string)
+            """,
+            "S2",
+        )
+        result = MomisMatcher().match(nested, flat)
+        assert result.clustered_together("Customer", "Customer")
+        assert not result.attributes_fused(
+            "Name.FirstName", "Customer.FirstName"
+        )
+
+    def test_shared_types_stay_separate(self):
+        """Canonical example 6: no context-dependent matching."""
+        s1 = parse_oo_model(
+            """
+            class PurchaseOrder (OrderNumber: integer,
+                                 ShippingAddress: Address,
+                                 BillingAddress: Address)
+            class Address (Street: string, City: string)
+            """,
+            "S1",
+        )
+        s2 = parse_oo_model(
+            """
+            class PurchaseOrder (OrderNumber: integer,
+                                 ShippingAddress: ShipTo,
+                                 BillingAddress: BillTo)
+            class ShipTo (Street: string, City: string)
+            class BillTo (Street: string, City: string)
+            """,
+            "S2",
+        )
+        result = MomisMatcher().match(s1, s2)
+        assert result.clustered_together("PurchaseOrder", "PurchaseOrder")
+        assert not result.clustered_together("Address", "ShipTo")
+        assert not result.clustered_together("Address", "BillTo")
+
+    def test_annotation_validation(self):
+        with pytest.raises(ValueError):
+            MomisMatcher(sense_annotations=[("a", "b", 2.0)])
+
+
+class TestPathNameMatcher:
+    def test_identical_paths_match(self):
+        spec = {"Order": {"Qty": "integer", "Price": "money"}}
+        matcher = PathNameMatcher()
+        mapping = matcher.match(
+            schema_from_tree("S", spec), schema_from_tree("T", spec)
+        )
+        assert ("S.Order.Qty", "T.Order.Qty") in mapping.path_pairs()
+
+    def test_cannot_distinguish_contexts(self):
+        """Section 9.3.3: without structure, multi-context attributes
+        are indistinguishable — path tokens differ only by container."""
+        source = schema_from_tree(
+            "S",
+            {
+                "BillTo": {"City": "string"},
+                "ShipTo": {"City": "string"},
+            },
+        )
+        target = schema_from_tree(
+            "T",
+            {
+                "InvoiceTo": {"City": "string"},
+                "DeliverTo": {"City": "string"},
+            },
+        )
+        mapping = PathNameMatcher(
+            thesaurus=builtin_thesaurus()
+        ).match(source, target)
+        # It still produces *some* mapping for each City, but quality
+        # depends purely on the synonym entries in path tokens.
+        assert len(mapping) == 2
+
+    def test_threshold_filters(self):
+        source = schema_from_tree("S", {"A": {"xyzzy": "binary"}})
+        target = schema_from_tree("T", {"B": {"quantity": "integer"}})
+        mapping = PathNameMatcher(threshold=0.9).match(source, target)
+        assert len(mapping) == 0
+
+    def test_scores_bounded(self, po_schema, purchase_order_schema):
+        mapping = PathNameMatcher().match(po_schema, purchase_order_schema)
+        for element in mapping:
+            assert 0.0 <= element.similarity <= 1.0

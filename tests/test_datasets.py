@@ -1,0 +1,162 @@
+"""Tests for the paper datasets and the gold-mapping helpers."""
+
+import pytest
+
+from repro.datasets.canonical import canonical_examples
+from repro.datasets.cidx_excel import (
+    cidx_excel_element_gold,
+    cidx_excel_gold,
+    cidx_schema,
+    excel_schema,
+)
+from repro.datasets.figure1 import figure1_po, figure1_porder
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.gold import GoldMapping
+from repro.datasets.rdb_star import (
+    rdb_schema,
+    rdb_star_column_gold,
+    rdb_star_table_gold,
+    star_schema,
+)
+from repro.mapping.mapping import Mapping, MappingElement
+from repro.model.validation import validate_schema
+from repro.tree.construction import construct_schema_tree
+
+
+class TestFigureSchemas:
+    def test_figure1_shapes(self):
+        po = figure1_po()
+        porder = figure1_porder()
+        assert validate_schema(po) == []
+        assert validate_schema(porder) == []
+        assert len(po.containment_leaves(po.root)) == 3
+
+    def test_figure2_shapes(self):
+        po = figure2_po()
+        purchase = figure2_purchase_order()
+        assert validate_schema(po) == []
+        assert validate_schema(purchase) == []
+        # PO: Count, Line, Qty, UoM, 2×(Street, City) = 8 leaves.
+        assert len(po.containment_leaves(po.root)) == 8
+        assert len(purchase.containment_leaves(purchase.root)) == 8
+
+    def test_cidx_schema_contents(self):
+        schema = cidx_schema()
+        assert validate_schema(schema) == []
+        names = {e.name for e in schema.elements}
+        assert {"POHeader", "POShipTo", "POBillTo", "POLines", "Contact"} <= names
+        # The CIDX side spells out both address blocks inline.
+        assert len(schema.elements_named("Street1")) == 2
+
+    def test_excel_schema_shares_types(self):
+        schema = excel_schema()
+        # Three elements are named Address: the complexType plus the
+        # two wrapper elements that reference it.
+        types = [
+            e for e in schema.elements_named("Address")
+            if e.kind.value == "type"
+        ]
+        assert len(types) == 1
+        address = types[0]
+        assert address.not_instantiated
+        assert len(schema.deriving_elements(address)) == 2
+
+    def test_excel_tree_materializes_18_shared_attributes(self):
+        """Section 9.3: '18 such XML attributes in multiple contexts'
+        (two copies each of Address's 8 + Contact's 4 ≈ the shared
+        attribute occurrences; our transcription has 12 shared names
+        appearing twice = 24 nodes, 12 duplicated)."""
+        tree = construct_schema_tree(excel_schema())
+        deliver = tree.node_for_path("DeliverTo", "Address")
+        invoice = tree.node_for_path("InvoiceTo", "Address")
+        assert {c.name for c in deliver.children} == {
+            c.name for c in invoice.children
+        }
+
+    def test_rdb_star_parse(self):
+        rdb = rdb_schema()
+        star = star_schema()
+        assert validate_schema(rdb) == []
+        assert validate_schema(star) == []
+        assert len([e for e in rdb.elements if e.kind.value == "table"]) == 13
+        assert len([e for e in star.elements if e.kind.value == "table"]) == 5
+
+    def test_rdb_foreign_keys(self):
+        rdb = rdb_schema()
+        # ORDERS: 3 FKs; ORDERDETAILS: 2; TERRITORYREGION: 2;
+        # EMPLOYEETERRITORY: 2; PAYMENT: 2; PRODUCTS: 1.
+        assert len(rdb.refint_elements()) == 12
+
+    def test_star_foreign_keys(self):
+        assert len(star_schema().refint_elements()) == 4
+
+    def test_canonical_examples_complete(self):
+        examples = canonical_examples()
+        assert [e.example_id for e in examples] == [1, 2, 3, 4, 5, 6]
+        for example in examples:
+            assert len(example.gold) > 0
+            assert set(example.expected) == {"cupid", "dike", "momis"}
+            assert validate_schema(example.schema1) == []
+
+    def test_gold_mappings_nonempty(self):
+        assert len(cidx_excel_gold()) >= 30
+        assert len(cidx_excel_element_gold()) >= 7
+        assert len(rdb_star_column_gold()) >= 20
+        assert len(rdb_star_table_gold()) >= 5
+
+
+class TestGoldMapping:
+    def _mapping(self, *pairs):
+        mapping = Mapping("S", "T")
+        for source, target, score in pairs:
+            mapping.add(
+                MappingElement(
+                    source_path=tuple(source.split(".")),
+                    target_path=tuple(target.split(".")),
+                    similarity=score,
+                )
+            )
+        return mapping
+
+    def test_suffix_matching(self):
+        gold = GoldMapping.from_pairs([("Item.Qty", "Item.Quantity")])
+        mapping = self._mapping(("S.POLines.Item.Qty", "T.Items.Item.Quantity", 0.9))
+        assert gold.found_pairs(mapping) == {0}
+
+    def test_suffix_distinguishes_contexts(self):
+        gold = GoldMapping.from_pairs(
+            [("BillTo.City", "InvoiceTo.City")]
+        )
+        wrong_context = self._mapping(("S.ShipTo.City", "T.InvoiceTo.City", 0.9))
+        assert gold.found_pairs(wrong_context) == set()
+
+    def test_missing_pairs(self):
+        gold = GoldMapping.from_pairs([("a", "b"), ("c", "d")])
+        mapping = self._mapping(("S.a", "T.b", 0.9))
+        assert gold.missing_pairs(mapping) == [("c", "d")]
+
+    def test_false_positives(self):
+        gold = GoldMapping.from_pairs([("a", "b")])
+        mapping = self._mapping(("S.a", "T.b", 0.9), ("S.x", "T.y", 0.8))
+        fps = gold.false_positives(mapping)
+        assert len(fps) == 1
+        assert fps[0].source_name == "x"
+
+    def test_target_recall_with_alternatives(self):
+        """Several gold sources for one target act as alternatives."""
+        gold = GoldMapping.from_pairs(
+            [("Orders", "Sales"), ("OrderDetails", "Sales")]
+        )
+        mapping = self._mapping(("S.OrderDetails", "T.Sales", 0.9))
+        assert gold.target_recall(mapping) == 1.0
+
+    def test_unmatched_targets(self):
+        gold = GoldMapping.from_pairs([("a", "b"), ("c", "d")])
+        mapping = self._mapping(("S.a", "T.b", 0.9))
+        assert gold.unmatched_targets(mapping) == ["d"]
+
+    def test_add_and_iter(self):
+        gold = GoldMapping()
+        gold.add("a.b", "c.d")
+        assert len(gold) == 1
+        assert list(gold) == [(("a", "b"), ("c", "d"))]

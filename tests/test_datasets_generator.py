@@ -1,0 +1,96 @@
+"""Tests for the synthetic schema generator and perturbations."""
+
+import pytest
+
+from repro import CupidMatcher
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.eval.metrics import evaluate_mapping
+from repro.model.validation import validate_schema
+
+
+class TestGeneration:
+    def test_leaf_count_respected(self):
+        schema = SchemaGenerator(seed=1).generate(n_leaves=25)
+        leaves = schema.containment_leaves(schema.root)
+        atomic = [l for l in leaves if l.is_atomic]
+        assert len(atomic) == 25
+
+    def test_deterministic_with_seed(self):
+        a = SchemaGenerator(seed=42).generate(n_leaves=15)
+        b = SchemaGenerator(seed=42).generate(n_leaves=15)
+        assert [e.name for e in a.elements] == [e.name for e in b.elements]
+
+    def test_different_seeds_differ(self):
+        a = SchemaGenerator(seed=1).generate(n_leaves=15)
+        b = SchemaGenerator(seed=2).generate(n_leaves=15)
+        assert [e.name for e in a.elements] != [e.name for e in b.elements]
+
+    def test_generated_schema_valid(self):
+        schema = SchemaGenerator(seed=3).generate(n_leaves=40, max_depth=4)
+        assert validate_schema(schema) == []
+
+    def test_depth_bounded(self):
+        schema = SchemaGenerator(seed=4).generate(n_leaves=50, max_depth=2)
+        for leaf in schema.containment_leaves(schema.root):
+            assert schema.containment_depth(leaf) <= 3
+
+    def test_invalid_leaf_count_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaGenerator().generate(n_leaves=0)
+
+
+class TestPerturbation:
+    def test_identity_perturbation(self):
+        generator = SchemaGenerator(seed=5)
+        schema = generator.generate(n_leaves=20)
+        config = PerturbationConfig(
+            abbreviate=0, synonym=0, prefix_suffix=0, retype=0
+        )
+        copy, gold = generator.perturb(schema, config)
+        assert len(gold) == 20
+        # Identical names: the gold pairs name identical paths.
+        for source, target in gold:
+            assert source[-1] == target[-1]
+
+    def test_gold_covers_all_surviving_leaves(self):
+        generator = SchemaGenerator(seed=6)
+        schema = generator.generate(n_leaves=30)
+        copy, gold = generator.perturb(schema)
+        copy_leaves = [
+            l for l in copy.containment_leaves(copy.root) if l.is_atomic
+        ]
+        assert len(gold) == len(copy_leaves)
+
+    def test_drop_leaf(self):
+        generator = SchemaGenerator(seed=7)
+        schema = generator.generate(n_leaves=30)
+        copy, gold = generator.perturb(
+            schema, PerturbationConfig(drop_leaf=1.0)
+        )
+        assert len(gold) == 0
+
+    def test_flatten_removes_inner_levels(self):
+        generator = SchemaGenerator(seed=8)
+        schema = generator.generate(n_leaves=30, max_depth=4)
+        copy, _ = generator.perturb(
+            schema, PerturbationConfig(flatten=1.0)
+        )
+        # Everything hangs directly off the root.
+        for leaf in copy.containment_leaves(copy.root):
+            assert copy.containment_depth(leaf) == 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            PerturbationConfig(abbreviate=1.5).validate()
+
+    def test_perturbed_schema_still_matches_well(self):
+        """End-to-end sanity: Cupid recovers most of a light rename."""
+        generator = SchemaGenerator(seed=9)
+        schema = generator.generate(n_leaves=15, max_depth=2)
+        copy, gold = generator.perturb(
+            schema,
+            PerturbationConfig(abbreviate=0.4, synonym=0.3),
+        )
+        result = CupidMatcher().match(schema, copy)
+        quality = evaluate_mapping(result.leaf_mapping, gold)
+        assert quality.recall >= 0.8

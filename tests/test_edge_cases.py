@@ -1,0 +1,210 @@
+"""Edge cases and failure injection across the pipeline."""
+
+import pytest
+
+from repro import (
+    CupidConfig,
+    CupidMatcher,
+    SchemaBuilder,
+    empty_thesaurus,
+    schema_from_tree,
+)
+from repro.datasets.gold import GoldMapping
+from repro.model.element import SchemaElement
+
+
+class TestDegenerateSchemas:
+    def test_single_leaf_schemas(self):
+        source = schema_from_tree("S", {"x": "integer"})
+        target = schema_from_tree("T", {"x": "integer"})
+        result = CupidMatcher().match(source, target)
+        assert ("S.x", "T.x") in result.leaf_mapping.path_pairs()
+
+    def test_empty_schemas(self):
+        from repro.model.schema import Schema
+
+        source = Schema("S")
+        target = Schema("T")
+        result = CupidMatcher().match(source, target)
+        assert len(result.leaf_mapping) <= 1  # only the roots exist
+
+    def test_empty_vs_populated(self):
+        from repro.model.schema import Schema
+
+        source = Schema("S")
+        target = schema_from_tree("T", {"A": {"x": "int", "y": "int"}})
+        result = CupidMatcher().match(source, target)
+        # Nothing sensible to map; must not crash.
+        assert len(result.leaf_mapping) <= 1
+
+    def test_disjoint_vocabularies(self):
+        source = schema_from_tree(
+            "S", {"Zorp": {"Fleeb": "integer", "Quux": "binary"}}
+        )
+        target = schema_from_tree(
+            "T", {"Gronk": {"Blarg": "date", "Wibble": "boolean"}}
+        )
+        result = CupidMatcher(thesaurus=empty_thesaurus()).match(source, target)
+        for element in result.leaf_mapping:
+            assert element.similarity >= 0.5  # only threshold survivors
+
+    def test_very_deep_chain(self):
+        spec: dict = {"leaf": "integer"}
+        for level in range(15):
+            spec = {f"L{level}": spec}
+        source = schema_from_tree("S", spec)
+        target = schema_from_tree("T", spec)
+        result = CupidMatcher().match(source, target)
+        leaf_pairs = result.leaf_mapping.path_pairs()
+        assert len(leaf_pairs) == 1
+
+    def test_wide_fanout(self):
+        spec = {"T": {f"col{i}": "integer" for i in range(60)}}
+        source = schema_from_tree("S", spec)
+        target = schema_from_tree("T2", spec)
+        result = CupidMatcher().match(source, target)
+        # Same-named columns all map to themselves.
+        same = [
+            e for e in result.leaf_mapping
+            if e.source_name == e.target_name
+        ]
+        assert len(same) == 60
+
+    def test_all_optional_leaves(self):
+        builder_s = SchemaBuilder("S")
+        a = builder_s.add_child(builder_s.root, "A")
+        builder_s.add_leaf(a, "x", "int", optional=True)
+        builder_s.add_leaf(a, "y", "int", optional=True)
+        builder_t = SchemaBuilder("T")
+        b = builder_t.add_child(builder_t.root, "A")
+        builder_t.add_leaf(b, "x", "int", optional=True)
+        result = CupidMatcher().match(builder_s.schema, builder_t.schema)
+        assert ("S.A.x", "T.A.x") in result.leaf_mapping.path_pairs()
+
+
+class TestAdversarialNames:
+    def test_unicode_names(self):
+        source = schema_from_tree("S", {"Bestellung": {"Menge": "integer"}})
+        target = schema_from_tree("T", {"Bestellung": {"Menge": "integer"}})
+        result = CupidMatcher().match(source, target)
+        assert ("S.Bestellung.Menge", "T.Bestellung.Menge") in (
+            result.leaf_mapping.path_pairs()
+        )
+
+    def test_stopword_only_names(self):
+        """Names made purely of articles/prepositions normalize to
+        nothing comparable; matching must degrade, not crash."""
+        source = schema_from_tree("S", {"OfThe": {"AndOr": "integer"}})
+        target = schema_from_tree("T", {"InOn": {"ToFor": "integer"}})
+        result = CupidMatcher().match(source, target)
+        assert isinstance(len(result.leaf_mapping), int)
+
+    def test_numeric_names(self):
+        source = schema_from_tree("S", {"T2024": {"Q1": "money", "Q2": "money"}})
+        target = schema_from_tree("T", {"T2024": {"Q1": "money", "Q2": "money"}})
+        result = CupidMatcher().match(source, target)
+        pairs = result.leaf_mapping.path_pairs()
+        assert ("S.T2024.Q1", "T.T2024.Q1") in pairs
+
+    def test_identical_sibling_names(self):
+        """Two same-named siblings (legal: names need not be unique)."""
+        builder = SchemaBuilder("S")
+        a = builder.add_child(builder.root, "A")
+        builder.add_leaf(a, "value", "integer")
+        b = builder.add_child(builder.root, "B")
+        builder.add_leaf(b, "value", "string")
+        target = schema_from_tree(
+            "T",
+            {"A": {"value": "integer"}, "B": {"value": "string"}},
+        )
+        result = CupidMatcher().match(builder.schema, target)
+        pairs = result.leaf_mapping.path_pairs()
+        assert ("S.A.value", "T.A.value") in pairs
+        assert ("S.B.value", "T.B.value") in pairs
+
+    def test_extremely_long_name(self):
+        long_name = "Very" * 50 + "LongColumnName"
+        source = schema_from_tree("S", {"A": {long_name: "integer"}})
+        target = schema_from_tree("T", {"A": {long_name: "integer"}})
+        result = CupidMatcher().match(source, target)
+        assert len(result.leaf_mapping) == 1
+
+
+class TestAdversarialThesaurus:
+    def test_conflicting_strengths_last_wins(self):
+        from repro import Thesaurus
+
+        thesaurus = Thesaurus()
+        thesaurus.add_synonym("a1", "b1", 0.3)
+        thesaurus.add_synonym("a1", "b1", 0.9)
+        assert thesaurus.relatedness("a1", "b1") == 0.9
+
+    def test_expansion_to_stopwords_only(self):
+        """An abbreviation that expands to pure stopwords leaves the
+        element with no comparable tokens."""
+        from repro import Thesaurus
+        from repro.linguistic.normalizer import Normalizer
+
+        thesaurus = Thesaurus()
+        thesaurus.add_stopwords(["of", "the"])
+        thesaurus.add_abbreviation("ot", ["of", "the"])
+        normalized = Normalizer(thesaurus).normalize("OT")
+        assert normalized.comparable_tokens() == []
+
+    def test_self_expanding_abbreviation(self):
+        """An abbreviation expanding to itself must not loop."""
+        from repro import Thesaurus
+        from repro.linguistic.normalizer import Normalizer
+
+        thesaurus = Thesaurus()
+        thesaurus.add_abbreviation("qty", ["qty"])
+        normalized = Normalizer(thesaurus).normalize("qty")
+        assert [t.text for t in normalized.tokens] == ["qty"]
+
+
+class TestGoldEdgeCases:
+    def test_empty_gold(self):
+        from repro.eval.metrics import evaluate_mapping
+        from repro.mapping.mapping import Mapping
+
+        quality = evaluate_mapping(Mapping("S", "T"), GoldMapping())
+        assert quality.recall == 0.0
+        assert quality.precision == 0.0
+
+    def test_gold_target_recall_empty(self):
+        from repro.mapping.mapping import Mapping
+
+        assert GoldMapping().target_recall(Mapping("S", "T")) == 0.0
+
+
+class TestConfigInteractions:
+    def test_extreme_thresholds_still_run(self, tiny_pair):
+        source, target = tiny_pair
+        config = CupidConfig(
+            thaccept=0.95, thhigh=0.96, thlow=0.01, cinc=1.01, cdec=0.99
+        )
+        result = CupidMatcher(config=config).match(source, target)
+        for element in result.leaf_mapping:
+            assert element.similarity >= 0.95
+
+    def test_zero_wstruct_is_pure_linguistic(self, tiny_pair):
+        source, target = tiny_pair
+        config = CupidConfig(wstruct=0.0, wstruct_leaf=0.0)
+        result = CupidMatcher(config=config).match(source, target)
+        qty = result.source_tree.node_for_path("Order", "Qty")
+        quantity = result.target_tree.node_for_path("Order", "Quantity")
+        sims = result.treematch_result.sims
+        assert sims.wsim(qty, quantity) == pytest.approx(
+            sims.lsim(qty, quantity)
+        )
+
+    def test_full_wstruct_is_pure_structural(self, tiny_pair):
+        source, target = tiny_pair
+        config = CupidConfig(wstruct=1.0, wstruct_leaf=1.0)
+        result = CupidMatcher(config=config).match(source, target)
+        qty = result.source_tree.node_for_path("Order", "Qty")
+        quantity = result.target_tree.node_for_path("Order", "Quantity")
+        sims = result.treematch_result.sims
+        assert sims.wsim(qty, quantity) == pytest.approx(
+            sims.ssim(qty, quantity)
+        )

@@ -1,0 +1,124 @@
+"""Tests for mapping composition/inversion and hierarchical mappings."""
+
+import pytest
+
+from repro import CupidMatcher
+from repro.exceptions import MappingError
+from repro.mapping.compose import compose_mappings, invert_mapping
+from repro.mapping.hierarchy import build_hierarchical_mapping
+from repro.mapping.mapping import Mapping, MappingElement
+
+
+def _mapping(source_name, target_name, *pairs):
+    mapping = Mapping(source_name, target_name)
+    for source, target, score in pairs:
+        mapping.add(
+            MappingElement(
+                source_path=tuple(source.split(".")),
+                target_path=tuple(target.split(".")),
+                similarity=score,
+            )
+        )
+    return mapping
+
+
+class TestInvert:
+    def test_swap(self):
+        ab = _mapping("A", "B", ("A.x", "B.y", 0.8))
+        ba = invert_mapping(ab)
+        assert ba.source_schema_name == "B"
+        assert ("B.y", "A.x") in ba.path_pairs()
+
+    def test_double_inversion_identity(self):
+        ab = _mapping("A", "B", ("A.x", "B.y", 0.8), ("A.z", "B.w", 0.6))
+        assert invert_mapping(invert_mapping(ab)).path_pairs() == ab.path_pairs()
+
+
+class TestCompose:
+    def test_chain(self):
+        ab = _mapping("A", "B", ("A.x", "B.y", 0.8))
+        bc = _mapping("B", "C", ("B.y", "C.z", 0.9))
+        ac = compose_mappings(ab, bc)
+        assert ac.source_schema_name == "A"
+        assert ac.target_schema_name == "C"
+        element = list(ac)[0]
+        assert element.path_pair() == ("A.x", "C.z")
+        assert element.similarity == pytest.approx(0.72)
+
+    def test_unjoinable_elements_dropped(self):
+        ab = _mapping("A", "B", ("A.x", "B.y", 0.8))
+        bc = _mapping("B", "C", ("B.other", "C.z", 0.9))
+        assert len(compose_mappings(ab, bc)) == 0
+
+    def test_multiple_intermediates_keep_strongest(self):
+        ab = _mapping(
+            "A", "B", ("A.x", "B.y1", 0.9), ("A.x", "B.y2", 0.5)
+        )
+        bc = _mapping(
+            "B", "C", ("B.y1", "C.z", 0.5), ("B.y2", "C.z", 0.9)
+        )
+        ac = compose_mappings(ab, bc)
+        assert len(ac) == 1
+        assert list(ac)[0].similarity == pytest.approx(0.45)
+
+    def test_min_similarity_filter(self):
+        ab = _mapping("A", "B", ("A.x", "B.y", 0.5))
+        bc = _mapping("B", "C", ("B.y", "C.z", 0.5))
+        assert len(compose_mappings(ab, bc, min_similarity=0.3)) == 0
+
+    def test_schema_mismatch_raises(self):
+        ab = _mapping("A", "B", ("A.x", "B.y", 0.8))
+        cd = _mapping("C", "D", ("C.y", "D.z", 0.9))
+        with pytest.raises(MappingError):
+            compose_mappings(ab, cd)
+
+    def test_compose_through_inversion(self):
+        """A→B composed with invert(C→B) gives A→C — the reuse pattern
+        for mapping both sources onto a shared mediated schema."""
+        ab = _mapping("A", "B", ("A.x", "B.y", 0.8))
+        cb = _mapping("C", "B", ("C.z", "B.y", 0.9))
+        ac = compose_mappings(ab, invert_mapping(cb))
+        assert ("A.x", "C.z") in ac.path_pairs()
+
+
+class TestHierarchicalMapping:
+    def test_nesting_from_figure2(self, figure2_result):
+        hierarchy = build_hierarchical_mapping(
+            figure2_result.nonleaf_mapping, figure2_result.leaf_mapping
+        )
+        # Everything that was in either flat mapping is in the forest.
+        assert len(hierarchy) == len(figure2_result.leaf_mapping) + len(
+            figure2_result.nonleaf_mapping
+        )
+        # The root pair contains the rest.
+        root_node = hierarchy.find("PO", "PurchaseOrder")
+        assert root_node is not None
+        nested = list(root_node.iter_depth_first())
+        assert len(nested) > 1
+
+    def test_leaves_nest_under_their_parents(self, figure2_result):
+        hierarchy = build_hierarchical_mapping(
+            figure2_result.nonleaf_mapping, figure2_result.leaf_mapping
+        )
+        bill = hierarchy.find("PO.POBillTo", "PurchaseOrder.InvoiceTo")
+        assert bill is not None
+        child_pairs = {
+            node.element.path_pair() for node in bill.iter_depth_first()
+        }
+        assert (
+            "PO.POBillTo.City",
+            "PurchaseOrder.InvoiceTo.Address.City",
+        ) in child_pairs
+
+    def test_render_is_indented(self, figure2_result):
+        hierarchy = build_hierarchical_mapping(
+            figure2_result.nonleaf_mapping, figure2_result.leaf_mapping
+        )
+        text = hierarchy.render()
+        assert "  " in text  # at least one nested level
+        assert "PO" in text
+
+    def test_orphans_become_roots(self):
+        leaf = _mapping("S", "T", ("S.A.x", "T.B.y", 0.7))
+        hierarchy = build_hierarchical_mapping(Mapping("S", "T"), leaf)
+        assert len(hierarchy.roots) == 1

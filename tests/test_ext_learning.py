@@ -1,0 +1,141 @@
+"""Tests for incremental thesaurus learning (Section 9.3)."""
+
+import pytest
+
+from repro import CupidMatcher
+from repro.linguistic.learning import ThesaurusLearner, _looks_like_abbreviation
+from repro.linguistic.normalizer import Normalizer
+from repro.linguistic.thesaurus import empty_thesaurus
+from repro.mapping.mapping import Mapping, MappingElement
+from repro.model.builder import schema_from_tree
+
+
+def _mapping(*pairs):
+    mapping = Mapping("S", "T")
+    for source, target in pairs:
+        mapping.add(
+            MappingElement(
+                source_path=tuple(source.split(".")),
+                target_path=tuple(target.split(".")),
+                similarity=1.0,
+            )
+        )
+    return mapping
+
+
+@pytest.fixture
+def learner():
+    return ThesaurusLearner(Normalizer(empty_thesaurus()))
+
+
+class TestAlignment:
+    def test_single_differing_token_aligned(self, learner):
+        mapping = _mapping(("S.Order.InvoiceDate", "T.Order.BillDate"))
+        assert learner.observe(mapping) == 1
+        proposals = learner.proposals()
+        assert len(proposals) == 1
+        assert {proposals[0].term_a, proposals[0].term_b} == {
+            "invoice", "bill",
+        }
+        assert proposals[0].kind == "synonym"
+
+    def test_identical_names_yield_nothing(self, learner):
+        assert learner.observe(_mapping(("S.A.City", "T.B.City"))) == 0
+
+    def test_multiple_differences_skipped(self, learner):
+        """Ambiguous alignments are not guessed at."""
+        mapping = _mapping(("S.A.InvoiceTotal", "T.B.BillSum"))
+        assert learner.observe(mapping) == 0
+
+    def test_abbreviation_detected(self, learner):
+        mapping = _mapping(("S.Item.ShipQty", "T.Item.ShipQuantity"))
+        learner.observe(mapping)
+        proposals = learner.proposals()
+        assert proposals[0].kind == "abbreviation"
+        assert proposals[0].term_a == "qty"
+        assert proposals[0].term_b == "quantity"
+
+    def test_evidence_accumulates(self, learner):
+        for _ in range(3):
+            learner.observe(
+                _mapping(("S.Order.InvoiceDate", "T.Order.BillDate"))
+            )
+        proposal = learner.proposals()[0]
+        assert proposal.evidence == 3
+        assert proposal.confidence > 0.7
+
+    def test_min_evidence_filters(self):
+        learner = ThesaurusLearner(
+            Normalizer(empty_thesaurus()), min_evidence=2
+        )
+        learner.observe(_mapping(("S.A.InvoiceDate", "T.B.BillDate")))
+        assert learner.proposals() == []
+
+
+class TestAbbreviationHeuristic:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("qty", "quantity", ("qty", "quantity")),
+            ("num", "number", ("num", "number")),
+            ("quantity", "qty", ("qty", "quantity")),  # order-insensitive
+            ("invoice", "bill", None),                  # genuine synonym
+            ("x", "xylophone", None),                   # too short
+        ],
+    )
+    def test_detection(self, a, b, expected):
+        assert _looks_like_abbreviation(a, b) == expected
+
+
+class TestLearnedThesaurus:
+    def test_materialization(self, learner):
+        learner.observe(_mapping(("S.Order.InvoiceDate", "T.Order.BillDate")))
+        learner.observe(_mapping(("S.Item.ShipQty", "T.Item.ShipQuantity")))
+        thesaurus = learner.learned_thesaurus()
+        assert thesaurus.relatedness("invoice", "bill") is not None
+        assert thesaurus.expansion("qty") == ("quantity",)
+
+    def test_merge_over_base(self, learner, thesaurus):
+        learner.observe(_mapping(("S.A.MonikerText", "T.B.NameText")))
+        merged = learner.learned_thesaurus(base=thesaurus)
+        assert merged.relatedness("moniker", "name") is not None
+        assert merged.expansion("po") is not None  # base kept
+
+    def test_learning_loop_improves_second_match(self):
+        """The full workflow: match -> user validates -> learn ->
+        re-match a *new* schema pair with the learned vocabulary."""
+        source1 = schema_from_tree(
+            "S1", {"Order": {"InvoiceDate": "date", "Total": "money"}}
+        )
+        target1 = schema_from_tree(
+            "T1", {"Order": {"BillDate": "date", "Total": "money"}}
+        )
+        validated = _mapping(("S1.Order.InvoiceDate", "T1.Order.BillDate"))
+
+        learner = ThesaurusLearner(Normalizer(empty_thesaurus()))
+        learner.observe(validated)
+        learned = learner.learned_thesaurus(base=empty_thesaurus())
+
+        source2 = schema_from_tree(
+            "S2", {"Payment": {"Invoice": "integer", "Paid": "date"}}
+        )
+        target2 = schema_from_tree(
+            "T2", {"Payment": {"Bill": "integer", "Paid": "date"}}
+        )
+        before = CupidMatcher(thesaurus=empty_thesaurus()).match(
+            source2, target2
+        )
+        after = CupidMatcher(thesaurus=learned).match(source2, target2)
+        pair = ("S2.Payment.Invoice", "T2.Payment.Bill")
+        assert pair not in before.leaf_mapping.path_pairs()
+        assert pair in after.leaf_mapping.path_pairs()
+        # And the learned synonym is visible in lsim directly.
+        assert after.lsim("Payment.Invoice", "Payment.Bill") > (
+            before.lsim("Payment.Invoice", "Payment.Bill")
+        )
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            ThesaurusLearner(
+                Normalizer(empty_thesaurus()), base_confidence=0.0
+            )

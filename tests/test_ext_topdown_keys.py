@@ -1,0 +1,125 @@
+"""Tests for the top-down baseline and key-affinity initialization."""
+
+import pytest
+
+from repro import CupidConfig, CupidMatcher, schema_from_tree
+from repro.baselines.topdown import TopDownMatcher
+from repro.config import CupidConfig as _Config
+from repro.datasets.canonical import canonical_examples
+from repro.exceptions import ConfigError
+from repro.linguistic.matcher import LsimTable
+from repro.model.builder import SchemaBuilder
+from repro.model.datatypes import default_compatibility_table
+from repro.structure.similarity import SimilarityStore
+from repro.tree.construction import construct_schema_tree
+
+
+class TestTopDownMatcher:
+    def test_matches_aligned_top_levels(self):
+        spec = {"Order": {"Qty": "integer", "Price": "money"}}
+        matcher = TopDownMatcher()
+        mapping = matcher.match(
+            schema_from_tree("S", spec), schema_from_tree("T", spec)
+        )
+        assert ("S.Order.Qty", "T.Order.Qty") in mapping.path_pairs()
+
+    def test_top_level_mismatch_loses_descendants(self):
+        """Section 6: 'a top-down approach is optimistic and will
+        perform poorly if the two schemas differ considerably at the
+        top level' — renamed top levels cut off identical leaves."""
+        source = schema_from_tree(
+            "S", {"Alpha": {"Qty": "integer", "Price": "money"}}
+        )
+        target = schema_from_tree(
+            "T", {"Zulu": {"Qty": "integer", "Price": "money"}}
+        )
+        top_down = TopDownMatcher().match(source, target)
+        assert ("S.Alpha.Qty", "T.Zulu.Qty") not in top_down.path_pairs()
+
+        # Bottom-up Cupid recovers the leaves despite the top mismatch.
+        cupid = CupidMatcher().match(source, target)
+        assert ("S.Alpha.Qty", "T.Zulu.Qty") in cupid.leaf_mapping.path_pairs()
+
+    def test_nesting_difference_hurts_topdown(self):
+        """Canonical example 5, top-down: the extra Name/Address levels
+        gate off the flat schema's leaves."""
+        example5 = canonical_examples()[4]
+        top_down = TopDownMatcher().match(
+            example5.schema1, example5.schema2
+        )
+        found = example5.gold.found_pairs(top_down)
+        cupid = CupidMatcher().match(example5.schema1, example5.schema2)
+        cupid_found = example5.gold.found_pairs(cupid.leaf_mapping)
+        assert len(found) < len(example5.gold)
+        assert len(cupid_found) == len(example5.gold)
+
+    def test_scores_bounded(self, po_schema, purchase_order_schema):
+        mapping = TopDownMatcher().match(po_schema, purchase_order_schema)
+        for element in mapping:
+            assert 0.0 <= element.similarity <= 1.0
+
+
+class TestKeyAffinity:
+    def _store(self, config):
+        return SimilarityStore(
+            LsimTable(), config, default_compatibility_table()
+        )
+
+    def _nodes(self, source_key: bool, target_key: bool):
+        source = SchemaBuilder("S")
+        table_s = source.add_child(source.root, "T1")
+        source.add_leaf(table_s, "a", "integer", is_key=source_key)
+        target = SchemaBuilder("T")
+        table_t = target.add_child(target.root, "T2")
+        target.add_leaf(table_t, "b", "integer", is_key=target_key)
+        s_tree = construct_schema_tree(source.schema)
+        t_tree = construct_schema_tree(target.schema)
+        return s_tree.node_for_path("T1", "a"), t_tree.node_for_path("T2", "b")
+
+    def test_both_keys_boosted(self):
+        config = _Config(use_key_affinity=True)
+        store = self._store(config)
+        s, t = self._nodes(True, True)
+        assert store.ssim(s, t) == pytest.approx(0.5)  # 0.5 cap holds
+
+    def test_key_mismatch_penalized(self):
+        config = _Config(use_key_affinity=True)
+        store = self._store(config)
+        s, t = self._nodes(True, False)
+        assert store.ssim(s, t) == pytest.approx(0.45)
+
+    def test_disabled(self):
+        config = _Config(use_key_affinity=False)
+        store = self._store(config)
+        s, t = self._nodes(True, False)
+        assert store.ssim(s, t) == pytest.approx(0.5)
+
+    def test_cap_preserved(self):
+        """Key bonus never pushes the initialization past 0.5."""
+        config = _Config(use_key_affinity=True, key_affinity_bonus=0.25)
+        store = self._store(config)
+        s, t = self._nodes(True, True)
+        assert store.ssim(s, t) <= 0.5
+
+    def test_invalid_bonus_rejected(self):
+        with pytest.raises(ConfigError):
+            _Config(key_affinity_bonus=0.5).validate()
+
+    def test_key_affinity_helps_id_matching(self):
+        """Two tables whose only distinguishing signal is key-ness."""
+        source = SchemaBuilder("S")
+        t1 = source.add_child(source.root, "Orders")
+        source.add_leaf(t1, "Code", "integer", is_key=True)
+        source.add_leaf(t1, "Slot", "integer")
+        target = SchemaBuilder("T")
+        t2 = target.add_child(target.root, "Orders")
+        target.add_leaf(t2, "Key", "integer", is_key=True)
+        target.add_leaf(t2, "Rank", "integer")
+        result = CupidMatcher(
+            config=CupidConfig(use_key_affinity=True)
+        ).match(source.schema, target.schema)
+        sims = result.treematch_result.sims
+        code = result.source_tree.node_for_path("Orders", "Code")
+        key = result.target_tree.node_for_path("Orders", "Key")
+        rank = result.target_tree.node_for_path("Orders", "Rank")
+        assert sims.wsim(code, key) > sims.wsim(code, rank)

@@ -1,0 +1,168 @@
+"""Tests for auto-tuning and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_schema, main
+from repro.config import CupidConfig
+from repro.core.tuning import auto_config, tune_against_sample
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.rdb_star import rdb_schema, star_schema
+from repro.exceptions import ReproError
+from repro.model.builder import schema_from_tree
+
+_SQL = """
+CREATE TABLE Customers (
+  CustomerID int PRIMARY KEY,
+  Name varchar(40),
+  City varchar(30)
+);
+CREATE TABLE Orders (
+  OrderID int PRIMARY KEY,
+  CustomerID int REFERENCES Customers(CustomerID),
+  OrderDate datetime
+);
+"""
+
+_SQL_TARGET = """
+CREATE TABLE Clients (
+  ClientID int PRIMARY KEY,
+  Name varchar(40),
+  Town varchar(30)
+);
+CREATE TABLE Purchases (
+  PurchaseID int PRIMARY KEY,
+  ClientID int REFERENCES Clients(ClientID),
+  PurchaseDate datetime
+);
+"""
+
+
+class TestAutoConfig:
+    def test_deeper_schemas_get_larger_cinc(self):
+        shallow = schema_from_tree("S", {"A": {"x": "int"}})
+        deep = schema_from_tree(
+            "D", {"A": {"B": {"C": {"D": {"x": "int"}}}}}
+        )
+        shallow_config = auto_config(shallow, shallow)
+        deep_config = auto_config(deep, deep)
+        assert shallow_config.cinc >= deep_config.cinc
+        assert deep_config.cinc >= 1.15
+
+    def test_refints_relax_pruning_ratio(self):
+        config = auto_config(rdb_schema(), star_schema())
+        assert config.leaf_count_ratio >= 2.5
+
+    def test_no_refints_keep_default_ratio(self):
+        config = auto_config(figure2_po(), figure2_purchase_order())
+        assert config.leaf_count_ratio == CupidConfig().leaf_count_ratio
+
+    def test_result_is_valid(self):
+        auto_config(rdb_schema(), star_schema()).validate()
+
+
+class TestTuneAgainstSample:
+    def test_returns_config_and_score(self):
+        sample = [
+            ("POLines.Item.Qty", "Items.Item.Quantity"),
+            ("POBillTo.City", "InvoiceTo.Address.City"),
+        ]
+        config, f1 = tune_against_sample(
+            figure2_po(), figure2_purchase_order(), sample,
+            cinc_grid=(1.2,), wstruct_grid=(0.55, 0.6),
+        )
+        assert f1 > 0.0
+        config.validate()
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            tune_against_sample(
+                figure2_po(), figure2_purchase_order(), []
+            )
+
+
+class TestCli:
+    @pytest.fixture
+    def schema_files(self, tmp_path):
+        source = tmp_path / "source.sql"
+        source.write_text(_SQL)
+        target = tmp_path / "target.sql"
+        target.write_text(_SQL_TARGET)
+        return str(source), str(target)
+
+    def test_load_schema_by_extension(self, tmp_path):
+        path = tmp_path / "db.sql"
+        path.write_text(_SQL)
+        schema = load_schema(str(path))
+        assert schema.name == "db"
+        assert len(schema.refint_elements()) == 1
+
+    def test_load_unknown_extension(self, tmp_path):
+        path = tmp_path / "db.weird"
+        path.write_text("...")
+        with pytest.raises(ReproError):
+            load_schema(str(path))
+
+    def test_match_text_output(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(["match", source, target]) == 0
+        out = capsys.readouterr().out
+        assert "correspondences" in out
+        assert "Name" in out
+
+    def test_match_json_output(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(["match", source, target, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["source_schema"] == "source"
+        assert data["elements"]
+
+    def test_match_one_to_one(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(
+            ["match", source, target, "--format", "json", "--one-to-one"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        targets = [tuple(e["target_path"]) for e in data["elements"]]
+        assert len(targets) == len(set(targets))
+
+    def test_match_min_similarity(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(
+            ["match", source, target, "--format", "json",
+             "--min-similarity", "0.99"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        for element in data["elements"]:
+            assert element["similarity"] >= 0.99
+
+    def test_match_auto_tune(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(["match", source, target, "--auto-tune"]) == 0
+
+    def test_match_no_thesaurus(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(["match", source, target, "--no-thesaurus"]) == 0
+
+    def test_show(self, schema_files, capsys):
+        source, _ = schema_files
+        assert main(["show", source]) == 0
+        out = capsys.readouterr().out
+        assert "Customers" in out
+        assert "referential constraint" in out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["match", "/nope/a.sql", "/nope/b.sql"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_xml_and_oo_loading(self, tmp_path):
+        xml = tmp_path / "s.xml"
+        xml.write_text(
+            "<schema name='S'><element name='A'>"
+            "<attribute name='x' type='integer'/></element></schema>"
+        )
+        oo = tmp_path / "s.oo"
+        oo.write_text("class C (x: integer)")
+        assert load_schema(str(xml)).name == "S"
+        assert load_schema(str(oo)).name == "s"

@@ -1,0 +1,153 @@
+"""Cross-feature interaction tests.
+
+Features that are individually tested can still conflict in
+combination; these tests pin the combinations a real user will hit.
+"""
+
+import pytest
+
+from repro import CupidConfig, CupidMatcher, auto_config
+from repro.datasets.rdb_star import rdb_schema, star_schema
+from repro.io.dtd import parse_dtd
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.model.builder import SchemaBuilder
+from repro.tree.lazy import construct_schema_tree_lazy
+from repro.tree.refint import augment_with_join_views
+
+
+class TestLazyWithJoinViews:
+    def test_join_views_on_lazy_tree(self):
+        """Join-view augmentation must work on shared-subtree trees."""
+        schema = parse_sql_ddl(
+            """
+            CREATE TABLE A (x int PRIMARY KEY, y varchar(10));
+            CREATE TABLE B (z int REFERENCES A(x), w varchar(10));
+            """,
+            "DB",
+        )
+        tree = construct_schema_tree_lazy(schema)
+        added = augment_with_join_views(tree)
+        joins = [n for n in added if n.is_join_view]
+        assert len(joins) == 1
+        assert {c.name for c in joins[0].children} == {"x", "y", "z", "w"}
+
+    def test_lazy_pipeline_with_refints(self):
+        config = CupidConfig(lazy_expansion=True, use_refint_joins=True)
+        matcher = CupidMatcher(config=config)
+        result = matcher.match(rdb_schema(), star_schema())
+        assert len(result.leaf_mapping) > 10
+        join_nodes = [
+            n for n in result.source_tree.nodes() if n.is_join_view
+        ]
+        assert join_nodes
+
+
+class TestAutoTuneCombinations:
+    def test_auto_config_with_descriptions(self):
+        base = CupidConfig(use_descriptions=True)
+        config = auto_config(rdb_schema(), star_schema(), base)
+        assert config.use_descriptions  # preserved through replace()
+        assert config.leaf_count_ratio >= 2.5
+
+    def test_auto_config_with_lazy(self):
+        base = CupidConfig(lazy_expansion=True)
+        config = auto_config(rdb_schema(), star_schema(), base)
+        assert config.lazy_expansion
+        CupidMatcher(config=config).match(rdb_schema(), star_schema())
+
+
+class TestInitialMappingInteractions:
+    def test_hint_plus_one_to_one(self):
+        builder_s = SchemaBuilder("S")
+        a = builder_s.add_child(builder_s.root, "A")
+        builder_s.add_leaf(a, "p", "integer")
+        builder_s.add_leaf(a, "q", "integer")
+        builder_t = SchemaBuilder("T")
+        b = builder_t.add_child(builder_t.root, "A")
+        builder_t.add_leaf(b, "r", "integer")
+        builder_t.add_leaf(b, "s", "integer")
+
+        result = CupidMatcher().match(
+            builder_s.schema,
+            builder_t.schema,
+            initial_mapping=[("A.p", "A.r"), ("A.q", "A.s")],
+        )
+        one_to_one = result.one_to_one()
+        assert one_to_one.is_one_to_one()
+        assert ("S.A.p", "T.A.r") in one_to_one.path_pairs()
+        assert ("S.A.q", "T.A.s") in one_to_one.path_pairs()
+
+    def test_hint_survives_lazy_expansion(self):
+        """Hints address tree paths; the lazy tree must resolve them."""
+        builder = SchemaBuilder("S")
+        shared = builder.add_shared_type("Addr")
+        builder.add_leaf(shared, "street", "string")
+        user = builder.add_child(builder.root, "Home")
+        builder.derive_from(user, shared)
+        source = builder.schema
+
+        builder2 = SchemaBuilder("T")
+        home = builder2.add_child(builder2.root, "Home")
+        builder2.add_leaf(home, "road", "string")
+        target = builder2.schema
+
+        matcher = CupidMatcher(config=CupidConfig(lazy_expansion=True))
+        result = matcher.match(
+            source, target, initial_mapping=[("Home.street", "Home.road")]
+        )
+        assert ("S.Home.street", "T.Home.road") in (
+            result.leaf_mapping.path_pairs()
+        )
+
+
+class TestDtdThroughCli:
+    def test_cli_matches_dtd_against_sql(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dtd = tmp_path / "po.dtd"
+        dtd.write_text(
+            """
+            <!ELEMENT order (#PCDATA)>
+            <!ATTLIST order
+              order_number CDATA #REQUIRED
+              order_date CDATA #IMPLIED>
+            """
+        )
+        sql = tmp_path / "po.sql"
+        sql.write_text(
+            "CREATE TABLE Orders (OrderNumber int PRIMARY KEY, "
+            "OrderDate datetime);"
+        )
+        assert main(["match", str(dtd), str(sql)]) == 0
+        out = capsys.readouterr().out
+        assert "order_number" in out.lower()
+
+
+class TestKeyAffinityWithImporters:
+    def test_sql_keys_feed_affinity(self):
+        """PRIMARY KEY columns from the DDL importer carry is_key into
+        the similarity store."""
+        source = parse_sql_ddl(
+            "CREATE TABLE T (ID int PRIMARY KEY, Val int);", "S"
+        )
+        target = parse_sql_ddl(
+            "CREATE TABLE T (Code int PRIMARY KEY, Num int);", "T"
+        )
+        result = CupidMatcher().match(source, target)
+        sims = result.treematch_result.sims
+        id_node = result.source_tree.node_for_path("T", "ID")
+        code = result.target_tree.node_for_path("T", "Code")
+        num = result.target_tree.node_for_path("T", "Num")
+        # Key/key starts above key/non-key (identical int types).
+        assert sims.ssim(id_node, code) >= sims.ssim(id_node, num)
+
+    def test_dtd_id_keys_feed_affinity(self):
+        source = parse_dtd(
+            """
+            <!ELEMENT a (#PCDATA)>
+            <!ATTLIST a key ID #REQUIRED other CDATA #IMPLIED>
+            """,
+            "S",
+        )
+        keyed = source.element_named("key")
+        assert keyed.is_key

@@ -1,0 +1,105 @@
+"""Cross-data-model integration tests.
+
+The paper's core positioning: Match "must be generic, meaning that it
+can apply to many different data models". These tests match schemas
+expressed in *different* source models — relational DDL against the
+XML dialect, a DTD against an OO class model — through the one generic
+pipeline.
+"""
+
+import pytest
+
+from repro import CupidMatcher
+from repro.io.dtd import parse_dtd
+from repro.io.oo_model import parse_oo_model
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.io.xml_schema import parse_xml_schema
+
+_SQL = """
+CREATE TABLE PurchaseOrder (
+  OrderNumber int PRIMARY KEY,
+  OrderDate datetime,
+  CustomerName varchar(40)
+);
+CREATE TABLE OrderLine (
+  LineNumber int PRIMARY KEY,
+  OrderNumber int REFERENCES PurchaseOrder(OrderNumber),
+  Quantity int,
+  UnitPrice money
+);
+"""
+
+_XML = """
+<schema name="POMessage">
+  <element name="Order">
+    <attribute name="OrderNumber" type="integer"/>
+    <attribute name="OrderDate" type="date"/>
+    <attribute name="CustomerName" type="string"/>
+    <element name="Line">
+      <attribute name="LineNumber" type="integer"/>
+      <attribute name="Quantity" type="integer"/>
+      <attribute name="UnitPrice" type="money"/>
+    </element>
+  </element>
+</schema>
+"""
+
+
+class TestRelationalVsXml:
+    def test_sql_to_xml_match(self):
+        source = parse_sql_ddl(_SQL, "DB")
+        target = parse_xml_schema(_XML)
+        result = CupidMatcher().match(source, target)
+        pairs = result.leaf_mapping.name_pairs()
+        for name in ("OrderNumber", "OrderDate", "CustomerName",
+                     "Quantity", "UnitPrice", "LineNumber"):
+            assert any(p == (name, name) for p in pairs), name
+
+    def test_tables_map_to_elements(self):
+        source = parse_sql_ddl(_SQL, "DB")
+        target = parse_xml_schema(_XML)
+        result = CupidMatcher().match(source, target)
+        nonleaf = result.nonleaf_mapping.name_pairs()
+        assert ("PurchaseOrder", "Order") in nonleaf
+        assert ("OrderLine", "Line") in nonleaf
+
+    def test_join_view_crosses_models(self):
+        """The SQL side's FK join view maps against the XML Order
+        element that nests the same content."""
+        source = parse_sql_ddl(_SQL, "DB")
+        target = parse_xml_schema(_XML)
+        result = CupidMatcher().match(source, target)
+        join_nodes = [
+            n for n in result.source_tree.nodes() if n.is_join_view
+        ]
+        assert join_nodes
+        order_node = result.target_tree.node_for_path("Order")
+        wsim = result.treematch_result.wsim_of(join_nodes[0], order_node)
+        assert wsim > 0.0
+
+
+class TestDtdVsOo:
+    def test_dtd_to_class_model(self):
+        dtd = """
+        <!ELEMENT customer (#PCDATA)>
+        <!ATTLIST customer
+          cust_number CDATA #REQUIRED
+          name CDATA #REQUIRED
+          address CDATA #IMPLIED>
+        """
+        oo = """
+        class Customer (CustomerNumber: integer (key),
+                        Name: string,
+                        Address: string)
+        """
+        source = parse_dtd(dtd, "DTD")
+        target = parse_oo_model(oo, "OO")
+        result = CupidMatcher().match(source, target)
+        pairs = result.leaf_mapping.name_pairs()
+        assert ("name", "Name") in pairs
+        assert ("address", "Address") in pairs
+        # "cust_number" tokenizes on the underscore and "cust" expands
+        # via the bundled lexicon; a fully concatenated lowercase name
+        # ("custnumber") would have no split point — the same
+        # tokenizer limitation the paper's prototype has.
+        assert ("cust_number", "CustomerNumber") in pairs

@@ -1,0 +1,167 @@
+"""Tests for the mini DTD importer."""
+
+import pytest
+
+from repro.exceptions import XmlSchemaParseError
+from repro.io.dtd import parse_dtd
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind
+from repro.model.validation import validate_schema
+from repro.tree.construction import construct_schema_tree
+from repro.tree.refint import augment_with_join_views
+
+_PO_DTD = """
+<!ELEMENT po (header, shipto, lines)>
+<!ELEMENT header (#PCDATA)>
+<!ATTLIST header
+  ponumber CDATA #REQUIRED
+  podate CDATA #IMPLIED>
+<!ELEMENT shipto (#PCDATA)>
+<!ATTLIST shipto
+  street CDATA #REQUIRED
+  city CDATA #REQUIRED>
+<!ELEMENT lines (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item
+  id ID #REQUIRED
+  qty CDATA #REQUIRED
+  ref IDREF #IMPLIED>
+"""
+
+
+class TestElements:
+    def test_root_detection(self):
+        schema = parse_dtd(_PO_DTD, "PO")
+        top = schema.contained_children(schema.root)
+        assert [e.name for e in top] == ["po"]
+
+    def test_containment(self):
+        schema = parse_dtd(_PO_DTD, "PO")
+        po = schema.element_named("po")
+        assert {c.name for c in schema.contained_children(po)} == {
+            "header", "shipto", "lines",
+        }
+
+    def test_attributes_typed_and_optional(self):
+        schema = parse_dtd(_PO_DTD, "PO")
+        ponumber = schema.element_named("ponumber")
+        assert ponumber.data_type is DataType.STRING
+        assert not ponumber.optional
+        assert schema.element_named("podate").optional
+
+    def test_star_cardinality_is_optional(self):
+        schema = parse_dtd(_PO_DTD, "PO")
+        assert schema.element_named("item").optional
+
+    def test_pcdata_only_element_is_atomic(self):
+        dtd = "<!ELEMENT note (#PCDATA)>"
+        schema = parse_dtd(dtd, "S")
+        assert schema.element_named("note").data_type is DataType.STRING
+
+    def test_enumerated_attribute(self):
+        dtd = """
+        <!ELEMENT order (#PCDATA)>
+        <!ATTLIST order status (open|closed) "open">
+        """
+        schema = parse_dtd(dtd, "S")
+        assert schema.element_named("status").data_type is DataType.ENUM
+
+    def test_validates(self):
+        assert validate_schema(parse_dtd(_PO_DTD, "PO")) == []
+
+
+class TestIdIdref:
+    def test_id_becomes_key(self):
+        schema = parse_dtd(_PO_DTD, "PO")
+        identifier = schema.element_named("id")
+        assert identifier.is_key
+        keys = [e for e in schema.elements if e.kind is ElementKind.KEY]
+        assert len(keys) == 1
+        assert schema.aggregated_members(keys[0]) == [identifier]
+
+    def test_idref_becomes_refint(self):
+        """Figure 5: ID/IDREF pairs are DTD referential constraints."""
+        schema = parse_dtd(_PO_DTD, "PO")
+        refints = schema.refint_elements()
+        assert len(refints) == 1
+        sources = schema.aggregated_members(refints[0])
+        assert [s.name for s in sources] == ["ref"]
+        targets = schema.reference_targets(refints[0])
+        assert len(targets) == 1
+        assert targets[0].kind is ElementKind.KEY
+
+    def test_idref_references_all_ids(self):
+        """'A single IDREF attribute [may] reference multiple IDs'."""
+        dtd = """
+        <!ELEMENT doc (a, b)>
+        <!ELEMENT a (#PCDATA)>
+        <!ATTLIST a aid ID #REQUIRED>
+        <!ELEMENT b (#PCDATA)>
+        <!ATTLIST b bid ID #REQUIRED link IDREF #IMPLIED>
+        """
+        schema = parse_dtd(dtd, "S")
+        refint = schema.refint_elements()[0]
+        assert len(schema.reference_targets(refint)) == 2
+
+    def test_join_views_from_dtd(self):
+        schema = parse_dtd(_PO_DTD, "PO")
+        tree = construct_schema_tree(schema)
+        added = augment_with_join_views(tree)
+        # item's IDREF references item's own ID -> self-reference, which
+        # join-view augmentation skips; no crash either way.
+        assert isinstance(added, list)
+
+
+class TestRecursionAndErrors:
+    def test_recursive_dtd_cut_at_one_level(self):
+        dtd = """
+        <!ELEMENT section (title, section*)>
+        <!ELEMENT title (#PCDATA)>
+        """
+        schema = parse_dtd(dtd, "S")
+        # One nested section materialized, then the recursion is cut.
+        sections = schema.elements_named("section")
+        assert 1 <= len(sections) <= 2
+        tree = construct_schema_tree(schema)
+        assert tree.root.subtree_depth() >= 2
+
+    def test_empty_dtd_raises(self):
+        with pytest.raises(XmlSchemaParseError):
+            parse_dtd("<!-- nothing here -->", "S")
+
+    def test_duplicate_element_raises(self):
+        with pytest.raises(XmlSchemaParseError):
+            parse_dtd("<!ELEMENT a (#PCDATA)><!ELEMENT a (#PCDATA)>", "S")
+
+    def test_attlist_for_unknown_element_raises(self):
+        with pytest.raises(XmlSchemaParseError):
+            parse_dtd("<!ELEMENT a (#PCDATA)><!ATTLIST ghost x CDATA #IMPLIED>", "S")
+
+
+class TestEndToEnd:
+    def test_dtd_schemas_match(self):
+        """Two DTD purchase orders run through the full pipeline."""
+        from repro import CupidMatcher
+
+        other = """
+        <!ELEMENT purchaseorder (heading, deliverto, items)>
+        <!ELEMENT heading (#PCDATA)>
+        <!ATTLIST heading
+          ordernumber CDATA #REQUIRED
+          orderdate CDATA #IMPLIED>
+        <!ELEMENT deliverto (#PCDATA)>
+        <!ATTLIST deliverto
+          street CDATA #REQUIRED
+          city CDATA #REQUIRED>
+        <!ELEMENT items (entry*)>
+        <!ELEMENT entry (#PCDATA)>
+        <!ATTLIST entry
+          quantity CDATA #REQUIRED>
+        """
+        source = parse_dtd(_PO_DTD, "CIDX")
+        target = parse_dtd(other, "Other")
+        result = CupidMatcher().match(source, target)
+        pairs = result.leaf_mapping.name_pairs()
+        assert ("street", "street") in pairs
+        assert ("city", "city") in pairs
+        assert ("qty", "quantity") in pairs

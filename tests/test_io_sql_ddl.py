@@ -1,0 +1,189 @@
+"""Tests for the mini SQL DDL importer."""
+
+import pytest
+
+from repro.exceptions import SqlDdlParseError
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind
+from repro.model.validation import validate_schema
+
+_BASIC = """
+CREATE TABLE Customers (
+  CustomerID int PRIMARY KEY,
+  CompanyName varchar(40) NOT NULL,
+  PostalCode varchar(10)
+);
+"""
+
+
+class TestTables:
+    def test_table_under_root(self):
+        schema = parse_sql_ddl(_BASIC, "DB")
+        table = schema.element_named("Customers")
+        assert table.kind is ElementKind.TABLE
+        assert schema.container_of(table) is schema.root
+
+    def test_columns_typed(self):
+        schema = parse_sql_ddl(_BASIC, "DB")
+        assert schema.element_named("CustomerID").data_type is DataType.INTEGER
+        assert schema.element_named("CompanyName").data_type is DataType.STRING
+
+    def test_nullability_maps_to_optional(self):
+        schema = parse_sql_ddl(_BASIC, "DB")
+        assert not schema.element_named("CompanyName").optional  # NOT NULL
+        assert schema.element_named("PostalCode").optional
+        assert not schema.element_named("CustomerID").optional  # PK
+
+    def test_inline_primary_key(self):
+        schema = parse_sql_ddl(_BASIC, "DB")
+        assert schema.element_named("CustomerID").is_key
+        keys = [e for e in schema.elements if e.kind is ElementKind.KEY]
+        assert len(keys) == 1
+        assert keys[0].not_instantiated
+
+    def test_compound_primary_key(self):
+        ddl = """
+        CREATE TABLE Link (
+          A int, B int,
+          PRIMARY KEY (A, B)
+        );
+        """
+        schema = parse_sql_ddl(ddl, "DB")
+        key = [e for e in schema.elements if e.kind is ElementKind.KEY][0]
+        assert {c.name for c in schema.aggregated_members(key)} == {"A", "B"}
+        assert schema.element_named("A").is_key
+
+    def test_validates_cleanly(self):
+        schema = parse_sql_ddl(_BASIC, "DB")
+        assert validate_schema(schema) == []
+
+    def test_case_insensitive_keywords(self):
+        schema = parse_sql_ddl(
+            "create table t (x INT primary key);", "DB"
+        )
+        assert schema.element_named("x").is_key
+
+
+class TestForeignKeys:
+    _FK = _BASIC + """
+    CREATE TABLE Orders (
+      OrderID int PRIMARY KEY,
+      CustomerID int REFERENCES Customers(CustomerID)
+    );
+    """
+
+    def test_inline_references_create_refint(self):
+        schema = parse_sql_ddl(self._FK, "DB")
+        refints = schema.refint_elements()
+        assert len(refints) == 1
+        refint = refints[0]
+        assert refint.not_instantiated
+        sources = schema.aggregated_members(refint)
+        assert [s.name for s in sources] == ["CustomerID"]
+        targets = schema.reference_targets(refint)
+        assert len(targets) == 1
+        assert targets[0].kind is ElementKind.KEY
+
+    def test_refint_contained_by_source_table(self):
+        schema = parse_sql_ddl(self._FK, "DB")
+        refint = schema.refint_elements()[0]
+        assert schema.container_of(refint).name == "Orders"
+
+    def test_table_level_foreign_key(self):
+        ddl = _BASIC + """
+        CREATE TABLE Orders (
+          OrderID int PRIMARY KEY,
+          CustID int,
+          FOREIGN KEY (CustID) REFERENCES Customers (CustomerID)
+        );
+        """
+        schema = parse_sql_ddl(ddl, "DB")
+        assert len(schema.refint_elements()) == 1
+
+    def test_named_constraint(self):
+        ddl = _BASIC + """
+        CREATE TABLE Orders (
+          OrderID int PRIMARY KEY,
+          CustID int,
+          CONSTRAINT cust_fk FOREIGN KEY (CustID)
+            REFERENCES Customers (CustomerID)
+        );
+        """
+        schema = parse_sql_ddl(ddl, "DB")
+        assert schema.refint_elements()[0].name == "cust_fk"
+
+    def test_forward_reference_resolved(self):
+        """FKs may reference tables declared later in the script."""
+        ddl = """
+        CREATE TABLE Orders (
+          OrderID int PRIMARY KEY,
+          CustomerID int REFERENCES Customers(CustomerID)
+        );
+        CREATE TABLE Customers (CustomerID int PRIMARY KEY);
+        """
+        schema = parse_sql_ddl(ddl, "DB")
+        assert len(schema.refint_elements()) == 1
+
+    def test_unknown_target_table_raises(self):
+        ddl = """
+        CREATE TABLE Orders (
+          OrderID int PRIMARY KEY,
+          CustomerID int REFERENCES Ghost(CustomerID)
+        );
+        """
+        with pytest.raises(SqlDdlParseError):
+            parse_sql_ddl(ddl, "DB")
+
+
+class TestViews:
+    def test_view_aggregates_columns(self):
+        ddl = _BASIC + (
+            "CREATE VIEW Summary AS SELECT CompanyName, PostalCode "
+            "FROM Customers;"
+        )
+        schema = parse_sql_ddl(ddl, "DB")
+        view = schema.element_named("Summary")
+        assert view.kind is ElementKind.VIEW
+        assert {m.name for m in schema.aggregated_members(view)} == {
+            "CompanyName", "PostalCode",
+        }
+
+    def test_qualified_view_columns(self):
+        ddl = _BASIC + (
+            "CREATE VIEW V AS SELECT Customers.CompanyName FROM Customers;"
+        )
+        schema = parse_sql_ddl(ddl, "DB")
+        view = schema.element_named("V")
+        assert len(schema.aggregated_members(view)) == 1
+
+    def test_view_unknown_column_raises(self):
+        ddl = _BASIC + "CREATE VIEW V AS SELECT Ghost FROM Customers;"
+        with pytest.raises(SqlDdlParseError):
+            parse_sql_ddl(ddl, "DB")
+
+
+class TestErrors:
+    def test_unparseable_clause_raises(self):
+        with pytest.raises(SqlDdlParseError):
+            parse_sql_ddl("CREATE TABLE T (CHECK (x > 0) ???);", "DB")
+
+    def test_unrecognized_statement_raises(self):
+        with pytest.raises(SqlDdlParseError):
+            parse_sql_ddl("DROP TABLE Customers;", "DB")
+
+    def test_unknown_pk_column_raises(self):
+        ddl = "CREATE TABLE T (x int, PRIMARY KEY (ghost));"
+        with pytest.raises(SqlDdlParseError):
+            parse_sql_ddl(ddl, "DB")
+
+    def test_unknown_fk_column_raises(self):
+        ddl = """
+        CREATE TABLE A (x int PRIMARY KEY);
+        CREATE TABLE B (
+          y int,
+          FOREIGN KEY (ghost) REFERENCES A (x)
+        );
+        """
+        with pytest.raises(SqlDdlParseError):
+            parse_sql_ddl(ddl, "DB")

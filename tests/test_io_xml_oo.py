@@ -1,0 +1,162 @@
+"""Tests for the XML schema and OO class-definition importers."""
+
+import pytest
+
+from repro.exceptions import OoModelParseError, XmlSchemaParseError
+from repro.io.oo_model import parse_oo_model
+from repro.io.xml_schema import parse_xml_schema
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind
+from repro.tree.construction import construct_schema_tree
+
+_XML = """
+<schema name="PurchaseOrder">
+  <complexType name="Address">
+    <attribute name="Street" type="string"/>
+    <attribute name="City" type="string"/>
+  </complexType>
+  <element name="DeliverTo" type="Address"/>
+  <element name="InvoiceTo" type="Address"/>
+  <element name="Items">
+    <attribute name="itemCount" type="integer"/>
+    <element name="Item">
+      <attribute name="Quantity" type="integer"/>
+      <attribute name="UnitOfMeasure" type="string" optional="true"/>
+    </element>
+  </element>
+</schema>
+"""
+
+
+class TestXmlImporter:
+    def test_schema_name(self):
+        assert parse_xml_schema(_XML).name == "PurchaseOrder"
+
+    def test_elements_and_attributes(self):
+        schema = parse_xml_schema(_XML)
+        items = schema.element_named("Items")
+        assert items.kind is ElementKind.XML_ELEMENT
+        count = schema.element_named("itemCount")
+        assert count.kind is ElementKind.XML_ATTRIBUTE
+        assert count.data_type is DataType.INTEGER
+
+    def test_optional_attribute(self):
+        schema = parse_xml_schema(_XML)
+        assert schema.element_named("UnitOfMeasure").optional
+        assert not schema.element_named("Quantity").optional
+
+    def test_min_occurs_zero_means_optional(self):
+        xml = """
+        <schema name="S">
+          <element name="A"><attribute name="x" minOccurs="0"/></element>
+        </schema>
+        """
+        schema = parse_xml_schema(xml)
+        assert schema.element_named("x").optional
+
+    def test_complex_type_shared(self):
+        schema = parse_xml_schema(_XML)
+        address = schema.element_named("Address")
+        assert address.not_instantiated
+        deliver = schema.element_named("DeliverTo")
+        assert schema.derived_bases(deliver) == [address]
+
+    def test_type_substitution_through_tree(self):
+        schema = parse_xml_schema(_XML)
+        tree = construct_schema_tree(schema)
+        paths = {n.path_string() for n in tree.nodes()}
+        assert "PurchaseOrder.DeliverTo.Street" in paths
+        assert "PurchaseOrder.InvoiceTo.Street" in paths
+
+    def test_simple_typed_element_is_leaf(self):
+        xml = """
+        <schema name="S">
+          <element name="A"><element name="x" type="integer"/></element>
+        </schema>
+        """
+        schema = parse_xml_schema(xml)
+        assert schema.element_named("x").data_type is DataType.INTEGER
+
+    def test_key_elements_not_instantiated(self):
+        xml = """
+        <schema name="S">
+          <element name="A">
+            <attribute name="id" type="id"/>
+            <key name="A_key"/>
+          </element>
+        </schema>
+        """
+        schema = parse_xml_schema(xml)
+        key = schema.element_named("A_key")
+        assert key.kind is ElementKind.KEY
+        assert key.not_instantiated
+
+    @pytest.mark.parametrize(
+        "xml",
+        [
+            "not xml at all <",
+            "<wrong name='S'/>",
+            "<schema/>",
+            "<schema name='S'><element/></schema>",
+            "<schema name='S'><element name='A' type='Ghost'><element name='x'/></element></schema>",
+            "<schema name='S'><unknown name='x'/></schema>",
+            "<schema name='S'><complexType name='T'/><complexType name='T'/></schema>",
+        ],
+    )
+    def test_malformed_inputs_raise(self, xml):
+        with pytest.raises(XmlSchemaParseError):
+            parse_xml_schema(xml)
+
+
+_OO = """
+class PurchaseOrder (OrderNumber: integer (key),
+                     ProductName: string,
+                     ShippingAddress: Address,
+                     BillingAddress: Address)
+class Address (Name: string, Street: string, City: string)
+"""
+
+
+class TestOoImporter:
+    def test_classes_under_root(self):
+        schema = parse_oo_model(_OO, "S")
+        po = schema.element_named("PurchaseOrder")
+        assert po.kind is ElementKind.CLASS
+
+    def test_scalar_attributes_typed(self):
+        schema = parse_oo_model(_OO, "S")
+        assert schema.element_named("OrderNumber").data_type is DataType.INTEGER
+        assert schema.element_named("OrderNumber").is_key
+
+    def test_class_typed_attribute_derives(self):
+        schema = parse_oo_model(_OO, "S")
+        shipping = schema.element_named("ShippingAddress")
+        address = schema.element_named("Address")
+        assert schema.derived_bases(shipping) == [address]
+        assert address.not_instantiated
+
+    def test_optional_flag(self):
+        schema = parse_oo_model(
+            "class C (x: integer (optional))", "S"
+        )
+        assert schema.element_named("x").optional
+
+    def test_tree_expansion_gives_context_paths(self):
+        schema = parse_oo_model(_OO, "S")
+        tree = construct_schema_tree(schema)
+        paths = {n.path_string() for n in tree.nodes()}
+        assert "S.PurchaseOrder.ShippingAddress.Street" in paths
+        assert "S.PurchaseOrder.BillingAddress.Street" in paths
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "not a class at all",
+            "class C (???)",
+            "class C (x: integer) class C (y: integer)",
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(OoModelParseError):
+            parse_oo_model(text, "S")

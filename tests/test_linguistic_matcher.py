@@ -1,0 +1,165 @@
+"""Tests for categorization and the linguistic matcher (lsim)."""
+
+import pytest
+
+from repro.config import CupidConfig
+from repro.linguistic.categorization import Categorizer
+from repro.linguistic.matcher import LinguisticMatcher, LsimTable
+from repro.linguistic.normalizer import Normalizer
+from repro.model.builder import schema_from_tree
+from repro.model.element import SchemaElement
+
+
+@pytest.fixture
+def categorizer(thesaurus, normalizer, config):
+    return Categorizer(thesaurus, normalizer, config)
+
+
+@pytest.fixture
+def address_schema():
+    return schema_from_tree(
+        "S1",
+        {
+            "Address": {"Street": "string", "City": "string"},
+            "Item": {"Price": "money", "Qty": "integer"},
+        },
+    )
+
+
+class TestCategorization:
+    def test_container_category(self, categorizer, address_schema):
+        """Street and City grouped into a category keyed by Address."""
+        categories = categorizer.categorize(address_schema)
+        container_cats = [
+            c for c in categories.values()
+            if c.source == "container"
+            and any(t.text == "address" for t in c.keywords)
+        ]
+        assert container_cats
+        names = {m.name for m in container_cats[0].members}
+        assert {"Street", "City"} <= names
+
+    def test_dtype_category(self, categorizer, address_schema):
+        categories = categorizer.categorize(address_schema)
+        number_cat = categories.get("dtype:Number")
+        assert number_cat is not None
+        assert any(m.name == "Qty" for m in number_cat.members)
+
+    def test_concept_category(self, categorizer, address_schema):
+        categories = categorizer.categorize(address_schema)
+        money_cat = categories.get("concept:money")
+        assert money_cat is not None
+        assert any(m.name == "Price" for m in money_cat.members)
+
+    def test_name_token_categories(self, categorizer, address_schema):
+        categories = categorizer.categorize(address_schema)
+        assert "name:street" in categories
+
+    def test_root_category_always_present(self, categorizer, address_schema):
+        categories = categorizer.categorize(address_schema)
+        assert "root" in categories
+        assert address_schema.root in categories["root"].members
+
+    def test_elements_can_join_multiple_categories(
+        self, categorizer, address_schema
+    ):
+        categories = categorizer.categorize(address_schema)
+        price_cats = [
+            key for key, c in categories.items()
+            if any(m.name == "Price" for m in c.members)
+        ]
+        assert len(price_cats) >= 3  # concept, dtype, container, name
+
+    def test_not_instantiated_elements_skipped(self, categorizer):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        hidden = SchemaElement(name="Hidden", not_instantiated=True)
+        schema.add_element(hidden)
+        schema.add_containment(schema.root, hidden)
+        categories = categorizer.categorize(schema)
+        for category in categories.values():
+            assert hidden not in category.members
+
+    def test_dtype_categories_only_pair_with_dtype(self, categorizer):
+        """Data types 'are used primarily to prune the matching'."""
+        schema = schema_from_tree("S", {"Number": {"x": "int"}})
+        categories = categorizer.categorize(schema)
+        dtype = categories["dtype:Number"]
+        name_cat = categories["name:number"]
+        assert not categorizer.compatible(dtype, name_cat)
+
+    def test_compatibility_uses_thns(self, categorizer, address_schema):
+        categories = categorizer.categorize(address_schema)
+        cat = categories["name:street"]
+        assert categorizer.compatible(cat, cat)
+
+
+class TestLsimTable:
+    def test_default_zero(self):
+        table = LsimTable()
+        a = SchemaElement(name="A")
+        b = SchemaElement(name="B")
+        assert table.get(a, b) == 0.0
+
+    def test_set_get(self):
+        table = LsimTable()
+        a = SchemaElement(name="A")
+        b = SchemaElement(name="B")
+        table.set(a, b, 0.7)
+        assert table.get(a, b) == 0.7
+        assert table.get_by_id(a.element_id, b.element_id) == 0.7
+
+    def test_out_of_range_rejected(self):
+        table = LsimTable()
+        a = SchemaElement(name="A")
+        b = SchemaElement(name="B")
+        with pytest.raises(ValueError):
+            table.set(a, b, 1.2)
+
+
+class TestLinguisticMatcher:
+    def test_identical_leaf_names_get_full_lsim(self, thesaurus, tiny_pair):
+        source, target = tiny_pair
+        table = LinguisticMatcher(thesaurus).compute(source, target)
+        qty = source.element_named("Qty")
+        quantity = target.element_named("Quantity")
+        assert table.get(qty, quantity) == pytest.approx(1.0)
+
+    def test_synonym_pair_scores(self, thesaurus, tiny_pair):
+        source, target = tiny_pair
+        table = LinguisticMatcher(thesaurus).compute(source, target)
+        price = source.element_named("Price")
+        cost = target.element_named("Cost")
+        assert table.get(price, cost) > 0.6
+
+    def test_incomparable_pairs_absent(self, thesaurus):
+        source = schema_from_tree("S1", {"A": {"Street": "string"}})
+        target = schema_from_tree("S2", {"B": {"Quantity": "integer"}})
+        table = LinguisticMatcher(thesaurus).compute(source, target)
+        street = source.element_named("Street")
+        quantity = target.element_named("Quantity")
+        # Different broad types, no shared tokens, dissimilar containers.
+        assert table.get(street, quantity) == 0.0
+
+    def test_roots_are_comparable(self, thesaurus):
+        source = schema_from_tree("PO", {"A": {"x": "int"}})
+        target = schema_from_tree("PurchaseOrder", {"A": {"x": "int"}})
+        table = LinguisticMatcher(thesaurus).compute(source, target)
+        assert table.get(source.root, target.root) == pytest.approx(1.0)
+
+    def test_all_values_in_unit_interval(self, thesaurus, po_schema,
+                                          purchase_order_schema):
+        table = LinguisticMatcher(thesaurus).compute(
+            po_schema, purchase_order_schema
+        )
+        for _, value in table.items():
+            assert 0.0 <= value <= 1.0
+
+    def test_figure2_acronyms(self, thesaurus, po_schema,
+                              purchase_order_schema):
+        """UoM↔UnitOfMeasure and Qty↔Quantity from Section 4."""
+        table = LinguisticMatcher(thesaurus).compute(
+            po_schema, purchase_order_schema
+        )
+        uom = po_schema.element_named("UoM")
+        unit_of_measure = purchase_order_schema.element_named("UnitOfMeasure")
+        assert table.get(uom, unit_of_measure) == pytest.approx(1.0)

@@ -1,0 +1,107 @@
+"""Tests for repro.linguistic.normalizer — the four Section 5.1 steps."""
+
+import pytest
+
+from repro.linguistic.tokens import TokenType
+
+
+def _words(normalized):
+    """Word tokens only (tagging appends concept-name tokens)."""
+    return [
+        t.text for t in normalized.tokens
+        if t.token_type is not TokenType.CONCEPT
+    ]
+
+
+class TestExpansion:
+    def test_paper_example_po_lines(self, normalizer):
+        """'{PO, Lines} -> {Purchase, Order, Lines}' (Section 5.1)."""
+        normalized = normalizer.normalize("POLines")
+        assert _words(normalized) == ["purchase", "order", "lines"]
+
+    def test_mixed_case_acronym_expands_whole_name(self, normalizer):
+        """'UoM' must expand even though camel-splitting would break it."""
+        normalized = normalizer.normalize("UoM")
+        assert _words(normalized) == ["unit", "of", "measure"]
+
+    def test_qty_expands(self, normalizer):
+        assert _words(normalizer.normalize("Qty")) == ["quantity"]
+
+
+class TestElimination:
+    def test_prepositions_marked_ignored(self, normalizer):
+        normalized = normalizer.normalize("UnitOfMeasure")
+        of_token = [t for t in normalized.tokens if t.text == "of"][0]
+        assert of_token.ignored
+        assert of_token.token_type is TokenType.COMMON
+
+    def test_ignored_tokens_still_present(self, normalizer):
+        """Eliminated tokens are 'marked to be ignored', not removed."""
+        normalized = normalizer.normalize("UnitOfMeasure")
+        word_tokens = [
+            t for t in normalized.tokens
+            if t.token_type is not TokenType.CONCEPT
+        ]
+        assert len(word_tokens) == 3
+        assert sum(1 for t in word_tokens if not t.ignored) == 2
+
+
+class TestTagging:
+    def test_money_concept_tagged(self, normalizer):
+        """Section 5.1: elements with token Price get concept Money."""
+        assert "money" in normalizer.normalize("UnitPrice").concepts
+        assert "money" in normalizer.normalize("TotalCost").concepts
+
+    def test_trigger_stays_content_concept_token_added(self, normalizer):
+        """The trigger (price) stays a content token; the concept name
+        (money) joins the token set as a CONCEPT token."""
+        normalized = normalizer.normalize("UnitPrice")
+        price = [t for t in normalized.tokens if t.text == "price"][0]
+        assert price.token_type is TokenType.CONTENT
+        money = [t for t in normalized.tokens if t.text == "money"]
+        assert len(money) == 1
+        assert money[0].token_type is TokenType.CONCEPT
+
+    def test_shared_concept_links_different_words(
+        self, normalizer, thesaurus, config
+    ):
+        """Price and Cost share the money concept token (Section 5.1)."""
+        from repro.linguistic.name_similarity import element_name_similarity
+
+        price = normalizer.normalize("Price")
+        cost = normalizer.normalize("Cost")
+        score = element_name_similarity(price, cost, thesaurus, config)
+        assert score > 0.5
+
+    def test_no_concept_for_plain_names(self, normalizer):
+        assert normalizer.normalize("Widget").concepts == frozenset()
+
+
+class TestTokenTypes:
+    def test_number_tokens(self, normalizer):
+        normalized = normalizer.normalize("Street4")
+        four = [t for t in normalized.tokens if t.text == "4"][0]
+        assert four.token_type is TokenType.NUMBER
+
+    def test_special_tokens(self, normalizer):
+        normalized = normalizer.normalize("Item#")
+        hash_token = [t for t in normalized.tokens if t.text == "#"][0]
+        assert hash_token.token_type is TokenType.SPECIAL
+
+    def test_content_default(self, normalizer):
+        normalized = normalizer.normalize("Widget")
+        assert normalized.tokens[0].token_type is TokenType.CONTENT
+
+    def test_tokens_of_type_excludes_ignored(self, normalizer):
+        normalized = normalizer.normalize("UnitOfMeasure")
+        assert normalized.tokens_of_type(TokenType.COMMON) == []
+
+
+class TestCaching:
+    def test_normalization_is_cached(self, normalizer):
+        first = normalizer.normalize("POLines")
+        second = normalizer.normalize("POLines")
+        assert first is second
+
+    def test_str_joins_tokens(self, normalizer):
+        assert str(normalizer.normalize("POLines")) == "purchase order lines"

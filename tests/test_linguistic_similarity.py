@@ -1,0 +1,146 @@
+"""Tests for name similarity (Sections 5.2–5.3)."""
+
+import pytest
+
+from repro.config import CupidConfig
+from repro.linguistic.name_similarity import (
+    element_name_similarity,
+    substring_similarity,
+    token_set_similarity,
+    token_similarity,
+)
+from repro.linguistic.tokens import Token, TokenType
+
+
+def _tokens(*texts):
+    return [Token(t) for t in texts]
+
+
+class TestSubstringSimilarity:
+    def test_identical_prefix(self):
+        assert substring_similarity("customername", "customer") > 0.4
+
+    def test_common_suffix(self):
+        assert substring_similarity("itemcount", "count") > 0.3
+
+    def test_short_overlap_is_noise(self):
+        """Overlaps under 3 characters score zero."""
+        assert substring_similarity("ab", "ac") == 0.0
+        assert substring_similarity("lines", "likes") == 0.0
+
+    def test_disjoint_words(self):
+        assert substring_similarity("street", "quantity") == 0.0
+
+    def test_bounded_by_ceiling(self):
+        assert substring_similarity("orders", "order", ceiling=0.8) <= 0.8
+
+    def test_empty_strings(self):
+        assert substring_similarity("", "abc") == 0.0
+
+
+class TestTokenSimilarity:
+    def test_identical_tokens_score_one(self, thesaurus, config):
+        assert token_similarity(
+            Token("city"), Token("city"), thesaurus, config
+        ) == 1.0
+
+    def test_thesaurus_strength_used(self, thesaurus, config):
+        score = token_similarity(
+            Token("invoice"), Token("bill"), thesaurus, config
+        )
+        assert score == thesaurus.relatedness("invoice", "bill")
+
+    def test_substring_fallback(self, thesaurus, config):
+        score = token_similarity(
+            Token("customername"), Token("customer"), thesaurus, config
+        )
+        assert 0.0 < score < 1.0
+
+
+class TestTokenSetSimilarity:
+    def test_paper_formula_on_identical_sets(self, thesaurus, config):
+        tokens = _tokens("purchase", "order")
+        assert token_set_similarity(tokens, tokens, thesaurus, config) == 1.0
+
+    def test_bidirectional_average(self, thesaurus, config):
+        """ns = (Σ best forward + Σ best backward) / (|T1| + |T2|)."""
+        t1 = _tokens("item")
+        t2 = _tokens("item", "count")
+        # forward: item->item = 1; backward: item->1, count->0ish.
+        score = token_set_similarity(t1, t2, thesaurus, config)
+        assert 0.5 < score < 1.0
+
+    def test_empty_set_scores_zero(self, thesaurus, config):
+        assert token_set_similarity([], _tokens("x"), thesaurus, config) == 0.0
+
+    def test_ignored_tokens_excluded(self, thesaurus, config):
+        with_ignored = [Token("unit"), Token("of", ignored=True), Token("measure")]
+        without = _tokens("unit", "measure")
+        assert token_set_similarity(
+            with_ignored, without, thesaurus, config
+        ) == 1.0
+
+    def test_symmetry(self, thesaurus, config):
+        t1 = _tokens("customer", "name")
+        t2 = _tokens("client", "title")
+        assert token_set_similarity(t1, t2, thesaurus, config) == (
+            pytest.approx(token_set_similarity(t2, t1, thesaurus, config))
+        )
+
+    def test_range(self, thesaurus, config):
+        t1 = _tokens("a1", "b2", "c3")
+        t2 = _tokens("quantity", "price")
+        score = token_set_similarity(t1, t2, thesaurus, config)
+        assert 0.0 <= score <= 1.0
+
+
+class TestElementNameSimilarity:
+    def test_identical_names(self, normalizer, thesaurus, config):
+        n = normalizer.normalize("CustomerName")
+        assert element_name_similarity(n, n, thesaurus, config) == 1.0
+
+    def test_abbreviation_equates_names(self, normalizer, thesaurus, config):
+        """Qty vs Quantity must be fully similar after expansion."""
+        qty = normalizer.normalize("Qty")
+        quantity = normalizer.normalize("Quantity")
+        assert element_name_similarity(qty, quantity, thesaurus, config) == 1.0
+
+    def test_uom_vs_unit_of_measure(self, normalizer, thesaurus, config):
+        uom = normalizer.normalize("UoM")
+        full = normalizer.normalize("UnitOfMeasure")
+        assert element_name_similarity(uom, full, thesaurus, config) == 1.0
+
+    def test_synonym_names_score_high(self, normalizer, thesaurus, config):
+        bill = normalizer.normalize("POBillTo")
+        invoice = normalizer.normalize("InvoiceTo")
+        ship = normalizer.normalize("DeliverTo")
+        bill_invoice = element_name_similarity(bill, invoice, thesaurus, config)
+        bill_deliver = element_name_similarity(bill, ship, thesaurus, config)
+        assert bill_invoice > bill_deliver
+
+    def test_unrelated_names_score_low(self, normalizer, thesaurus, config):
+        a = normalizer.normalize("Quantity")
+        b = normalizer.normalize("Street")
+        assert element_name_similarity(a, b, thesaurus, config) < 0.3
+
+    def test_missing_token_type_penalized(self, normalizer, thesaurus, config):
+        """Street4 vs Street: the number token has no counterpart."""
+        street4 = normalizer.normalize("Street4")
+        street = normalizer.normalize("Street")
+        score = element_name_similarity(street4, street, thesaurus, config)
+        assert 0.5 < score < 1.0
+
+    def test_number_tokens_distinguish(self, normalizer, thesaurus, config):
+        """Street1 vs Street1 beats Street1 vs Street2."""
+        s1 = normalizer.normalize("Street1")
+        s1b = normalizer.normalize("street1")
+        s2 = normalizer.normalize("street2")
+        same = element_name_similarity(s1, s1b, thesaurus, config)
+        different = element_name_similarity(s1, s2, thesaurus, config)
+        assert same > different
+
+    def test_empty_vs_anything(self, normalizer, thesaurus, config):
+        """A name of only stopwords has no comparable tokens."""
+        of = normalizer.normalize("of")
+        street = normalizer.normalize("Street")
+        assert element_name_similarity(of, street, thesaurus, config) == 0.0

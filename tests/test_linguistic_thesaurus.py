@@ -1,0 +1,132 @@
+"""Tests for the thesaurus and the bundled lexicon."""
+
+import pytest
+
+from repro.linguistic.lexicon import (
+    builtin_thesaurus,
+    paper_experiment_thesaurus,
+)
+from repro.linguistic.thesaurus import Thesaurus, empty_thesaurus
+
+
+class TestThesaurus:
+    def test_synonym_symmetric(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_synonym("invoice", "bill", 0.95)
+        assert thesaurus.relatedness("invoice", "bill") == 0.95
+        assert thesaurus.relatedness("bill", "invoice") == 0.95
+
+    def test_lookup_case_insensitive(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_synonym("Invoice", "Bill", 0.9)
+        assert thesaurus.relatedness("INVOICE", "bill") == 0.9
+
+    def test_missing_entry_is_none(self):
+        assert Thesaurus().relatedness("a", "b") is None
+
+    def test_strength_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Thesaurus().add_synonym("a", "b", 1.5)
+
+    def test_self_synonym_rejected(self):
+        with pytest.raises(ValueError):
+            Thesaurus().add_synonym("a", "a", 0.9)
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ValueError):
+            Thesaurus().add_synonym("", "b", 0.9)
+
+    def test_hypernym_stored_symmetrically(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_hypernym("customer", "person", 0.75)
+        assert thesaurus.relatedness("person", "customer") == 0.75
+
+    def test_abbreviation_expansion(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_abbreviation("po", ["purchase", "order"])
+        assert thesaurus.expansion("PO") == ("purchase", "order")
+        assert thesaurus.expansion("nope") is None
+
+    def test_stopwords(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_stopwords(["of", "the"])
+        assert thesaurus.is_stopword("OF")
+        assert not thesaurus.is_stopword("order")
+
+    def test_concepts(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_concept("money", ["price", "cost"])
+        assert thesaurus.concept_of("Price") == "money"
+        assert thesaurus.concept_of("order") is None
+
+    def test_entries_unique(self):
+        thesaurus = Thesaurus()
+        thesaurus.add_synonym("a", "b", 0.9)
+        thesaurus.add_synonym("c", "d", 0.8)
+        assert len(thesaurus.entries) == 2
+
+    def test_merged_with_other_wins(self):
+        base = Thesaurus("base")
+        base.add_synonym("a", "b", 0.5)
+        override = Thesaurus("override")
+        override.add_synonym("a", "b", 0.9)
+        merged = base.merged_with(override)
+        assert merged.relatedness("a", "b") == 0.9
+
+    def test_merged_keeps_both_vocabularies(self):
+        base = Thesaurus("base")
+        base.add_abbreviation("po", ["purchase", "order"])
+        extra = Thesaurus("extra")
+        extra.add_synonym("x", "y", 0.7)
+        merged = base.merged_with(extra)
+        assert merged.expansion("po") is not None
+        assert merged.relatedness("x", "y") == 0.7
+
+    def test_empty_thesaurus_knows_nothing(self):
+        thesaurus = empty_thesaurus()
+        assert thesaurus.relatedness("invoice", "bill") is None
+        assert thesaurus.expansion("po") is None
+        assert not thesaurus.is_stopword("of")
+
+
+class TestBuiltinLexicon:
+    def test_paper_synonyms_present(self):
+        """Section 4: 'synonyms (Bill and Invoice)' / ship-deliver."""
+        thesaurus = builtin_thesaurus()
+        assert thesaurus.relatedness("invoice", "bill") > 0.8
+        assert thesaurus.relatedness("ship", "deliver") > 0.8
+
+    def test_paper_abbreviations_present(self):
+        thesaurus = builtin_thesaurus()
+        assert thesaurus.expansion("qty") == ("quantity",)
+        assert thesaurus.expansion("uom") == ("unit", "of", "measure")
+        assert thesaurus.expansion("po") == ("purchase", "order")
+        assert thesaurus.expansion("num") == ("number",)
+
+    def test_money_concept_from_paper(self):
+        """Section 5.1: Price, Cost and Value -> concept Money."""
+        thesaurus = builtin_thesaurus()
+        for trigger in ("price", "cost", "value"):
+            assert thesaurus.concept_of(trigger) == "money"
+
+    def test_common_words_are_stopwords(self):
+        thesaurus = builtin_thesaurus()
+        for word in ("of", "the", "and", "to"):
+            assert thesaurus.is_stopword(word)
+
+
+class TestPaperExperimentThesaurus:
+    def test_exactly_the_six_relevant_entries(self):
+        """Section 9.2: 4 abbreviations + 2 synonym entries."""
+        thesaurus = paper_experiment_thesaurus()
+        assert len(thesaurus.entries) == 2
+        assert thesaurus.expansion("uom") is not None
+        assert thesaurus.expansion("po") is not None
+        assert thesaurus.expansion("qty") is not None
+        assert thesaurus.expansion("num") is not None
+        assert thesaurus.relatedness("invoice", "bill") is not None
+        assert thesaurus.relatedness("ship", "deliver") is not None
+
+    def test_no_extra_synonyms(self):
+        thesaurus = paper_experiment_thesaurus()
+        assert thesaurus.relatedness("client", "customer") is None

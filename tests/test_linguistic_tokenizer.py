@@ -1,0 +1,63 @@
+"""Tests for repro.linguistic.tokenizer — Section 5.1 tokenization."""
+
+import pytest
+
+from repro.linguistic.tokenizer import split_camel, tokenize
+
+
+class TestTokenize:
+    def test_paper_example_polines(self):
+        """'E.g. POLines -> {PO, Lines}' (Section 5.1)."""
+        assert tokenize("POLines") == ["po", "lines"]
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("Customer_Number", ["customer", "number"]),
+            ("UnitOfMeasure", ["unit", "of", "measure"]),
+            ("unitPrice", ["unit", "price"]),
+            ("Street4", ["street", "4"]),
+            ("e-mail", ["e", "mail"]),
+            ("ItemNumber", ["item", "number"]),
+            ("POBillTo", ["po", "bill", "to"]),
+            ("stateProvince", ["state", "province"]),
+            ("SSN", ["ssn"]),
+            ("order.date", ["order", "date"]),
+            ("XMLSchema", ["xml", "schema"]),
+            ("ITEM", ["item"]),
+            ("x", ["x"]),
+        ],
+    )
+    def test_splitting_rules(self, name, expected):
+        assert tokenize(name) == expected
+
+    def test_special_symbol_kept_as_token(self):
+        assert tokenize("Item#") == ["item", "#"]
+        assert tokenize("#count") == ["#", "count"]
+
+    def test_digits_split_from_letters(self):
+        assert tokenize("4thStreet") == ["4", "th", "street"]
+
+    def test_empty_name(self):
+        assert tokenize("") == []
+
+    def test_whitespace_separates(self):
+        assert tokenize("Order Date") == ["order", "date"]
+
+    def test_tokens_are_lowercase(self):
+        for token in tokenize("CustomerOrderLine"):
+            assert token == token.lower()
+
+
+class TestSplitCamel:
+    def test_acronym_then_word(self):
+        assert split_camel("POLines") == ["PO", "Lines"]
+
+    def test_plain_word(self):
+        assert split_camel("street") == ["street"]
+
+    def test_trailing_acronym(self):
+        assert split_camel("customerID") == ["customer", "ID"]
+
+    def test_digits(self):
+        assert split_camel("Street42b") == ["Street", "42", "b"]

@@ -1,0 +1,151 @@
+"""Tests for mappings, generation, and 1:1 assignment (Section 7)."""
+
+import pytest
+
+from repro import CupidMatcher
+from repro.exceptions import MappingError
+from repro.mapping.assignment import greedy_one_to_one, hungarian_one_to_one
+from repro.mapping.mapping import Mapping, MappingElement
+from repro.model.builder import schema_from_tree
+
+
+def _element(source, target, score):
+    return MappingElement(
+        source_path=tuple(source.split(".")),
+        target_path=tuple(target.split(".")),
+        similarity=score,
+    )
+
+
+class TestMappingElement:
+    def test_validation(self):
+        with pytest.raises(MappingError):
+            _element("a", "b", 1.5)
+        with pytest.raises(MappingError):
+            MappingElement(source_path=(), target_path=("b",), similarity=0.5)
+
+    def test_accessors(self):
+        element = _element("S.A.x", "T.B.y", 0.7)
+        assert element.source_name == "x"
+        assert element.target_name == "y"
+        assert element.name_pair() == ("x", "y")
+        assert element.path_pair() == ("S.A.x", "T.B.y")
+
+    def test_str(self):
+        assert "->" in str(_element("a.b", "c.d", 0.5))
+
+
+class TestMapping:
+    @pytest.fixture
+    def mapping(self):
+        mapping = Mapping("S", "T")
+        mapping.add(_element("S.a", "T.x", 0.9))
+        mapping.add(_element("S.a", "T.y", 0.8))
+        mapping.add(_element("S.b", "T.z", 0.7))
+        return mapping
+
+    def test_len_and_iter(self, mapping):
+        assert len(mapping) == 3
+        assert len(list(mapping)) == 3
+
+    def test_path_pairs(self, mapping):
+        assert ("S.a", "T.x") in mapping.path_pairs()
+
+    def test_targets_of(self, mapping):
+        assert len(mapping.targets_of("S.a")) == 2
+
+    def test_sources_of(self, mapping):
+        assert len(mapping.sources_of("T.z")) == 1
+
+    def test_best_per_target(self, mapping):
+        best = mapping.best_per_target()
+        assert best["T.x"].similarity == 0.9
+
+    def test_sorted_by_similarity(self, mapping):
+        scores = [e.similarity for e in mapping.sorted_by_similarity()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_is_one_to_one(self, mapping):
+        assert not mapping.is_one_to_one()
+        assert Mapping("S", "T", [_element("S.a", "T.x", 0.9)]).is_one_to_one()
+
+
+class TestOneToOne:
+    @pytest.fixture
+    def ambiguous(self):
+        mapping = Mapping("S", "T")
+        mapping.add(_element("S.a", "T.x", 0.9))
+        mapping.add(_element("S.a", "T.y", 0.8))
+        mapping.add(_element("S.b", "T.x", 0.7))
+        mapping.add(_element("S.b", "T.y", 0.6))
+        return mapping
+
+    def test_greedy_picks_best_disjoint(self, ambiguous):
+        result = greedy_one_to_one(ambiguous)
+        assert result.is_one_to_one()
+        assert ("S.a", "T.x") in result.path_pairs()
+        assert ("S.b", "T.y") in result.path_pairs()
+
+    def test_hungarian_maximizes_total(self, ambiguous):
+        result = hungarian_one_to_one(ambiguous)
+        assert result.is_one_to_one()
+        total = sum(e.similarity for e in result)
+        assert total == pytest.approx(0.9 + 0.6)
+
+    def test_hungarian_on_skewed_weights(self):
+        """Hungarian beats greedy when greedy's first pick is costly."""
+        mapping = Mapping("S", "T")
+        mapping.add(_element("S.a", "T.x", 0.9))
+        mapping.add(_element("S.a", "T.y", 0.85))
+        mapping.add(_element("S.b", "T.x", 0.8))
+        # greedy: a->x (0.9), b gets nothing matching y... b->? none.
+        greedy = greedy_one_to_one(mapping)
+        hungarian = hungarian_one_to_one(mapping)
+        assert sum(e.similarity for e in hungarian) >= (
+            sum(e.similarity for e in greedy)
+        )
+
+    def test_empty_mapping(self):
+        empty = Mapping("S", "T")
+        assert len(greedy_one_to_one(empty)) == 0
+        assert len(hungarian_one_to_one(empty)) == 0
+
+
+class TestGeneratedMappings:
+    def test_naive_mapping_is_one_to_n(self):
+        """Section 7: 'a source element may map to many target
+        elements' — the single CIDX Contact maps into both contexts."""
+        source = schema_from_tree(
+            "S", {"Contact": {"Name": "string", "Phone": "string"}}
+        )
+        target = schema_from_tree(
+            "T",
+            {
+                "Ship": {"Contact": {"Name": "string", "Phone": "string"}},
+                "Bill": {"Contact": {"Name": "string", "Phone": "string"}},
+            },
+        )
+        result = CupidMatcher().match(source, target)
+        names = [
+            e for e in result.leaf_mapping
+            if e.source_name == "Name"
+        ]
+        assert len(names) == 2  # same source leaf, two targets
+
+    def test_all_leaf_mappings_meet_thaccept(self, figure2_result):
+        for element in figure2_result.leaf_mapping:
+            assert element.similarity >= 0.5
+
+    def test_nonleaf_mapping_excludes_leaves(self, figure2_result):
+        for element in figure2_result.nonleaf_mapping:
+            assert element.source_node is not None
+            assert not element.source_node.is_leaf
+
+    def test_combined_mapping(self, figure2_result):
+        combined = figure2_result.mapping
+        assert len(combined) == len(figure2_result.leaf_mapping) + len(
+            figure2_result.nonleaf_mapping
+        )
+
+    def test_one_to_one_extraction(self, figure2_result):
+        assert figure2_result.one_to_one().is_one_to_one()

@@ -1,0 +1,113 @@
+"""Tests for repro.model.datatypes — types and the compatibility table."""
+
+import pytest
+
+from repro.model.datatypes import (
+    BROAD_CLASS,
+    DataType,
+    TypeCompatibilityTable,
+    default_compatibility_table,
+    parse_data_type,
+)
+
+
+class TestParseDataType:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("varchar(40)", DataType.STRING),
+            ("VARCHAR", DataType.STRING),
+            ("int", DataType.INTEGER),
+            ("INTEGER", DataType.INTEGER),
+            ("decimal(10, 2)", DataType.DECIMAL),
+            ("numeric", DataType.DECIMAL),
+            ("money", DataType.MONEY),
+            ("bit", DataType.BOOLEAN),
+            ("datetime", DataType.DATETIME),
+            ("timestamp", DataType.DATETIME),
+            ("char(2)", DataType.CHAR),
+            ("blob", DataType.BINARY),
+            ("id", DataType.IDENTIFIER),
+            ("float", DataType.FLOAT),
+            ("double", DataType.FLOAT),
+        ],
+    )
+    def test_known_aliases(self, raw, expected):
+        assert parse_data_type(raw) is expected
+
+    def test_unknown_type_falls_back_to_any(self):
+        assert parse_data_type("geometry") is DataType.ANY
+
+    def test_whitespace_tolerated(self):
+        assert parse_data_type("  int  ") is DataType.INTEGER
+
+
+class TestBroadClasses:
+    def test_every_data_type_has_a_broad_class(self):
+        for data_type in DataType:
+            assert data_type in BROAD_CLASS
+
+    def test_numeric_types_share_a_class(self):
+        assert BROAD_CLASS[DataType.INTEGER] == BROAD_CLASS[DataType.DECIMAL]
+        assert BROAD_CLASS[DataType.FLOAT] == BROAD_CLASS[DataType.MONEY]
+
+    def test_string_types_share_a_class(self):
+        assert BROAD_CLASS[DataType.STRING] == BROAD_CLASS[DataType.TEXT]
+
+
+class TestCompatibilityTable:
+    def test_identical_types_score_the_paper_maximum(self):
+        """Section 6: 'Identical data types have a compatibility of 0.5.'"""
+        table = default_compatibility_table()
+        assert table.compatibility(DataType.INTEGER, DataType.INTEGER) == 0.5
+        assert table.compatibility(DataType.STRING, DataType.STRING) == 0.5
+
+    def test_all_scores_within_half(self):
+        """Section 6: the value is a lookup in [0, 0.5]."""
+        table = default_compatibility_table()
+        for a in DataType:
+            for b in DataType:
+                assert 0.0 <= table.compatibility(a, b) <= 0.5
+
+    def test_symmetry(self):
+        table = default_compatibility_table()
+        for a in DataType:
+            for b in DataType:
+                assert table.compatibility(a, b) == table.compatibility(b, a)
+
+    def test_same_class_beats_cross_class(self):
+        table = default_compatibility_table()
+        same = table.compatibility(DataType.INTEGER, DataType.SMALLINT)
+        cross = table.compatibility(DataType.INTEGER, DataType.BINARY)
+        assert same > cross
+
+    def test_convertible_pairs_beat_plain_same_class(self):
+        table = default_compatibility_table()
+        convertible = table.compatibility(DataType.INTEGER, DataType.DECIMAL)
+        assert convertible > table.same_class
+
+    def test_none_treated_as_any(self):
+        table = default_compatibility_table()
+        assert table.compatibility(None, DataType.INTEGER) == (
+            table.compatibility(DataType.ANY, DataType.INTEGER)
+        )
+
+    def test_override_is_symmetric(self):
+        table = TypeCompatibilityTable()
+        table.set(DataType.DATE, DataType.INTEGER, 0.3)
+        assert table.compatibility(DataType.DATE, DataType.INTEGER) == 0.3
+        assert table.compatibility(DataType.INTEGER, DataType.DATE) == 0.3
+
+    def test_override_out_of_range_rejected(self):
+        table = TypeCompatibilityTable()
+        with pytest.raises(ValueError):
+            table.set(DataType.DATE, DataType.INTEGER, 0.7)
+
+    def test_inconsistent_constructor_scores_rejected(self):
+        with pytest.raises(ValueError):
+            TypeCompatibilityTable(identical=0.3, same_class=0.4)
+
+    def test_items_exposes_overrides(self):
+        table = TypeCompatibilityTable()
+        table.set(DataType.DATE, DataType.INTEGER, 0.3)
+        assert ((DataType.DATE, DataType.INTEGER), 0.3) in list(table.items())

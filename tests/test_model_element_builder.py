@@ -1,0 +1,136 @@
+"""Tests for repro.model.element, builder, and validation."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.builder import SchemaBuilder, schema_from_tree
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.validation import validate_schema
+
+
+class TestSchemaElement:
+    def test_identity_is_id_based(self):
+        a = SchemaElement(name="X")
+        b = SchemaElement(name="X")
+        assert a != b
+        assert a == a
+        assert hash(a) != hash(b)
+
+    def test_clone_gets_fresh_id(self):
+        original = SchemaElement(name="X", data_type=DataType.INTEGER)
+        copy = original.clone()
+        assert copy.name == original.name
+        assert copy.data_type is original.data_type
+        assert copy.element_id != original.element_id
+
+    def test_is_atomic(self):
+        assert SchemaElement(name="X", data_type=DataType.INTEGER).is_atomic
+        assert not SchemaElement(name="X").is_atomic
+
+    def test_empty_name_rejected_unless_not_instantiated(self):
+        with pytest.raises(ValueError):
+            SchemaElement(name="")
+        SchemaElement(name="", not_instantiated=True)  # allowed
+
+    def test_key_tuple(self):
+        element = SchemaElement(name="X")
+        assert element.key() == (element.element_id, "X")
+
+    def test_repr_mentions_name_and_type(self):
+        element = SchemaElement(name="Qty", data_type=DataType.INTEGER)
+        assert "Qty" in repr(element)
+        assert "integer" in repr(element)
+
+
+class TestSchemaBuilder:
+    def test_add_child_and_leaf(self):
+        builder = SchemaBuilder("S")
+        table = builder.add_child(builder.root, "Orders")
+        leaf = builder.add_leaf(table, "Qty", "integer")
+        assert builder.schema.container_of(leaf) is table
+        assert leaf.data_type is DataType.INTEGER
+
+    def test_leaf_type_defaults_to_any(self):
+        builder = SchemaBuilder("S")
+        leaf = builder.add_leaf(builder.root, "X")
+        assert leaf.data_type is DataType.ANY
+
+    def test_shared_type_is_not_instantiated(self):
+        builder = SchemaBuilder("S")
+        shared = builder.add_shared_type("Address")
+        assert shared.not_instantiated
+        assert builder.schema.container_of(shared) is builder.root
+
+    def test_derive_from(self):
+        builder = SchemaBuilder("S")
+        shared = builder.add_shared_type("Address")
+        user = builder.add_child(builder.root, "ShipTo")
+        builder.derive_from(user, shared)
+        assert builder.schema.derived_bases(user) == [shared]
+
+    def test_add_tree_nested_spec(self):
+        builder = SchemaBuilder("S")
+        builder.add_tree(
+            builder.root,
+            {"A": {"B": {"C": "integer"}, "D": DataType.STRING}},
+        )
+        c = builder.find("A", "B", "C")
+        assert c.data_type is DataType.INTEGER
+        d = builder.find("A", "D")
+        assert d.data_type is DataType.STRING
+
+    def test_find_missing_step_raises(self):
+        builder = SchemaBuilder("S")
+        builder.add_tree(builder.root, {"A": {"B": "int"}})
+        with pytest.raises(SchemaError):
+            builder.find("A", "Nope")
+
+    def test_find_ambiguous_step_raises(self):
+        builder = SchemaBuilder("S")
+        builder.add_child(builder.root, "A")
+        builder.add_child(builder.root, "A")
+        with pytest.raises(SchemaError):
+            builder.find("A")
+
+    def test_schema_from_tree_one_shot(self):
+        schema = schema_from_tree("S", {"T": {"c1": "int", "c2": "varchar"}})
+        assert len(schema.elements_named("c1")) == 1
+        assert validate_schema(schema) == []
+
+
+class TestValidation:
+    def test_clean_schema_has_no_warnings(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        assert validate_schema(schema) == []
+
+    def test_unreachable_element_warns(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        schema.add_element(SchemaElement(name="Orphan"))
+        warnings = validate_schema(schema)
+        assert any("Orphan" in w for w in warnings)
+
+    def test_unreachable_ok_when_not_required(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        schema.add_element(SchemaElement(name="Orphan"))
+        assert validate_schema(schema, require_connected=False) == []
+
+    def test_refint_without_sources_warns(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        refint = schema.add_element(
+            SchemaElement(
+                name="fk", kind=ElementKind.REFINT, not_instantiated=True
+            )
+        )
+        schema.add_containment(schema.element_named("A"), refint)
+        warnings = validate_schema(schema)
+        assert any("aggregates no source" in w for w in warnings)
+        assert any("references 0 targets" in w for w in warnings)
+
+    def test_atomic_element_with_children_warns(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        x = schema.element_named("x")
+        child = schema.add_element(SchemaElement(name="odd"))
+        schema.add_containment(x, child)
+        warnings = validate_schema(schema)
+        assert any("atomic element" in w for w in warnings)

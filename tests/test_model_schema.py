@@ -1,0 +1,209 @@
+"""Tests for repro.model.schema — the schema graph container."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateElementError,
+    SchemaError,
+    UnknownElementError,
+)
+from repro.model.datatypes import DataType
+from repro.model.element import ElementKind, SchemaElement
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema("Test")
+
+
+def _element(name, **kwargs):
+    return SchemaElement(name=name, **kwargs)
+
+
+class TestElements:
+    def test_root_created_with_schema_name(self, schema):
+        assert schema.root.name == "Test"
+        assert schema.has_element(schema.root)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Schema("")
+
+    def test_add_element(self, schema):
+        element = schema.add_element(_element("Table1"))
+        assert schema.has_element(element)
+        assert element in schema.elements
+
+    def test_duplicate_id_rejected(self, schema):
+        element = schema.add_element(_element("A"))
+        clone = SchemaElement(name="B", element_id=element.element_id)
+        with pytest.raises(DuplicateElementError):
+            schema.add_element(clone)
+
+    def test_element_by_id(self, schema):
+        element = schema.add_element(_element("A"))
+        assert schema.element_by_id(element.element_id) is element
+
+    def test_element_by_unknown_id_raises(self, schema):
+        with pytest.raises(UnknownElementError):
+            schema.element_by_id("nope")
+
+    def test_element_named_unique(self, schema):
+        element = schema.add_element(_element("OnlyOne"))
+        assert schema.element_named("OnlyOne") is element
+
+    def test_element_named_ambiguous_raises(self, schema):
+        schema.add_element(_element("Dup"))
+        schema.add_element(_element("Dup"))
+        with pytest.raises(SchemaError):
+            schema.element_named("Dup")
+
+    def test_element_named_missing_raises(self, schema):
+        with pytest.raises(UnknownElementError):
+            schema.element_named("Ghost")
+
+    def test_elements_named_returns_all(self, schema):
+        schema.add_element(_element("Dup"))
+        schema.add_element(_element("Dup"))
+        assert len(schema.elements_named("Dup")) == 2
+
+
+class TestContainment:
+    def test_single_parent_invariant(self, schema):
+        a = schema.add_element(_element("A"))
+        b = schema.add_element(_element("B"))
+        child = schema.add_element(_element("C"))
+        schema.add_containment(a, child)
+        with pytest.raises(SchemaError):
+            schema.add_containment(b, child)
+
+    def test_root_cannot_be_contained(self, schema):
+        a = schema.add_element(_element("A"))
+        with pytest.raises(SchemaError):
+            schema.add_containment(a, schema.root)
+
+    def test_children_in_insertion_order(self, schema):
+        names = ["X", "Y", "Z"]
+        for name in names:
+            child = schema.add_element(_element(name))
+            schema.add_containment(schema.root, child)
+        assert [c.name for c in schema.contained_children(schema.root)] == names
+
+    def test_container_of(self, schema):
+        child = schema.add_element(_element("C"))
+        schema.add_containment(schema.root, child)
+        assert schema.container_of(child) is schema.root
+        assert schema.container_of(schema.root) is None
+
+    def test_foreign_element_rejected(self, schema):
+        stranger = _element("Stranger")
+        with pytest.raises(UnknownElementError):
+            schema.add_containment(schema.root, stranger)
+
+    def test_self_relationship_rejected(self, schema):
+        a = schema.add_element(_element("A"))
+        with pytest.raises(ValueError):
+            schema.add_aggregation(a, a)
+
+
+class TestOtherRelationships:
+    def test_aggregation_allows_multiple_parents(self, schema):
+        key1 = schema.add_element(_element("K1"))
+        key2 = schema.add_element(_element("K2"))
+        column = schema.add_element(_element("Col"))
+        schema.add_aggregation(key1, column)
+        schema.add_aggregation(key2, column)
+        assert schema.aggregated_members(key1) == [column]
+        assert schema.aggregated_members(key2) == [column]
+
+    def test_is_derived_from_navigation(self, schema):
+        element = schema.add_element(_element("E"))
+        base = schema.add_element(_element("T"))
+        schema.add_is_derived_from(element, base)
+        assert schema.derived_bases(element) == [base]
+        assert schema.deriving_elements(base) == [element]
+
+    def test_reference(self, schema):
+        refint = schema.add_element(
+            _element("fk", kind=ElementKind.REFINT, not_instantiated=True)
+        )
+        key = schema.add_element(_element("pk", kind=ElementKind.KEY))
+        schema.add_reference(refint, key)
+        assert schema.reference_targets(refint) == [key]
+
+    def test_refint_elements_found_by_kind(self, schema):
+        schema.add_element(
+            _element("fk", kind=ElementKind.REFINT, not_instantiated=True)
+        )
+        assert [e.name for e in schema.refint_elements()] == ["fk"]
+
+    def test_tree_children_merges_containment_and_derivation(self, schema):
+        parent = schema.add_element(_element("P"))
+        child = schema.add_element(_element("C"))
+        base = schema.add_element(_element("T"))
+        schema.add_containment(parent, child)
+        schema.add_is_derived_from(parent, base)
+        assert schema.tree_children(parent) == [child, base]
+
+
+class TestTraversals:
+    @pytest.fixture
+    def tree_schema(self, schema):
+        a = schema.add_element(_element("A"))
+        b = schema.add_element(_element("B"))
+        a1 = schema.add_element(_element("A1", data_type=DataType.INTEGER))
+        a2 = schema.add_element(_element("A2", data_type=DataType.STRING))
+        b1 = schema.add_element(_element("B1", data_type=DataType.STRING))
+        schema.add_containment(schema.root, a)
+        schema.add_containment(schema.root, b)
+        schema.add_containment(a, a1)
+        schema.add_containment(a, a2)
+        schema.add_containment(b, b1)
+        return schema
+
+    def test_preorder(self, tree_schema):
+        names = [e.name for e in tree_schema.iter_containment_preorder()]
+        assert names == ["Test", "A", "A1", "A2", "B", "B1"]
+
+    def test_postorder(self, tree_schema):
+        names = [e.name for e in tree_schema.iter_containment_postorder()]
+        assert names == ["A1", "A2", "A", "B1", "B", "Test"]
+
+    def test_postorder_parents_after_children(self, tree_schema):
+        order = {e.name: i for i, e in enumerate(
+            tree_schema.iter_containment_postorder()
+        )}
+        assert order["A1"] < order["A"]
+        assert order["A"] < order["Test"]
+
+    def test_leaves(self, tree_schema):
+        leaves = tree_schema.containment_leaves(tree_schema.root)
+        assert {leaf.name for leaf in leaves} == {"A1", "A2", "B1"}
+
+    def test_depth(self, tree_schema):
+        a1 = tree_schema.element_named("A1")
+        assert tree_schema.containment_depth(tree_schema.root) == 0
+        assert tree_schema.containment_depth(a1) == 2
+
+    def test_depth_of_disconnected_element_raises(self, tree_schema):
+        orphan = tree_schema.add_element(_element("Orphan"))
+        with pytest.raises(SchemaError):
+            tree_schema.containment_depth(orphan)
+
+    def test_topological_order_children_first(self, tree_schema):
+        order = [e.name for e in tree_schema.tree_edge_topological_order()]
+        assert order.index("A1") < order.index("A")
+        assert order.index("B1") < order.index("B")
+        assert order.index("A") < order.index("Test")
+
+    def test_topological_order_detects_cycles(self, schema):
+        a = schema.add_element(_element("A"))
+        b = schema.add_element(_element("B"))
+        schema.add_is_derived_from(a, b)
+        schema.add_is_derived_from(b, a)
+        with pytest.raises(SchemaError):
+            schema.tree_edge_topological_order()
+
+    def test_len_counts_elements(self, tree_schema):
+        assert len(tree_schema) == 6  # root + A, B, A1, A2, B1

@@ -1,0 +1,128 @@
+"""Property-based tests for the linguistic stack (hypothesis)."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CupidConfig
+from repro.linguistic.lexicon import builtin_thesaurus
+from repro.linguistic.name_similarity import (
+    element_name_similarity,
+    substring_similarity,
+    token_set_similarity,
+    token_similarity,
+)
+from repro.linguistic.normalizer import Normalizer
+from repro.linguistic.tokenizer import tokenize
+from repro.linguistic.tokens import Token
+
+_THESAURUS = builtin_thesaurus()
+_NORMALIZER = Normalizer(_THESAURUS)
+_CONFIG = CupidConfig()
+
+#: Identifier-ish element names: letters, digits, underscores, dashes.
+names = st.text(
+    alphabet=string.ascii_letters + string.digits + "_-",
+    min_size=1,
+    max_size=24,
+).filter(lambda s: any(c.isalnum() for c in s))
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+
+
+class TestTokenizerProperties:
+    @given(names)
+    def test_tokens_are_lowercase_and_nonempty(self, name):
+        for token in tokenize(name):
+            assert token
+            assert token == token.lower()
+
+    @given(names)
+    def test_tokens_cover_alnum_content(self, name):
+        """Every alphanumeric character of the name survives somewhere."""
+        joined = "".join(tokenize(name))
+        for ch in name.lower():
+            if ch.isalnum():
+                assert ch in joined
+
+    @given(names)
+    def test_tokenize_idempotent_on_tokens(self, name):
+        for token in tokenize(name):
+            if token.isalpha():
+                assert tokenize(token) == [token]
+
+
+class TestNormalizerProperties:
+    @given(names)
+    def test_normalization_total(self, name):
+        normalized = _NORMALIZER.normalize(name)
+        assert normalized.raw == name
+
+    @given(names)
+    def test_normalization_deterministic(self, name):
+        assert _NORMALIZER.normalize(name) is _NORMALIZER.normalize(name)
+
+
+class TestSimilarityProperties:
+    @given(words, words)
+    def test_substring_similarity_bounded_and_symmetric(self, a, b):
+        score = substring_similarity(a, b)
+        assert 0.0 <= score <= 0.8
+        assert score == pytest.approx(substring_similarity(b, a))
+
+    @given(words)
+    def test_substring_identity(self, word):
+        if len(word) >= 3:
+            assert substring_similarity(word, word) == pytest.approx(0.8)
+
+    @given(words, words)
+    def test_token_similarity_bounded(self, a, b):
+        score = token_similarity(Token(a), Token(b), _THESAURUS, _CONFIG)
+        assert 0.0 <= score <= 1.0
+
+    @given(words)
+    def test_token_similarity_identity(self, word):
+        assert token_similarity(Token(word), Token(word), _THESAURUS, _CONFIG) == 1.0
+
+    @given(
+        st.lists(words, min_size=1, max_size=5),
+        st.lists(words, min_size=1, max_size=5),
+    )
+    def test_token_set_similarity_bounded_and_symmetric(self, t1, t2):
+        tokens1 = [Token(w) for w in t1]
+        tokens2 = [Token(w) for w in t2]
+        forward = token_set_similarity(tokens1, tokens2, _THESAURUS, _CONFIG)
+        backward = token_set_similarity(tokens2, tokens1, _THESAURUS, _CONFIG)
+        assert 0.0 <= forward <= 1.0
+        assert forward == pytest.approx(backward)
+
+    @given(st.lists(words, min_size=1, max_size=5))
+    def test_token_set_identity_is_one(self, word_list):
+        tokens = [Token(w) for w in word_list]
+        assert token_set_similarity(tokens, tokens, _THESAURUS, _CONFIG) == (
+            pytest.approx(1.0)
+        )
+
+    @given(names, names)
+    @settings(max_examples=50)
+    def test_element_name_similarity_bounded_and_symmetric(self, n1, n2):
+        a = _NORMALIZER.normalize(n1)
+        b = _NORMALIZER.normalize(n2)
+        forward = element_name_similarity(a, b, _THESAURUS, _CONFIG)
+        backward = element_name_similarity(b, a, _THESAURUS, _CONFIG)
+        assert 0.0 <= forward <= 1.0
+        assert forward == pytest.approx(backward)
+
+    @given(names)
+    @settings(max_examples=50)
+    def test_element_name_self_similarity(self, name):
+        normalized = _NORMALIZER.normalize(name)
+        score = element_name_similarity(
+            normalized, normalized, _THESAURUS, _CONFIG
+        )
+        if normalized.comparable_tokens():
+            assert score == pytest.approx(1.0)
+        else:
+            assert score == 0.0

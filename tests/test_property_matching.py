@@ -1,0 +1,122 @@
+"""Property-based tests for end-to-end matching invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CupidMatcher
+from repro.config import CupidConfig
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.eval.metrics import evaluate_mapping
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSelfMatchProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_schema_matches_identical_copy_perfectly(self, seed):
+        """Canonical example 1 generalized: any schema matched against
+        an identical copy recovers every leaf correspondence."""
+        generator = SchemaGenerator(seed=seed)
+        schema = generator.generate(n_leaves=12, max_depth=3)
+        copy, gold = generator.perturb(
+            schema,
+            PerturbationConfig(
+                abbreviate=0, synonym=0, prefix_suffix=0, retype=0
+            ),
+        )
+        result = CupidMatcher().match(schema, copy)
+        quality = evaluate_mapping(result.leaf_mapping, gold)
+        assert quality.recall == 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_all_similarities_bounded(self, seed):
+        generator = SchemaGenerator(seed=seed)
+        schema = generator.generate(n_leaves=10, max_depth=2)
+        copy, _ = generator.perturb(schema)
+        result = CupidMatcher().match(schema, copy)
+        for value in result.treematch_result.wsim.values():
+            assert 0.0 <= value <= 1.0
+        for element in result.leaf_mapping:
+            assert element.similarity >= result.treematch_result.wsim.get(
+                (0, 0), 0.0
+            ) or 0.0 <= element.similarity <= 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_leaf_mapping_meets_thaccept(self, seed):
+        generator = SchemaGenerator(seed=seed)
+        schema = generator.generate(n_leaves=10, max_depth=2)
+        copy, _ = generator.perturb(schema)
+        config = CupidConfig()
+        result = CupidMatcher(config=config).match(schema, copy)
+        for element in result.leaf_mapping:
+            assert element.similarity >= config.thaccept
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_mapping_determinism(self, seed):
+        """The same inputs always produce the same mapping."""
+        generator_a = SchemaGenerator(seed=seed)
+        schema_a = generator_a.generate(n_leaves=10, max_depth=2)
+        copy_a, _ = generator_a.perturb(schema_a)
+        first = CupidMatcher().match(schema_a, copy_a)
+
+        generator_b = SchemaGenerator(seed=seed)
+        schema_b = generator_b.generate(n_leaves=10, max_depth=2)
+        copy_b, _ = generator_b.perturb(schema_b)
+        second = CupidMatcher().match(schema_b, copy_b)
+
+        assert first.leaf_mapping.path_pairs() == second.leaf_mapping.path_pairs()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_abbreviation_rename_preserves_most_matches(self, seed):
+        """Renaming with known abbreviations is what the thesaurus is
+        for: recall should stay high."""
+        generator = SchemaGenerator(seed=seed)
+        schema = generator.generate(n_leaves=12, max_depth=2)
+        copy, gold = generator.perturb(
+            schema,
+            PerturbationConfig(
+                abbreviate=1.0, synonym=0, prefix_suffix=0, retype=0
+            ),
+        )
+        result = CupidMatcher().match(schema, copy)
+        quality = evaluate_mapping(result.leaf_mapping, gold)
+        assert quality.recall >= 0.85
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_one_to_one_extraction_is_injective(self, seed):
+        generator = SchemaGenerator(seed=seed)
+        schema = generator.generate(n_leaves=10, max_depth=2)
+        copy, _ = generator.perturb(schema)
+        result = CupidMatcher().match(schema, copy)
+        assert result.one_to_one().is_one_to_one()
+
+
+class TestFlattenRobustness:
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @_SETTINGS
+    def test_flattened_copy_still_matches(self, seed):
+        """Intuition (c) of Section 6 / canonical example 5: leaf-based
+        structural matching absorbs nesting differences."""
+        generator = SchemaGenerator(seed=seed)
+        schema = generator.generate(n_leaves=12, max_depth=3)
+        copy, gold = generator.perturb(
+            schema,
+            PerturbationConfig(
+                abbreviate=0, synonym=0, prefix_suffix=0,
+                retype=0, flatten=1.0,
+            ),
+        )
+        result = CupidMatcher().match(schema, copy)
+        quality = evaluate_mapping(result.leaf_mapping, gold)
+        assert quality.recall >= 0.9

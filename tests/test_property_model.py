@@ -1,0 +1,108 @@
+"""Property-based tests for model/tree invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generator import SchemaGenerator
+from repro.io.json_io import schema_from_dict, schema_to_dict
+from repro.model.validation import validate_schema
+from repro.tree.construction import construct_schema_tree
+from repro.tree.lazy import construct_schema_tree_lazy
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGeneratedSchemaInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_leaves=st.integers(min_value=1, max_value=40),
+    )
+    @_SETTINGS
+    def test_generated_schemas_validate(self, seed, n_leaves):
+        schema = SchemaGenerator(seed=seed).generate(n_leaves=n_leaves)
+        assert validate_schema(schema) == []
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_leaves=st.integers(min_value=1, max_value=40),
+    )
+    @_SETTINGS
+    def test_exact_leaf_count(self, seed, n_leaves):
+        schema = SchemaGenerator(seed=seed).generate(n_leaves=n_leaves)
+        atomic = [
+            l for l in schema.containment_leaves(schema.root) if l.is_atomic
+        ]
+        assert len(atomic) == n_leaves
+
+
+class TestTreeInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_tree_mirrors_containment(self, seed):
+        schema = SchemaGenerator(seed=seed).generate(n_leaves=15)
+        tree = construct_schema_tree(schema)
+        # One tree node per instantiated element (no shared types here).
+        instantiated = [
+            e for e in schema.elements if not e.not_instantiated
+        ]
+        assert len(tree.nodes()) == len(instantiated)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_postorder_topological(self, seed):
+        """Post-order always lists every child before its parent."""
+        schema = SchemaGenerator(seed=seed).generate(n_leaves=15)
+        tree = construct_schema_tree(schema)
+        position = {
+            node.node_id: i for i, node in enumerate(tree.postorder())
+        }
+        for node in tree.nodes():
+            for child in node.children:
+                assert position[child.node_id] < position[node.node_id]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_leaf_counts_consistent(self, seed):
+        schema = SchemaGenerator(seed=seed).generate(n_leaves=15)
+        tree = construct_schema_tree(schema)
+        for node in tree.nodes():
+            if node.children:
+                assert node.leaf_count() == sum(
+                    # children may share leaves only in DAGs; plain
+                    # generated trees must partition exactly.
+                    child.leaf_count() for child in node.children
+                )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_lazy_equals_eager_without_shared_types(self, seed):
+        schema = SchemaGenerator(seed=seed).generate(n_leaves=15)
+        eager = construct_schema_tree(schema)
+        lazy = construct_schema_tree_lazy(schema)
+        assert [n.path_string() for n in eager.nodes()] == [
+            n.path_string() for n in lazy.nodes()
+        ]
+
+
+class TestJsonRoundTripProperty:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_SETTINGS
+    def test_roundtrip_preserves_shape(self, seed):
+        schema = SchemaGenerator(seed=seed).generate(n_leaves=12)
+        rebuilt = schema_from_dict(schema_to_dict(schema))
+        original_paths = {
+            n.path_string()
+            for n in construct_schema_tree(schema).nodes()
+        }
+        rebuilt_paths = {
+            n.path_string()
+            for n in construct_schema_tree(rebuilt).nodes()
+        }
+        assert original_paths == rebuilt_paths

@@ -1,0 +1,237 @@
+"""Tests for TreeMatch (Figure 3) and the similarity store."""
+
+import pytest
+
+from repro.config import CupidConfig
+from repro.linguistic.lexicon import builtin_thesaurus
+from repro.linguistic.matcher import LinguisticMatcher, LsimTable
+from repro.model.builder import SchemaBuilder, schema_from_tree
+from repro.model.datatypes import default_compatibility_table
+from repro.structure.similarity import SimilarityStore
+from repro.structure.treematch import TreeMatch
+from repro.tree.construction import construct_schema_tree
+
+
+def _match(source, target, config=None, thesaurus=None):
+    thesaurus = thesaurus or builtin_thesaurus()
+    config = config or CupidConfig()
+    lsim = LinguisticMatcher(thesaurus, config).compute(source, target)
+    source_tree = construct_schema_tree(source)
+    target_tree = construct_schema_tree(target)
+    treematch = TreeMatch(config)
+    result = treematch.run(source_tree, target_tree, lsim)
+    return result, treematch
+
+
+class TestSimilarityStore:
+    def test_default_ssim_is_type_compatibility(self):
+        """Leaf ssim initializes to data-type compatibility in [0, 0.5]."""
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        other = schema_from_tree("T", {"B": {"y": "int"}})
+        tree1 = construct_schema_tree(schema)
+        tree2 = construct_schema_tree(other)
+        store = SimilarityStore(
+            LsimTable(), CupidConfig(), default_compatibility_table()
+        )
+        x = tree1.node_for_path("A", "x")
+        y = tree2.node_for_path("B", "y")
+        assert store.ssim(x, y) == 0.5  # identical integer types
+
+    def test_scale_clamps_to_one(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        other = schema_from_tree("T", {"B": {"y": "int"}})
+        tree1, tree2 = construct_schema_tree(schema), construct_schema_tree(other)
+        store = SimilarityStore(
+            LsimTable(), CupidConfig(), default_compatibility_table()
+        )
+        x = tree1.node_for_path("A", "x")
+        y = tree2.node_for_path("B", "y")
+        for _ in range(10):
+            store.scale_ssim(x, y, 1.2)
+        assert store.ssim(x, y) == 1.0
+
+    def test_wsim_uses_leaf_weight_for_leaf_pairs(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        other = schema_from_tree("T", {"B": {"y": "int"}})
+        tree1, tree2 = construct_schema_tree(schema), construct_schema_tree(other)
+        config = CupidConfig(wstruct=0.6, wstruct_leaf=0.5)
+        store = SimilarityStore(
+            LsimTable(), config, default_compatibility_table()
+        )
+        x = tree1.node_for_path("A", "x")
+        y = tree2.node_for_path("B", "y")
+        # lsim = 0, ssim = 0.5 -> leaf wsim = 0.5 * 0.5.
+        assert store.wsim(x, y) == pytest.approx(0.25)
+        # Non-leaf pair (roots) uses wstruct = 0.6.
+        assert store.wsim(tree1.root, tree2.root) == pytest.approx(
+            0.6 * store.ssim(tree1.root, tree2.root)
+        )
+
+
+class TestTreeMatchBasics:
+    def test_identical_schemas_leaf_similarity_saturates(self):
+        spec = {"Rec": {"x": "integer", "y": "string"}}
+        result, _ = _match(schema_from_tree("S", spec), schema_from_tree("S2", spec))
+        x_s = result.source_tree.node_for_path("Rec", "x")
+        x_t = result.target_tree.node_for_path("Rec", "x")
+        assert result.sims.wsim(x_s, x_t) > 0.9
+
+    def test_all_wsim_values_bounded(self, po_schema, purchase_order_schema):
+        result, _ = _match(po_schema, purchase_order_schema)
+        for value in result.wsim.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_compared_and_pruned_counts(self, po_schema, purchase_order_schema):
+        result, _ = _match(po_schema, purchase_order_schema)
+        assert result.compared_pairs > 0
+        assert result.pruned_pairs > 0
+        total_pairs = len(result.source_tree.postorder()) * len(
+            result.target_tree.postorder()
+        )
+        assert result.compared_pairs + result.pruned_pairs == total_pairs
+
+    def test_roots_always_compared(self):
+        """Leaf-count pruning must never skip the root pair."""
+        big = schema_from_tree(
+            "Big", {"A": {f"x{i}": "int" for i in range(20)}}
+        )
+        small = schema_from_tree("Small", {"B": {"y": "int"}})
+        result, _ = _match(big, small)
+        assert (
+            result.source_tree.root.node_id,
+            result.target_tree.root.node_id,
+        ) in result.wsim
+
+    def test_pruning_skips_disproportionate_pairs(self):
+        big = schema_from_tree(
+            "Big", {"A": {f"x{i}": "int" for i in range(10)}}
+        )
+        small = schema_from_tree("Small", {"B": {"y": "int"}})
+        result, _ = _match(big, small)
+        a = result.source_tree.node_for_path("A")      # 10 leaves
+        b = result.target_tree.node_for_path("B")      # 1 leaf
+        assert (a.node_id, b.node_id) not in result.wsim
+
+    def test_pruning_disabled(self):
+        big = schema_from_tree(
+            "Big", {"A": {f"x{i}": "int" for i in range(10)}}
+        )
+        small = schema_from_tree("Small", {"B": {"y": "int"}})
+        result, _ = _match(
+            big, small, config=CupidConfig(prune_by_leaf_count=False)
+        )
+        a = result.source_tree.node_for_path("A")
+        b = result.target_tree.node_for_path("B")
+        assert (a.node_id, b.node_id) in result.wsim
+
+
+class TestStructuralSimilarity:
+    def test_strong_link_fraction(self):
+        """Inner-node ssim = fraction of leaves with strong links."""
+        source = schema_from_tree(
+            "S", {"A": {"Street": "string", "City": "string",
+                        "Blob": "binary"}}
+        )
+        target = schema_from_tree(
+            "T", {"B": {"Street": "string", "City": "string",
+                        "Quantity": "integer"}}
+        )
+        result, _ = _match(source, target)
+        a = result.source_tree.node_for_path("A")
+        b = result.target_tree.node_for_path("B")
+        # Street and City link both ways; Blob and Quantity do not.
+        # fraction = (2 + 2) / (3 + 3)
+        assert result.sims.ssim(a, b) == pytest.approx(4 / 6, abs=0.2)
+
+    def test_context_reinforcement(self, po_schema, purchase_order_schema):
+        """Figure 2 narrative: POBillTo's City binds to InvoiceTo's City
+        more tightly than to DeliverTo's."""
+        result, _ = _match(po_schema, purchase_order_schema)
+        bill_city = result.source_tree.node_for_path("POBillTo", "City")
+        invoice_city = result.target_tree.node_for_path(
+            "InvoiceTo", "Address", "City"
+        )
+        deliver_city = result.target_tree.node_for_path(
+            "DeliverTo", "Address", "City"
+        )
+        assert result.sims.wsim(bill_city, invoice_city) > (
+            result.sims.wsim(bill_city, deliver_city)
+        )
+
+    def test_lsim_unchanged_by_treematch(self, po_schema,
+                                         purchase_order_schema):
+        """'The linguistic similarity, however, remains unchanged.'"""
+        thesaurus = builtin_thesaurus()
+        config = CupidConfig()
+        lsim = LinguisticMatcher(thesaurus, config).compute(
+            po_schema, purchase_order_schema
+        )
+        before = dict(lsim.items())
+        source_tree = construct_schema_tree(po_schema)
+        target_tree = construct_schema_tree(purchase_order_schema)
+        TreeMatch(config).run(source_tree, target_tree, lsim)
+        assert dict(lsim.items()) == before
+
+    def test_optional_leaves_discounted(self):
+        """Unmappable optional leaves must not penalize ssim (§8.4)."""
+        source_spec = {"A": {"x": "integer", "y": "string"}}
+        builder_target = SchemaBuilder("T")
+        b = builder_target.add_child(builder_target.root, "B")
+        builder_target.add_leaf(b, "x", "integer")
+        builder_target.add_leaf(b, "y", "string")
+        builder_target.add_leaf(b, "extra", "binary", optional=True)
+        target = builder_target.schema
+
+        source = schema_from_tree("S", source_spec)
+        with_discount, _ = _match(source, target)
+        without_discount, _ = _match(
+            source, target,
+            config=CupidConfig(discount_optional_leaves=False),
+        )
+        a_w = with_discount.source_tree.node_for_path("A")
+        b_w = with_discount.target_tree.node_for_path("B")
+        a_wo = without_discount.source_tree.node_for_path("A")
+        b_wo = without_discount.target_tree.node_for_path("B")
+        assert with_discount.sims.ssim(a_w, b_w) > (
+            without_discount.sims.ssim(a_wo, b_wo)
+        )
+
+    def test_depth_limited_leaves(self):
+        """leaf_prune_depth cuts the frontier at depth k (§8.4)."""
+        deep = {"A": {"B": {"C": {"x": "int", "y": "int"}}}}
+        source = schema_from_tree("S", deep)
+        target = schema_from_tree("T", deep)
+        result, _ = _match(
+            source, target, config=CupidConfig(leaf_prune_depth=1)
+        )
+        # Still computes similarities without error and the roots match.
+        root_pair = (
+            result.source_tree.root.node_id,
+            result.target_tree.root.node_id,
+        )
+        assert root_pair in result.wsim
+
+
+class TestSecondPass:
+    def test_recompute_refreshes_inner_nodes(self, po_schema,
+                                             purchase_order_schema):
+        """Section 7: leaf updates stale the inner-node values."""
+        result, treematch = _match(po_schema, purchase_order_schema)
+        first_pass = dict(result.wsim)
+        treematch.recompute_wsim(result)
+        changed = sum(
+            1 for key in first_pass
+            if key in result.wsim
+            and abs(result.wsim[key] - first_pass[key]) > 1e-9
+        )
+        assert changed > 0
+
+    def test_recompute_keeps_leaf_values(self, po_schema,
+                                         purchase_order_schema):
+        result, treematch = _match(po_schema, purchase_order_schema)
+        sims = result.sims
+        leaf_s = result.source_tree.node_for_path("POLines", "Item", "Qty")
+        leaf_t = result.target_tree.node_for_path("Items", "Item", "Quantity")
+        before = sims.ssim(leaf_s, leaf_t)
+        treematch.recompute_wsim(result)
+        assert sims.ssim(leaf_s, leaf_t) == before

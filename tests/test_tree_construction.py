@@ -1,0 +1,229 @@
+"""Tests for schema-tree construction (Figure 4) and the tree/DAG API."""
+
+import pytest
+
+from repro.exceptions import CyclicSchemaError
+from repro.model.builder import SchemaBuilder, schema_from_tree
+from repro.model.element import ElementKind, SchemaElement
+from repro.tree.construction import construct_schema_tree
+from repro.tree.lazy import construct_schema_tree_lazy
+from repro.tree.schema_tree import SchemaTreeNode
+
+
+@pytest.fixture
+def shared_type_schema():
+    """PurchaseOrder with Address shared by DeliverTo and InvoiceTo."""
+    builder = SchemaBuilder("PurchaseOrder")
+    address = builder.add_shared_type("Address")
+    builder.add_leaf(address, "Street", "string")
+    builder.add_leaf(address, "City", "string")
+    deliver = builder.add_child(builder.root, "DeliverTo")
+    invoice = builder.add_child(builder.root, "InvoiceTo")
+    builder.derive_from(deliver, address)
+    builder.derive_from(invoice, address)
+    return builder.schema
+
+
+class TestBasicConstruction:
+    def test_plain_tree_mirrors_containment(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}, "B": {"y": "int"}})
+        tree = construct_schema_tree(schema)
+        assert [n.path_string() for n in tree.nodes()] == [
+            "S", "S.A", "S.A.x", "S.B", "S.B.y",
+        ]
+
+    def test_leaves(self):
+        schema = schema_from_tree("S", {"A": {"x": "int", "y": "int"}})
+        tree = construct_schema_tree(schema)
+        assert [n.name for n in tree.leaves()] == ["x", "y"]
+
+    def test_not_instantiated_skipped(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        key = SchemaElement(
+            name="A_pk", kind=ElementKind.KEY, not_instantiated=True
+        )
+        schema.add_element(key)
+        schema.add_containment(schema.element_named("A"), key)
+        tree = construct_schema_tree(schema)
+        assert all(n.name != "A_pk" for n in tree.nodes())
+
+    def test_postorder_children_before_parents(self):
+        schema = schema_from_tree("S", {"A": {"x": "int", "y": "int"}})
+        tree = construct_schema_tree(schema)
+        order = [n.name for n in tree.postorder()]
+        assert order.index("x") < order.index("A")
+        assert order.index("A") < order.index("S")
+
+    def test_postorder_is_unique_for_trees(self):
+        schema = schema_from_tree(
+            "S", {"A": {"x": "int"}, "B": {"y": "int"}}
+        )
+        tree = construct_schema_tree(schema)
+        assert [n.name for n in tree.postorder()] == ["x", "A", "y", "B", "S"]
+
+
+class TestTypeSubstitution:
+    def test_shared_type_expanded_per_context(self, shared_type_schema):
+        """Section 8.2: each IsDerivedFrom context gets a private copy."""
+        tree = construct_schema_tree(shared_type_schema)
+        paths = {n.path_string() for n in tree.nodes()}
+        assert "PurchaseOrder.DeliverTo.Street" in paths
+        assert "PurchaseOrder.InvoiceTo.Street" in paths
+
+    def test_copies_share_underlying_elements(self, shared_type_schema):
+        tree = construct_schema_tree(shared_type_schema)
+        deliver_street = tree.node_for_path("DeliverTo", "Street")
+        invoice_street = tree.node_for_path("InvoiceTo", "Street")
+        assert deliver_street is not invoice_street
+        assert deliver_street.element is invoice_street.element
+
+    def test_type_declaration_not_materialized_standalone(
+        self, shared_type_schema
+    ):
+        tree = construct_schema_tree(shared_type_schema)
+        top_level = {c.name for c in tree.root.children}
+        assert top_level == {"DeliverTo", "InvoiceTo"}
+
+    def test_own_children_plus_type_members(self):
+        builder = SchemaBuilder("S")
+        base = builder.add_shared_type("Base")
+        builder.add_leaf(base, "inherited", "int")
+        user = builder.add_child(builder.root, "User")
+        builder.add_leaf(user, "own", "int")
+        builder.derive_from(user, base)
+        tree = construct_schema_tree(builder.schema)
+        user_node = tree.node_for_path("User")
+        assert {c.name for c in user_node.children} == {"own", "inherited"}
+
+    def test_nested_derivation(self):
+        """A type deriving from another type expands transitively."""
+        builder = SchemaBuilder("S")
+        base = builder.add_shared_type("Base")
+        builder.add_leaf(base, "a", "int")
+        mid = builder.add_shared_type("Mid")
+        builder.add_leaf(mid, "b", "int")
+        builder.schema.add_is_derived_from(mid, base)
+        user = builder.add_child(builder.root, "User")
+        builder.derive_from(user, mid)
+        tree = construct_schema_tree(builder.schema)
+        names = {c.name for c in tree.node_for_path("User").children}
+        assert names == {"a", "b"}
+
+    def test_recursive_type_raises(self):
+        """Section 8.2: cyclic schemas are unsupported, fail loudly."""
+        builder = SchemaBuilder("S")
+        a = builder.add_shared_type("A")
+        b = builder.add_shared_type("B")
+        builder.schema.add_is_derived_from(a, b)
+        builder.schema.add_is_derived_from(b, a)
+        user = builder.add_child(builder.root, "User")
+        builder.derive_from(user, a)
+        with pytest.raises(CyclicSchemaError):
+            construct_schema_tree(builder.schema)
+
+
+class TestNodeApi:
+    def test_path(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        tree = construct_schema_tree(schema)
+        assert tree.node_for_path("A", "x").path() == ("S", "A", "x")
+
+    def test_leaf_count_cached_consistently(self):
+        schema = schema_from_tree("S", {"A": {"x": "int", "y": "int"}})
+        tree = construct_schema_tree(schema)
+        node = tree.node_for_path("A")
+        assert node.leaf_count() == 2
+        assert node.leaf_count() == 2
+
+    def test_subtree_depth(self):
+        schema = schema_from_tree("S", {"A": {"B": {"x": "int"}}})
+        tree = construct_schema_tree(schema)
+        assert tree.root.subtree_depth() == 3
+        assert tree.node_for_path("A", "B", "x").subtree_depth() == 0
+
+    def test_node_for_path_missing_raises(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        tree = construct_schema_tree(schema)
+        with pytest.raises(KeyError):
+            tree.node_for_path("Nope")
+
+    def test_add_child_rejects_reparenting(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}})
+        tree = construct_schema_tree(schema)
+        x = tree.node_for_path("A", "x")
+        with pytest.raises(ValueError):
+            tree.root.add_child(x)
+
+
+class TestOptionality:
+    def test_required_flags(self):
+        builder = SchemaBuilder("S")
+        a = builder.add_child(builder.root, "A")
+        builder.add_leaf(a, "req", "int")
+        builder.add_leaf(a, "opt", "int", optional=True)
+        tree = construct_schema_tree(builder.schema)
+        flags = tree.node_for_path("A").leaves_with_required_flag()
+        by_name = {node.name: required for node, required in flags.items()}
+        assert by_name == {"req": True, "opt": False}
+
+    def test_optional_inner_node_makes_leaves_optional(self):
+        """'A leaf is optional if it has at least one optional node on
+        each path from n to the leaf.'"""
+        builder = SchemaBuilder("S")
+        a = builder.add_child(builder.root, "A", optional=True)
+        builder.add_leaf(a, "x", "int")
+        tree = construct_schema_tree(builder.schema)
+        flags = tree.root.leaves_with_required_flag()
+        by_name = {node.name: required for node, required in flags.items()}
+        assert by_name["x"] is False
+
+    def test_optionality_relative_to_start_node(self):
+        """The optional inner node itself is context when starting at it."""
+        builder = SchemaBuilder("S")
+        a = builder.add_child(builder.root, "A", optional=True)
+        builder.add_leaf(a, "x", "int")
+        tree = construct_schema_tree(builder.schema)
+        flags = tree.node_for_path("A").leaves_with_required_flag()
+        by_name = {node.name: required for node, required in flags.items()}
+        assert by_name["x"] is True
+
+
+class TestLazyConstruction:
+    def test_lazy_shares_subtrees(self, shared_type_schema):
+        tree = construct_schema_tree_lazy(shared_type_schema)
+        deliver = tree.node_for_path("DeliverTo")
+        invoice = tree.node_for_path("InvoiceTo")
+        deliver_street = [c for c in deliver.children if c.name == "Street"][0]
+        invoice_street = [c for c in invoice.children if c.name == "Street"][0]
+        assert deliver_street is invoice_street  # physically shared
+
+    def test_lazy_has_fewer_nodes_than_eager(self, shared_type_schema):
+        eager = construct_schema_tree(shared_type_schema)
+        lazy = construct_schema_tree_lazy(shared_type_schema)
+        assert len(lazy) < len(eager)
+
+    def test_lazy_same_leaf_multiset_names(self, shared_type_schema):
+        eager = construct_schema_tree(shared_type_schema)
+        lazy = construct_schema_tree_lazy(shared_type_schema)
+        assert {n.name for n in lazy.leaves()} == {
+            n.name for n in eager.leaves()
+        }
+
+    def test_lazy_plain_tree_identical_shape(self):
+        schema = schema_from_tree("S", {"A": {"x": "int"}, "B": {"y": "int"}})
+        eager = construct_schema_tree(schema)
+        lazy = construct_schema_tree_lazy(schema)
+        assert [n.path_string() for n in eager.nodes()] == [
+            n.path_string() for n in lazy.nodes()
+        ]
+
+    def test_lazy_detects_cycles(self):
+        builder = SchemaBuilder("S")
+        a = builder.add_shared_type("A")
+        b = builder.add_shared_type("B")
+        builder.schema.add_is_derived_from(a, b)
+        builder.schema.add_is_derived_from(b, a)
+        user = builder.add_child(builder.root, "User")
+        builder.derive_from(user, a)
+        with pytest.raises(CyclicSchemaError):
+            construct_schema_tree_lazy(builder.schema)

@@ -1,0 +1,103 @@
+"""Tests for join-view augmentation (Section 8.3, Figures 5–6)."""
+
+import pytest
+
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.tree.construction import construct_schema_tree
+from repro.tree.refint import augment_with_join_views
+
+_DDL = """
+CREATE TABLE Customer (
+  CustomerID int PRIMARY KEY,
+  Name varchar(40),
+  Address varchar(60)
+);
+CREATE TABLE PurchaseOrder (
+  OrderID int PRIMARY KEY,
+  ProductName varchar(40),
+  CustomerID int REFERENCES Customer(CustomerID)
+);
+"""
+
+
+@pytest.fixture
+def augmented_tree():
+    schema = parse_sql_ddl(_DDL, "Orders")
+    tree = construct_schema_tree(schema)
+    added = augment_with_join_views(tree)
+    return tree, added
+
+
+class TestJoinViews:
+    def test_one_join_view_per_foreign_key(self, augmented_tree):
+        tree, added = augmented_tree
+        joins = [n for n in added if n.is_join_view]
+        assert len(joins) == 1
+        assert "fk" in joins[0].name
+
+    def test_join_children_are_columns_of_both_tables(self, augmented_tree):
+        """Figure 6: 'the join view node has as its children the columns
+        from both the tables'."""
+        tree, added = augmented_tree
+        join = [n for n in added if n.is_join_view][0]
+        names = {c.name for c in join.children}
+        assert {"OrderID", "ProductName", "CustomerID", "Name", "Address"} <= names
+
+    def test_join_children_shared_not_copied(self, augmented_tree):
+        """The children ARE the table's nodes, so ssim increases on the
+        join view propagate to the underlying columns."""
+        tree, added = augmented_tree
+        join = [n for n in added if n.is_join_view][0]
+        customer_name = tree.node_for_path("Customer", "Name")
+        assert customer_name in join.children
+
+    def test_join_parent_is_common_ancestor(self, augmented_tree):
+        tree, added = augmented_tree
+        join = [n for n in added if n.is_join_view][0]
+        assert join.parent is tree.root
+
+    def test_postorder_visits_join_after_tables(self, augmented_tree):
+        """Section 8.3: compare the RefInt nodes after the table nodes."""
+        tree, _ = augmented_tree
+        order = [n.name for n in tree.postorder()]
+        join_index = next(
+            i for i, name in enumerate(order) if "fk" in name
+        )
+        assert order.index("Customer") < join_index
+        assert order.index("PurchaseOrder") < join_index
+
+    def test_leaves_deduplicated_at_root(self, augmented_tree):
+        """Shared children must not double-count root leaves."""
+        tree, _ = augmented_tree
+        leaf_ids = [n.node_id for n in tree.root.leaves()]
+        assert len(leaf_ids) == len(set(leaf_ids))
+        assert len(leaf_ids) == 6  # 3 Customer + 3 PurchaseOrder columns
+
+
+class TestSelfReference:
+    def test_self_referencing_fk_skipped(self):
+        ddl = """
+        CREATE TABLE Employee (
+          EmployeeID int PRIMARY KEY,
+          ManagerID int REFERENCES Employee(EmployeeID)
+        );
+        """
+        schema = parse_sql_ddl(ddl, "S")
+        tree = construct_schema_tree(schema)
+        added = augment_with_join_views(tree)
+        assert added == []
+
+
+class TestViews:
+    def test_view_node_groups_members(self):
+        ddl = _DDL + (
+            "CREATE VIEW CustomerOrders AS "
+            "SELECT Customer.Name, PurchaseOrder.OrderID "
+            "FROM Customer, PurchaseOrder;"
+        )
+        schema = parse_sql_ddl(ddl, "S")
+        tree = construct_schema_tree(schema)
+        added = augment_with_join_views(tree)
+        view_nodes = [n for n in added if n.name == "CustomerOrders"]
+        assert len(view_nodes) == 1
+        assert {c.name for c in view_nodes[0].children} == {"Name", "OrderID"}
