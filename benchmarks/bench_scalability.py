@@ -9,6 +9,8 @@ effect of leaf-count pruning on it.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import pytest
@@ -19,7 +21,16 @@ from repro.datasets.generator import PerturbationConfig, SchemaGenerator
 from repro.eval.metrics import evaluate_mapping
 from repro.eval.reporting import render_table
 
-SIZES = [10, 20, 40, 80]
+SIZES = [10, 20, 40, 80, 160]
+
+#: Sizes used for the dense-vs-reference engine comparison (the
+#: reference engine is O(N²·L²) with big constants; 160 leaves/side is
+#: already >1 s per reference run).
+ENGINE_COMPARISON_SIZES = [20, 40, 80, 160]
+
+#: Acceptance floor: at 80 leaves/side the dense engine must be at
+#: least this much faster than the reference engine in the same run.
+REQUIRED_SPEEDUP_AT_80 = 3.0
 
 
 def _workload(n_leaves, seed=11):
@@ -59,6 +70,135 @@ def test_scalability_sweep(publish):
     )
     # Quality should not collapse with size.
     assert all(float(row[4]) >= 0.7 for row in rows)
+
+
+def _timed_match(config, schema, copy, repeats=2):
+    """Best-of-N match, returning (wall seconds, result)."""
+    best_time = None
+    result = None
+    for _ in range(repeats):
+        matcher = CupidMatcher(config=config)
+        start = time.perf_counter()
+        result = matcher.match(schema, copy)
+        elapsed = time.perf_counter() - start
+        if best_time is None or elapsed < best_time:
+            best_time = elapsed
+    return best_time, result
+
+
+def _mapping_signature(mapping):
+    return sorted(
+        (e.source_path, e.target_path, e.similarity) for e in mapping
+    )
+
+
+def test_engine_comparison(publish, results_dir):
+    """Dense vs reference engines: wall time, per-phase breakdown.
+
+    Publishes both the rendered table and BENCH_scalability_engines.json
+    (the machine-readable speedup trajectory), and asserts the
+    acceptance floor: >= 3x at 80 leaves/side, with identical mappings.
+    """
+    rows = []
+    records = []
+    speedup_at_80 = None
+    for size in ENGINE_COMPARISON_SIZES:
+        schema, copy, _ = _workload(size)
+        engine_results = {}
+        for engine in ("dense", "reference"):
+            config = CupidConfig(engine=engine)
+            elapsed, result = _timed_match(config, schema, copy)
+            engine_results[engine] = (elapsed, result)
+            timings = result.timings
+            rows.append(
+                [
+                    size,
+                    engine,
+                    f"{timings['linguistic'] * 1000:.1f} ms",
+                    f"{timings['treematch'] * 1000:.1f} ms",
+                    f"{timings['mapping'] * 1000:.1f} ms",
+                    f"{elapsed * 1000:.1f} ms",
+                    result.treematch_result.compared_pairs,
+                ]
+            )
+            records.append(
+                {
+                    "size": size,
+                    "engine": engine,
+                    "backend": getattr(
+                        result.treematch_result.sims, "backend", "dict"
+                    ),
+                    "linguistic_ms": round(timings["linguistic"] * 1000, 2),
+                    "treematch_ms": round(timings["treematch"] * 1000, 2),
+                    "mapping_ms": round(timings["mapping"] * 1000, 2),
+                    "total_ms": round(elapsed * 1000, 2),
+                    "compared_pairs": (
+                        result.treematch_result.compared_pairs
+                    ),
+                    "scaled_pairs": result.treematch_result.scaled_pairs,
+                }
+            )
+        dense_time, dense_result = engine_results["dense"]
+        reference_time, reference_result = engine_results["reference"]
+        # The dense engine must be a pure speedup: same mappings.
+        assert _mapping_signature(dense_result.leaf_mapping) == (
+            _mapping_signature(reference_result.leaf_mapping)
+        )
+        speedup = reference_time / dense_time
+        records.append(
+            {"size": size, "speedup_dense_vs_reference": round(speedup, 2)}
+        )
+        rows.append([size, "speedup", "", "", "", f"{speedup:.2f}x", ""])
+        if size == 80:
+            speedup_at_80 = speedup
+
+    publish(
+        "scalability_engines",
+        render_table(
+            ["Leaves/side", "Engine", "Linguistic", "TreeMatch",
+             "Mapping", "Total", "Pairs"],
+            rows,
+            title="Dense vs reference engine (per-phase wall time)",
+        ),
+    )
+    json_path = os.path.join(results_dir, "BENCH_scalability_engines.json")
+    with open(json_path, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(f"[written to {json_path}]")
+
+    assert speedup_at_80 is not None
+    assert speedup_at_80 >= REQUIRED_SPEEDUP_AT_80, (
+        f"dense engine only {speedup_at_80:.2f}x faster than reference at "
+        f"80 leaves/side (required {REQUIRED_SPEEDUP_AT_80}x)"
+    )
+
+
+def test_stdlib_fallback_speedup(publish):
+    """The pure-stdlib dense backend must also beat the reference
+    engine (no hard numpy dependency for the speedup)."""
+    schema, copy, _ = _workload(80)
+    stdlib_time, stdlib_result = _timed_match(
+        CupidConfig(engine="dense", dense_backend="stdlib"), schema, copy
+    )
+    reference_time, reference_result = _timed_match(
+        CupidConfig(engine="reference"), schema, copy
+    )
+    assert stdlib_result.treematch_result.sims.backend == "stdlib"
+    assert _mapping_signature(stdlib_result.leaf_mapping) == (
+        _mapping_signature(reference_result.leaf_mapping)
+    )
+    publish(
+        "scalability_stdlib_fallback",
+        render_table(
+            ["Setting", "Wall time"],
+            [
+                ["dense (stdlib arrays)", f"{stdlib_time * 1000:.1f} ms"],
+                ["reference", f"{reference_time * 1000:.1f} ms"],
+            ],
+            title="Pure-stdlib dense fallback at 80 leaves/side",
+        ),
+    )
+    assert stdlib_time < reference_time
 
 
 def test_match_throughput_small(benchmark):

@@ -99,6 +99,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-similarity", type=float, default=None,
         help="only print correspondences at or above this wsim",
     )
+    match.add_argument(
+        "--engine", choices=("dense", "reference"), default=None,
+        help="matching engine (default: dense; reference is the "
+             "dict-based correctness oracle)",
+    )
+    match.add_argument(
+        "--stats", action="store_true",
+        help="dump run counters (compared/pruned/scaled pairs, cache "
+             "hit rates, per-phase timings) to stderr",
+    )
 
     show = commands.add_parser(
         "show", help="print a schema file as its expanded schema tree"
@@ -116,6 +126,8 @@ def _command_match(args: argparse.Namespace) -> int:
         config = auto_config(source, target, config)
     if args.cinc is not None:
         config = config.replace(cinc=args.cinc)
+    if args.engine is not None:
+        config = config.replace(engine=args.engine)
 
     thesaurus = empty_thesaurus() if args.no_thesaurus else None
     matcher = CupidMatcher(thesaurus=thesaurus, config=config)
@@ -144,6 +156,12 @@ def _command_match(args: argparse.Namespace) -> int:
               f"{len(elements)} correspondences")
         for element in elements:
             print(element)
+    if args.stats:
+        print("# run stats", file=sys.stderr)
+        for key, value in matcher.run_stats(result).items():
+            if isinstance(value, float):
+                value = f"{value:.4f}"
+            print(f"#   {key}: {value}", file=sys.stderr)
     return 0
 
 

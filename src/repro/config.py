@@ -125,6 +125,20 @@ class CupidConfig:
     #: Minimum token similarity considered at all (noise floor).
     min_token_sim: float = 0.0
 
+    #: Matching engine. ``"dense"`` (the default) routes the TreeMatch
+    #: hot path through contiguous similarity matrices
+    #: (:mod:`repro.structure.dense`) and memoizes the linguistic
+    #: phase; ``"reference"`` keeps the straightforward dict-based
+    #: implementation as the correctness oracle. Both produce identical
+    #: similarities and mappings.
+    engine: str = "dense"
+
+    #: Array backend for the dense engine: ``"auto"`` uses numpy when
+    #: importable and falls back to pure-stdlib ``array('d')``;
+    #: ``"numpy"`` / ``"stdlib"`` force one (``"numpy"`` raises if
+    #: numpy is unavailable).
+    dense_backend: str = "auto"
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if the parameters are inconsistent."""
         for name in ("thns", "thhigh", "thlow", "thaccept"):
@@ -163,6 +177,15 @@ class CupidConfig:
             raise ConfigError(
                 f"key_affinity_bonus={self.key_affinity_bonus} "
                 "outside [0, 0.25]"
+            )
+        if self.engine not in ("dense", "reference"):
+            raise ConfigError(
+                f"engine={self.engine!r} (expected 'dense' or 'reference')"
+            )
+        if self.dense_backend not in ("auto", "numpy", "stdlib"):
+            raise ConfigError(
+                f"dense_backend={self.dense_backend!r} "
+                "(expected 'auto', 'numpy', or 'stdlib')"
             )
         total = sum(self.token_type_weights.values())
         if abs(total - 1.0) > 1e-9:

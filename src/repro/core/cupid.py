@@ -15,8 +15,9 @@ behind one call:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.exceptions import MappingError
@@ -53,6 +54,9 @@ class CupidResult:
     treematch_result: TreeMatchResult
     leaf_mapping: Mapping
     nonleaf_mapping: Mapping
+    #: Wall-clock seconds per pipeline phase (linguistic / trees /
+    #: treematch / mapping), for benchmark and ``--stats`` reporting.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mapping(self) -> Mapping:
@@ -133,8 +137,11 @@ class CupidMatcher:
         ``config.initial_mapping_lsim`` before structure matching, so
         a corrected result map can be fed back in for a better re-run.
         """
+        phase_start = time.perf_counter()
         lsim_table = self.linguistic.compute(source, target)
+        linguistic_time = time.perf_counter() - phase_start
 
+        phase_start = time.perf_counter()
         build = (
             construct_schema_tree_lazy
             if self.config.lazy_expansion
@@ -150,12 +157,18 @@ class CupidMatcher:
             self._apply_initial_mapping(
                 lsim_table, source_tree, target_tree, initial_mapping
             )
+        tree_time = time.perf_counter() - phase_start
 
+        phase_start = time.perf_counter()
         tm_result = self.treematch.run(source_tree, target_tree, lsim_table)
+        treematch_time = time.perf_counter() - phase_start
+
+        phase_start = time.perf_counter()
         leaf_mapping = self.generator.leaf_mapping(tm_result)
         nonleaf_mapping = self.generator.nonleaf_mapping(
             tm_result, self.treematch
         )
+        mapping_time = time.perf_counter() - phase_start
         return CupidResult(
             source_schema=source,
             target_schema=target,
@@ -165,7 +178,41 @@ class CupidMatcher:
             treematch_result=tm_result,
             leaf_mapping=leaf_mapping,
             nonleaf_mapping=nonleaf_mapping,
+            timings={
+                "linguistic": linguistic_time,
+                "trees": tree_time,
+                "treematch": treematch_time,
+                "mapping": mapping_time,
+            },
         )
+
+    def run_stats(self, result: CupidResult) -> Dict[str, object]:
+        """Counter dump for one match run (``python -m repro ... --stats``).
+
+        Collects the TreeMatch pair counters, the dense store's shape,
+        and the linguistic memo's hit rates — the numbers to eyeball
+        when a perf regression needs triage.
+        """
+        tm = result.treematch_result
+        sims = tm.sims
+        stats: Dict[str, object] = {
+            "engine": self.config.engine,
+            "compared_pairs": tm.compared_pairs,
+            "pruned_pairs": tm.pruned_pairs,
+            "scaled_pairs": tm.scaled_pairs,
+            "lsim_entries": len(result.lsim_table),
+            "leaf_mappings": len(result.leaf_mapping),
+            "nonleaf_mappings": len(result.nonleaf_mapping),
+        }
+        describe = getattr(sims, "describe", None)
+        if describe is not None:
+            stats.update(describe())
+        memo = self.linguistic.memo
+        if memo is not None:
+            stats.update(memo.stats())
+        for phase, seconds in result.timings.items():
+            stats[f"time_{phase}_ms"] = round(seconds * 1000.0, 3)
+        return stats
 
     def _apply_initial_mapping(
         self,

@@ -140,8 +140,12 @@ class Categorizer:
 
         return categories
 
-    def category_similarity(self, c1: Category, c2: Category) -> float:
+    def category_similarity(
+        self, c1: Category, c2: Category, memo=None
+    ) -> float:
         """Name similarity of two categories' keyword token sets."""
+        if memo is not None:
+            return memo.token_set_similarity(c1.keywords, c2.keywords)
         return token_set_similarity(
             c1.keywords, c2.keywords, self.thesaurus, self.config
         )
@@ -155,6 +159,18 @@ class Categorizer:
         matching", and cross-pairing a type keyword like "number" with
         content names would create spurious compatibilities.
         """
+        return self.compatible_similarity(c1, c2) is not None
+
+    def compatible_similarity(
+        self, c1: Category, c2: Category, memo=None
+    ) -> Optional[float]:
+        """The category similarity if the pair is compatible, else None.
+
+        Folds :meth:`compatible` and :meth:`category_similarity` into
+        one call so the all-pairs category scan computes each keyword
+        comparison once instead of twice.
+        """
         if (c1.source == "dtype") != (c2.source == "dtype"):
-            return False
-        return self.category_similarity(c1, c2) >= self.config.thns
+            return None
+        similarity = self.category_similarity(c1, c2, memo)
+        return similarity if similarity >= self.config.thns else None

@@ -10,11 +10,14 @@ belong to any compatible categories."
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import DEFAULT_CONFIG, CupidConfig
-from repro.linguistic.categorization import Categorizer, Category
-from repro.linguistic.name_similarity import element_name_similarity
+from repro.linguistic.categorization import Categorizer
+from repro.linguistic.name_similarity import (
+    NameSimilarityMemo,
+    element_name_similarity,
+)
 from repro.linguistic.normalizer import Normalizer
 from repro.linguistic.thesaurus import Thesaurus
 from repro.model.element import SchemaElement
@@ -62,6 +65,13 @@ class LinguisticMatcher:
         self.config.validate()
         self.normalizer = Normalizer(thesaurus)
         self.categorizer = Categorizer(thesaurus, self.normalizer, self.config)
+        #: Similarity memo for the dense engine; the reference engine
+        #: recomputes every pair (it is the correctness oracle).
+        self.memo: Optional[NameSimilarityMemo] = (
+            NameSimilarityMemo(thesaurus, self.config)
+            if self.config.engine == "dense"
+            else None
+        )
         self._descriptions = None
         if self.config.use_descriptions:
             from repro.linguistic.descriptions import DescriptionMatcher
@@ -80,19 +90,32 @@ class LinguisticMatcher:
         """
         source_categories = self.categorizer.categorize(source)
         target_categories = self.categorizer.categorize(target)
+        memo = self.memo
 
-        # Map element id -> categories it belongs to, per schema.
-        source_membership = _membership(source_categories.values())
-        target_membership = _membership(target_categories.values())
+        # Normalize each schema's names exactly once. The pair loop
+        # below used to re-normalize the source name once per *target*
+        # element (O(n·m) normalizer probes); these maps make the cost
+        # O(n + m) regardless of engine.
+        normalized_s = {
+            e.element_id: self.normalizer.normalize(e.name)
+            for e in source.elements
+        }
+        normalized_t = {
+            e.element_id: self.normalizer.normalize(e.name)
+            for e in target.elements
+        }
 
-        # Precompute compatible category pairs and their similarity.
+        # Precompute compatible category pairs and their similarity
+        # (one keyword comparison per pair — compatibility and strength
+        # come from the same call).
         compatible_pairs: Dict[Tuple[str, str], float] = {}
         for c1 in source_categories.values():
             for c2 in target_categories.values():
-                if self.categorizer.compatible(c1, c2):
-                    compatible_pairs[(c1.key, c2.key)] = (
-                        self.categorizer.category_similarity(c1, c2)
-                    )
+                cat_sim = self.categorizer.compatible_similarity(
+                    c1, c2, memo
+                )
+                if cat_sim is not None:
+                    compatible_pairs[(c1.key, c2.key)] = cat_sim
 
         # For each element pair in some compatible category pair, the
         # category scale factor is the max over all its compatible pairs.
@@ -110,12 +133,14 @@ class LinguisticMatcher:
         for (id1, id2), cat_scale in scale.items():
             m1 = elements_by_id_s[id1]
             m2 = elements_by_id_t[id2]
-            ns = element_name_similarity(
-                self.normalizer.normalize(m1.name),
-                self.normalizer.normalize(m2.name),
-                self.thesaurus,
-                self.config,
-            )
+            name1 = normalized_s[id1]
+            name2 = normalized_t[id2]
+            if memo is not None:
+                ns = memo.element_name_similarity(name1, name2)
+            else:
+                ns = element_name_similarity(
+                    name1, name2, self.thesaurus, self.config
+                )
             lsim = min(1.0, ns * cat_scale)
             if self._descriptions is not None:
                 # Annotations can only raise lsim: a strong description
@@ -146,13 +171,3 @@ class LinguisticMatcher:
                     if lsim > 0.0:
                         table.set(m1, m2, lsim)
         return table
-
-
-def _membership(
-    categories: Iterable[Category],
-) -> Dict[str, List[Category]]:
-    membership: Dict[str, List[Category]] = {}
-    for category in categories:
-        for member in category.members:
-            membership.setdefault(member.element_id, []).append(category)
-    return membership

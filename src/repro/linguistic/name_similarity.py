@@ -80,6 +80,7 @@ def token_set_similarity(
     tokens2: Sequence[Token],
     thesaurus: Thesaurus,
     config: Optional[CupidConfig] = None,
+    memo: Optional["NameSimilarityMemo"] = None,
 ) -> float:
     """``ns(T1, T2)`` — the paper's bidirectional best-match average:
 
@@ -87,18 +88,20 @@ def token_set_similarity(
     sim(t1,t2)) / (|T1| + |T2|)``
 
     Ignored (common-word) tokens are excluded by callers; if either set
-    is empty the similarity is 0 (nothing to compare).
+    is empty the similarity is 0 (nothing to compare). With ``memo``,
+    per-token-pair similarities are read through its cache.
     """
     t1 = [t for t in tokens1 if not t.ignored]
     t2 = [t for t in tokens2 if not t.ignored]
     if not t1 or not t2:
         return 0.0
-    forward = sum(
-        max(token_similarity(a, b, thesaurus, config) for b in t2) for a in t1
-    )
-    backward = sum(
-        max(token_similarity(a, b, thesaurus, config) for a in t1) for b in t2
-    )
+    if memo is not None:
+        sim = memo.token_similarity
+    else:
+        def sim(a: Token, b: Token) -> float:
+            return token_similarity(a, b, thesaurus, config)
+    forward = sum(max(sim(a, b) for b in t2) for a in t1)
+    backward = sum(max(sim(a, b) for a in t1) for b in t2)
     return (forward + backward) / (len(t1) + len(t2))
 
 
@@ -107,6 +110,7 @@ def element_name_similarity(
     name2: NormalizedName,
     thesaurus: Thesaurus,
     config: CupidConfig,
+    memo: Optional["NameSimilarityMemo"] = None,
 ) -> float:
     """``ns(m1, m2)`` — weighted mean of per-token-type similarities.
 
@@ -132,10 +136,207 @@ def element_name_similarity(
             continue
         denominator += weight * count
         if t1 and t2:
-            per_type = token_set_similarity(t1, t2, thesaurus, config)
+            per_type = token_set_similarity(t1, t2, thesaurus, config, memo)
             numerator += weight * per_type * count
         # If only one side has tokens of this type, those tokens have no
         # counterpart: they contribute weight (penalty) but 0 similarity.
     if denominator == 0.0:
         return 0.0
     return numerator / denominator
+
+
+class NameSimilarityMemo:
+    """Memoized token and element-name similarities (dense engine).
+
+    Schemas repeat both whole names (Street, City, ...) and tokens
+    across elements; the all-pairs linguistic phase of Section 5 pays
+    for each duplicate again. This cache keys ``sim(t1, t2)`` on the
+    token *texts* and ``ns(m1, m2)`` on the normalized names' raw
+    strings, so each distinct comparison is computed exactly once per
+    matcher. Both functions are pure given a fixed thesaurus and
+    config, so memoization cannot change any value — only skip
+    recomputation; the inlined loops below mirror the module functions
+    operation for operation (same iteration order, same float
+    expressions) to keep results bit-identical to the reference path.
+    """
+
+    __slots__ = (
+        "thesaurus",
+        "config",
+        "_token",
+        "_element",
+        "_buckets",
+        "_weight_entries",
+        "token_hits",
+        "token_misses",
+        "element_hits",
+        "element_misses",
+    )
+
+    def __init__(self, thesaurus: Thesaurus, config: CupidConfig) -> None:
+        self.thesaurus = thesaurus
+        self.config = config
+        # text1 -> text2 -> sim — nested rather than tuple-keyed so the
+        # inner loops probe with one dict get and no tuple allocation.
+        self._token: Dict[str, Dict[str, float]] = {}
+        self._element: Dict[Tuple[str, str], float] = {}
+        # raw name -> per-type non-ignored token lists, slot-aligned
+        # with _weight_entries (avoids enum hashing in the pair loop).
+        self._buckets: Dict[str, List[Optional[List[Token]]]] = {}
+        self._weight_entries: List[Tuple[TokenType, float]] = list(
+            config.token_type_weights.items()
+        )
+        self.token_hits = 0
+        self.token_misses = 0
+        self.element_hits = 0
+        self.element_misses = 0
+
+    def token_similarity(self, t1: Token, t2: Token) -> float:
+        row = self._token.get(t1.text)
+        if row is None:
+            row = self._token[t1.text] = {}
+        value = row.get(t2.text)
+        if value is not None:
+            self.token_hits += 1
+            return value
+        self.token_misses += 1
+        value = token_similarity(t1, t2, self.thesaurus, self.config)
+        row[t2.text] = value
+        return value
+
+    def token_set_similarity(
+        self, tokens1: Sequence[Token], tokens2: Sequence[Token]
+    ) -> float:
+        """``ns(T1, T2)`` with per-token-pair caching, inlined.
+
+        ``tokens1``/``tokens2`` may still contain ignored tokens (the
+        module function filters them; so does this).
+        """
+        t1 = [t for t in tokens1 if not t.ignored]
+        t2 = [t for t in tokens2 if not t.ignored]
+        if not t1 or not t2:
+            return 0.0
+        if len(t1) == 1 and len(t2) == 1:
+            # Bidirectional best-match of singletons is the pair's
+            # similarity itself — the common case for category
+            # keywords: (s + s) / 2 == s.
+            return self.token_similarity(t1[0], t2[0])
+        return self._token_set_filtered(t1, t2)
+
+    def _token_set_filtered(
+        self, t1: List[Token], t2: List[Token]
+    ) -> float:
+        """Bidirectional best-match average over non-ignored tokens.
+
+        Same arithmetic as :func:`token_set_similarity` (sum of
+        per-token maxima in the same iteration order), with the cache
+        probed via plain dict gets instead of a method call per pair.
+        """
+        cache = self._token
+        forward = 0.0
+        for a in t1:
+            row = cache.get(a.text)
+            if row is None:
+                row = cache[a.text] = {}
+            best: Optional[float] = None
+            for b in t2:
+                value = row.get(b.text)
+                if value is None:
+                    self.token_misses += 1
+                    value = token_similarity(
+                        a, b, self.thesaurus, self.config
+                    )
+                    row[b.text] = value
+                else:
+                    self.token_hits += 1
+                if best is None or value > best:
+                    best = value
+            forward += best
+        backward = 0.0
+        for b in t2:
+            b_text = b.text
+            best = None
+            for a in t1:
+                row = cache.get(a.text)
+                if row is None:
+                    row = cache[a.text] = {}
+                value = row.get(b_text)
+                if value is None:
+                    self.token_misses += 1
+                    value = token_similarity(
+                        a, b, self.thesaurus, self.config
+                    )
+                    row[b_text] = value
+                else:
+                    self.token_hits += 1
+                if best is None or value > best:
+                    best = value
+            backward += best
+        return (forward + backward) / (len(t1) + len(t2))
+
+    def _type_buckets(
+        self, name: NormalizedName
+    ) -> List[Optional[List[Token]]]:
+        """Non-ignored tokens per type, slot-aligned with the weight
+        entries (so the pair loop below indexes instead of hashing).
+        Computed once per name."""
+        buckets = self._buckets.get(name.raw)
+        if buckets is None:
+            by_type: Dict[TokenType, List[Token]] = {}
+            for token in name.tokens:
+                if not token.ignored:
+                    by_type.setdefault(token.token_type, []).append(token)
+            buckets = [
+                by_type.get(token_type)
+                for token_type, _ in self._weight_entries
+            ]
+            self._buckets[name.raw] = buckets
+        return buckets
+
+    def element_name_similarity(
+        self, name1: NormalizedName, name2: NormalizedName
+    ) -> float:
+        key = (name1.raw, name2.raw)
+        value = self._element.get(key)
+        if value is not None:
+            self.element_hits += 1
+            return value
+        self.element_misses += 1
+
+        # Same weighted-mean formula as the module-level
+        # element_name_similarity (same weight iteration order, same
+        # float expressions), reading the cached type buckets.
+        buckets1 = self._type_buckets(name1)
+        buckets2 = self._type_buckets(name2)
+        numerator = 0.0
+        denominator = 0.0
+        for slot, (_token_type, weight) in enumerate(self._weight_entries):
+            t1 = buckets1[slot]
+            t2 = buckets2[slot]
+            count = (len(t1) if t1 else 0) + (len(t2) if t2 else 0)
+            if count == 0 or weight == 0.0:
+                continue
+            denominator += weight * count
+            if t1 and t2:
+                per_type = self._token_set_filtered(t1, t2)
+                numerator += weight * per_type * count
+        value = 0.0 if denominator == 0.0 else numerator / denominator
+        self._element[key] = value
+        return value
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters for ``--stats`` regression triage."""
+        token_total = self.token_hits + self.token_misses
+        element_total = self.element_hits + self.element_misses
+        return {
+            "token_sim_hits": self.token_hits,
+            "token_sim_misses": self.token_misses,
+            "token_sim_hit_rate": (
+                self.token_hits / token_total if token_total else 0.0
+            ),
+            "element_sim_hits": self.element_hits,
+            "element_sim_misses": self.element_misses,
+            "element_sim_hit_rate": (
+                self.element_hits / element_total if element_total else 0.0
+            ),
+        }

@@ -1,0 +1,510 @@
+"""Dense-index similarity engine for TreeMatch.
+
+The reference :class:`~repro.structure.similarity.SimilarityStore`
+routes every leaf-pair probe through dict-of-int-tuple lookups and
+recomputes ``wsim`` from scratch on each read. On the scalability
+workloads (``benchmarks/bench_scalability.py``) those probes dominate:
+TreeMatch's strong-link counting touches every (leaf, leaf) cell once
+per ancestor pair.
+
+This module replaces the hot path with contiguous-array arithmetic:
+
+* each tree's leaves get **dense integer ids** (their position in the
+  root's deduplicated leaf tuple);
+* ``ssim``, ``lsim`` and ``wsim`` over leaf pairs live in flat
+  row-major ``array('d')`` matrices (pure stdlib); when numpy is
+  importable they are transparently upgraded with zero-copy
+  ``np.frombuffer`` views over the same buffers (mirroring the
+  optional-numpy pattern of :mod:`repro.mapping.assignment`), used for
+  blocks large enough that vectorization beats per-call overhead;
+* per-node leaf-index **slices** are cached, so the strong-link count
+  of a node pair becomes a row/column max scan over the wsim matrix
+  and the ``cinc``/``cdec`` context adjustment becomes a clamped block
+  multiply;
+* ``wsim`` cells are refreshed only for the block whose ``ssim`` was
+  scaled, never matrix-wide.
+
+Every matrix cell is computed with exactly the scalar expressions the
+reference store uses (same operand order, same clamping), and the
+vectorized paths apply the same IEEE-754 double operations
+element-wise, so the two engines produce **bit-identical**
+similarities — the parity tests in ``tests/test_engine_parity.py``
+assert exact equality.
+
+Non-leaf pairs (and, under ``leaf_prune_depth > 0``, frontier nodes
+that stand in for pruned subtrees) fall back to the inherited
+dict-based bookkeeping, which is exact by construction.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CupidConfig
+from repro.exceptions import ConfigError
+from repro.linguistic.matcher import LsimTable
+from repro.model.datatypes import TypeCompatibilityTable
+from repro.structure.similarity import SimilarityStore
+from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
+
+try:  # optional acceleration, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via dense_backend="stdlib"
+    _np = None
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def resolve_backend(requested: str) -> str:
+    """Map a ``dense_backend`` config value to a concrete backend."""
+    if requested == "stdlib":
+        return "stdlib"
+    if requested == "numpy":
+        if _np is None:
+            raise ConfigError(
+                "dense_backend='numpy' requested but numpy is not importable"
+            )
+        return "numpy"
+    return "numpy" if _np is not None else "stdlib"
+
+
+class _NodeIndex:
+    """Cached dense leaf ids of one node's subtree (one tree side).
+
+    ``ids`` is ascending; ``lo``/``hi`` are set when the ids form the
+    contiguous range [lo, hi) — true for every plain-tree node, since
+    DFS leaf collection numbers a subtree's leaves consecutively; only
+    DAG join views produce gather lists. ``np_ids`` is materialized
+    lazily the first time a vectorized gather needs it.
+    """
+
+    __slots__ = ("ids", "lo", "hi", "np_ids")
+
+    def __init__(self, ids: List[int]) -> None:
+        self.ids = ids
+        if ids and ids[-1] - ids[0] + 1 == len(ids):
+            self.lo: Optional[int] = ids[0]
+            self.hi: Optional[int] = ids[-1] + 1
+        else:
+            self.lo = None
+            self.hi = None
+        self.np_ids = None
+
+    def numpy_ids(self):
+        if self.np_ids is None:
+            self.np_ids = _np.asarray(self.ids, dtype=_np.intp)
+        return self.np_ids
+
+
+class _FrontierIndex(_NodeIndex):
+    """A node's effective-leaf frontier: ids + aligned required flags."""
+
+    __slots__ = ("required", "np_required")
+
+    def __init__(self, ids: List[int], required: List[bool]) -> None:
+        super().__init__(ids)
+        self.required = required
+        self.np_required = None
+
+    def numpy_required(self):
+        if self.np_required is None:
+            self.np_required = _np.asarray(self.required, dtype=bool)
+        return self.np_required
+
+
+class DenseSimilarityStore(SimilarityStore):
+    """Matrix-backed ssim/lsim/wsim over the two trees' leaf pairs.
+
+    Drop-in replacement for :class:`SimilarityStore`: all scalar
+    accessors keep working for arbitrary node pairs; leaf-pair accesses
+    are redirected to the matrices. TreeMatch additionally uses the
+    bulk operations :meth:`scale_block` and :meth:`structural_fraction`.
+    """
+
+    #: Blocks with at least this many cells use the numpy views; below
+    #: it, the flat-array scalar loop wins (numpy's per-call dispatch
+    #: costs more than the arithmetic it saves on small blocks).
+    _VECTOR_MIN_CELLS = 2048
+
+    def __init__(
+        self,
+        lsim_table: LsimTable,
+        config: CupidConfig,
+        compat: TypeCompatibilityTable,
+        source_tree: SchemaTree,
+        target_tree: SchemaTree,
+    ) -> None:
+        super().__init__(lsim_table, config, compat)
+        self.backend = resolve_backend(config.dense_backend)
+        self._use_numpy = self.backend == "numpy"
+        self._s_leaves: Tuple[SchemaTreeNode, ...] = tuple(
+            source_tree.root.leaves()
+        )
+        self._t_leaves: Tuple[SchemaTreeNode, ...] = tuple(
+            target_tree.root.leaves()
+        )
+        self._s_index: Dict[int, int] = {
+            leaf.node_id: i for i, leaf in enumerate(self._s_leaves)
+        }
+        self._t_index: Dict[int, int] = {
+            leaf.node_id: j for j, leaf in enumerate(self._t_leaves)
+        }
+        self._n_s = len(self._s_leaves)
+        self._n_t = len(self._t_leaves)
+        self._wl = config.wstruct_leaf
+        self._om = 1.0 - config.wstruct_leaf
+
+        # Per-node caches (node_id -> index or None), filled lazily.
+        self._leaf_idx_s: Dict[int, Optional[_NodeIndex]] = {}
+        self._leaf_idx_t: Dict[int, Optional[_NodeIndex]] = {}
+        self._frontier_s: Dict[int, Optional[_FrontierIndex]] = {}
+        self._frontier_t: Dict[int, Optional[_FrontierIndex]] = {}
+
+        self._build_matrices(lsim_table)
+
+    # ------------------------------------------------------------------
+    # Matrix construction
+    # ------------------------------------------------------------------
+
+    def _build_matrices(self, lsim_table: LsimTable) -> None:
+        n_s, n_t = self._n_s, self._n_t
+        size = n_s * n_t
+        ssim_flat = array("d", bytes(8 * size))
+        lsim_flat = array("d", bytes(8 * size))
+
+        # Initial leaf ssim = clamped type compatibility (+ key
+        # affinity) — the same expression SimilarityStore.ssim uses for
+        # never-updated pairs, computed once per distinct
+        # (type, key-ness) combination instead of once per probe.
+        config = self._config
+        compat = self._compat
+        use_key = config.use_key_affinity
+        bonus = config.key_affinity_bonus
+        t_props = [
+            (leaf.data_type, leaf.element.is_key) for leaf in self._t_leaves
+        ]
+        base_cache: Dict[Tuple, float] = {}
+        pos = 0
+        for s_leaf in self._s_leaves:
+            dt1 = s_leaf.data_type
+            k1 = s_leaf.element.is_key
+            for dt2, k2 in t_props:
+                key = (dt1, k1, dt2, k2)
+                value = base_cache.get(key)
+                if value is None:
+                    base = compat.compatibility(dt1, dt2)
+                    if use_key:
+                        if k1 and k2:
+                            base += bonus
+                        elif k1 != k2:
+                            base -= bonus
+                    value = min(0.5, max(0.0, base))
+                    base_cache[key] = value
+                ssim_flat[pos] = value
+                pos += 1
+
+        # lsim is sparse: scatter the table into the matrix instead of
+        # probing every cell. Shared-type expansion can map one element
+        # to several tree leaves, hence the per-element index lists.
+        s_rows: Dict[str, List[int]] = {}
+        for i, leaf in enumerate(self._s_leaves):
+            s_rows.setdefault(leaf.element.element_id, []).append(i)
+        t_cols: Dict[str, List[int]] = {}
+        for j, leaf in enumerate(self._t_leaves):
+            t_cols.setdefault(leaf.element.element_id, []).append(j)
+        for (id1, id2), value in lsim_table.items():
+            rows = s_rows.get(id1)
+            if not rows:
+                continue
+            cols = t_cols.get(id2)
+            if not cols:
+                continue
+            for i in rows:
+                base_off = i * n_t
+                for j in cols:
+                    lsim_flat[base_off + j] = value
+
+        wsim_flat = array("d", bytes(8 * size))
+        self._S = ssim_flat
+        self._L = lsim_flat
+        self._W = wsim_flat
+
+        if self._use_numpy:
+            # Zero-copy views: scalar paths keep using the flat arrays,
+            # vectorized paths write through the same memory.
+            self._Snp = _np.frombuffer(ssim_flat, dtype=_np.float64).reshape(
+                n_s, n_t
+            )
+            self._Lnp = _np.frombuffer(lsim_flat, dtype=_np.float64).reshape(
+                n_s, n_t
+            )
+            self._Wnp = _np.frombuffer(wsim_flat, dtype=_np.float64).reshape(
+                n_s, n_t
+            )
+            _np.multiply(self._Snp, self._wl, out=self._Wnp)
+            self._Wnp += self._om * self._Lnp
+        else:
+            wl, om = self._wl, self._om
+            for i in range(size):
+                wsim_flat[i] = wl * ssim_flat[i] + om * lsim_flat[i]
+
+    # ------------------------------------------------------------------
+    # Scalar accessors (leaf-pair fast path, inherited fallback)
+    # ------------------------------------------------------------------
+
+    def _leaf_pos(
+        self, s: SchemaTreeNode, t: SchemaTreeNode
+    ) -> Optional[int]:
+        """Flat wsim-matrix offset of a leaf pair, or None."""
+        i = self._s_index.get(s.node_id)
+        if i is None:
+            return None
+        j = self._t_index.get(t.node_id)
+        if j is None:
+            return None
+        return i * self._n_t + j
+
+    def ssim(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
+        pos = self._leaf_pos(s, t)
+        if pos is None:
+            return super().ssim(s, t)
+        return self._S[pos]
+
+    def set_ssim(
+        self, s: SchemaTreeNode, t: SchemaTreeNode, value: float
+    ) -> None:
+        pos = self._leaf_pos(s, t)
+        if pos is None:
+            super().set_ssim(s, t, value)
+            return
+        clamped = min(1.0, max(0.0, value))
+        self._S[pos] = clamped
+        self._W[pos] = self._wl * clamped + self._om * self._L[pos]
+
+    def lsim(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
+        pos = self._leaf_pos(s, t)
+        if pos is None:
+            return super().lsim(s, t)
+        return self._L[pos]
+
+    def wsim(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
+        pos = self._leaf_pos(s, t)
+        if pos is None:
+            return super().wsim(s, t)
+        return self._W[pos]
+
+    # ------------------------------------------------------------------
+    # Per-node leaf-index caching
+    # ------------------------------------------------------------------
+
+    def _node_indices(
+        self, node: SchemaTreeNode, source_side: bool
+    ) -> Optional[_NodeIndex]:
+        """Dense ids of ``node``'s subtree leaves (cached per node).
+
+        Returns None when a leaf is missing from the index (tree
+        mutated after store construction) — callers then fall back to
+        the scalar path.
+        """
+        cache = self._leaf_idx_s if source_side else self._leaf_idx_t
+        key = node.node_id
+        if key in cache:
+            return cache[key]
+        index = self._s_index if source_side else self._t_index
+        ids: List[int] = []
+        for leaf in node.leaves():
+            i = index.get(leaf.node_id)
+            if i is None:
+                cache[key] = None
+                return None
+            ids.append(i)
+        ids.sort()
+        entry = _NodeIndex(ids)
+        cache[key] = entry
+        return entry
+
+    def _frontier_indices(
+        self,
+        node: SchemaTreeNode,
+        frontier: Dict[SchemaTreeNode, bool],
+        source_side: bool,
+    ) -> Optional[_FrontierIndex]:
+        """Dense ids + required flags for a node's effective-leaf
+        frontier, aligned on ascending ids; None when the frontier
+        contains nodes outside the leaf index (depth-pruned stand-ins).
+        """
+        cache = self._frontier_s if source_side else self._frontier_t
+        key = node.node_id
+        if key in cache:
+            return cache[key]
+        index = self._s_index if source_side else self._t_index
+        pairs: List[Tuple[int, bool]] = []
+        for leaf, required in frontier.items():
+            i = index.get(leaf.node_id)
+            if i is None:
+                cache[key] = None
+                return None
+            pairs.append((i, required))
+        pairs.sort()
+        entry = _FrontierIndex(
+            [i for i, _ in pairs], [r for _, r in pairs]
+        )
+        cache[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+
+    def scale_block(
+        self, s: SchemaTreeNode, t: SchemaTreeNode, factor: float
+    ) -> Optional[int]:
+        """Multiply ssim of every (leaf of s, leaf of t) pair by
+        ``factor`` (clamped to [0, 1]) and refresh exactly that block
+        of the wsim matrix. Returns the number of cells scaled, or
+        None if the subtrees are not fully leaf-indexed.
+        """
+        s_entry = self._node_indices(s, source_side=True)
+        if s_entry is None:
+            return None
+        t_entry = self._node_indices(t, source_side=False)
+        if t_entry is None:
+            return None
+        cells = len(s_entry.ids) * len(t_entry.ids)
+
+        if self._use_numpy and cells >= self._VECTOR_MIN_CELLS:
+            if s_entry.lo is not None and t_entry.lo is not None:
+                rows = slice(s_entry.lo, s_entry.hi)
+                cols = slice(t_entry.lo, t_entry.hi)
+                block = self._Snp[rows, cols]
+                block *= factor
+                _np.clip(block, 0.0, 1.0, out=block)
+                self._Wnp[rows, cols] = (
+                    self._wl * block + self._om * self._Lnp[rows, cols]
+                )
+            else:
+                ix = _np.ix_(s_entry.numpy_ids(), t_entry.numpy_ids())
+                block = self._Snp[ix] * factor
+                _np.clip(block, 0.0, 1.0, out=block)
+                self._Snp[ix] = block
+                self._Wnp[ix] = self._wl * block + self._om * self._Lnp[ix]
+            return cells
+
+        ssim_flat, lsim_flat, wsim_flat = self._S, self._L, self._W
+        n_t = self._n_t
+        wl, om = self._wl, self._om
+        t_ids = (
+            range(t_entry.lo, t_entry.hi)
+            if t_entry.lo is not None
+            else t_entry.ids
+        )
+        for x in s_entry.ids:
+            base = x * n_t
+            for y in t_ids:
+                flat = base + y
+                value = ssim_flat[flat] * factor
+                if value > 1.0:
+                    value = 1.0
+                elif value < 0.0:
+                    value = 0.0
+                ssim_flat[flat] = value
+                wsim_flat[flat] = wl * value + om * lsim_flat[flat]
+        return cells
+
+    def structural_fraction(
+        self,
+        s: SchemaTreeNode,
+        t: SchemaTreeNode,
+        s_frontier: Dict[SchemaTreeNode, bool],
+        t_frontier: Dict[SchemaTreeNode, bool],
+        thaccept: float,
+        discount: bool,
+    ) -> Optional[float]:
+        """Strong-link fraction of Section 6 as matrix row/column scans.
+
+        Returns None when either frontier is not fully leaf-indexed
+        (TreeMatch then falls back to the reference per-pair loop).
+        """
+        s_entry = self._frontier_indices(s, s_frontier, source_side=True)
+        if s_entry is None:
+            return None
+        t_entry = self._frontier_indices(t, t_frontier, source_side=False)
+        if t_entry is None:
+            return None
+        s_ids, t_ids = s_entry.ids, t_entry.ids
+        if not s_ids or not t_ids:
+            return 0.0
+
+        if self._use_numpy and len(s_ids) * len(t_ids) >= self._VECTOR_MIN_CELLS:
+            if s_entry.lo is not None and t_entry.lo is not None:
+                sub = self._Wnp[s_entry.lo:s_entry.hi, t_entry.lo:t_entry.hi]
+            else:
+                sub = self._Wnp[
+                    _np.ix_(s_entry.numpy_ids(), t_entry.numpy_ids())
+                ]
+            strong = sub >= thaccept
+            s_has = strong.any(axis=1)
+            t_has = strong.any(axis=0)
+            s_linked = int(_np.count_nonzero(s_has))
+            t_linked = int(_np.count_nonzero(t_has))
+            if discount:
+                s_total = s_linked + int(
+                    _np.count_nonzero(s_entry.numpy_required() & ~s_has)
+                )
+                t_total = t_linked + int(
+                    _np.count_nonzero(t_entry.numpy_required() & ~t_has)
+                )
+            else:
+                s_total = len(s_ids)
+                t_total = len(t_ids)
+        else:
+            wsim_flat = self._W
+            n_t = self._n_t
+            s_required = s_entry.required
+            t_required = t_entry.required
+            s_linked = 0
+            s_total = 0
+            for k, x in enumerate(s_ids):
+                base = x * n_t
+                has_link = False
+                for y in t_ids:
+                    if wsim_flat[base + y] >= thaccept:
+                        has_link = True
+                        break
+                if has_link:
+                    s_linked += 1
+                    s_total += 1
+                elif s_required[k] or not discount:
+                    s_total += 1
+            t_linked = 0
+            t_total = 0
+            for k, y in enumerate(t_ids):
+                has_link = False
+                for x in s_ids:
+                    if wsim_flat[x * n_t + y] >= thaccept:
+                        has_link = True
+                        break
+                if has_link:
+                    t_linked += 1
+                    t_total += 1
+                elif t_required[k] or not discount:
+                    t_total += 1
+
+        denominator = s_total + t_total
+        if denominator == 0:
+            return 0.0
+        return (s_linked + t_linked) / denominator
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Engine/backend facts for ``--stats`` dumps."""
+        return {
+            "store": "dense",
+            "backend": self.backend,
+            "matrix_shape": (self._n_s, self._n_t),
+            "leaf_cells": self._n_s * self._n_t,
+        }

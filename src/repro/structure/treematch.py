@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.linguistic.matcher import LsimTable
 from repro.model.datatypes import TypeCompatibilityTable, default_compatibility_table
+from repro.structure.dense import DenseSimilarityStore
 from repro.structure.similarity import SimilarityStore
 from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
 
@@ -46,6 +47,9 @@ class TreeMatchResult:
     wsim: Dict[Tuple[int, int], float]
     compared_pairs: int = 0
     pruned_pairs: int = 0
+    #: Leaf-pair ssim cells touched by cinc/cdec context adjustments.
+    scaled_pairs: int = 0
+    engine: str = "reference"
 
     def wsim_of(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
         return self.wsim.get((s.node_id, t.node_id), 0.0)
@@ -74,40 +78,68 @@ class TreeMatch:
         lsim_table: LsimTable,
     ) -> TreeMatchResult:
         config = self.config
-        sims = SimilarityStore(lsim_table, config, self.compat)
+        sims = self._make_store(source_tree, target_tree, lsim_table)
         result = TreeMatchResult(
             source_tree=source_tree,
             target_tree=target_tree,
             sims=sims,
             wsim={},
+            engine=config.engine,
         )
 
-        # Leaf ssim initialization is implicit: SimilarityStore defaults
-        # to data-type compatibility, exactly the first loop of Figure 3.
+        # Leaf ssim initialization is implicit: both stores default to
+        # data-type compatibility, exactly the first loop of Figure 3
+        # (the dense store materializes those defaults up front).
 
         source_order = source_tree.postorder()
-        target_order = target_tree.postorder()
+        # Subtree leaf counts are consulted once per node pair; hoist
+        # them out of the double loop (they are stable during a run).
+        target_order = [(t, t.leaf_count()) for t in target_tree.postorder()]
         source_root = source_tree.root
         target_root = target_tree.root
+        thhigh, thlow = config.thhigh, config.thlow
+        cinc, cdec = config.cinc, config.cdec
 
         for s in source_order:
             s_leaf_count = s.leaf_count()
-            for t in target_order:
-                if self._pruned(s, t, s_leaf_count, source_root, target_root):
+            for t, t_leaf_count in target_order:
+                if self._pruned(
+                    s, t, s_leaf_count, t_leaf_count, source_root, target_root
+                ):
                     result.pruned_pairs += 1
                     continue
-                ssim = self._structural_similarity(s, t, sims)
                 if not (s.is_leaf and t.is_leaf):
-                    sims.set_ssim(s, t, ssim)
+                    sims.set_ssim(
+                        s, t, self._structural_similarity(s, t, sims)
+                    )
+                # For a leaf pair the structural similarity IS the
+                # stored ssim, which wsim() reads directly — no
+                # separate probe needed.
                 wsim = sims.wsim(s, t)
                 result.wsim[(s.node_id, t.node_id)] = wsim
                 result.compared_pairs += 1
 
-                if wsim > config.thhigh:
-                    self._scale_leaf_pairs(s, t, sims, config.cinc)
-                elif wsim < config.thlow:
-                    self._scale_leaf_pairs(s, t, sims, config.cdec)
+                if wsim > thhigh:
+                    result.scaled_pairs += self._scale_leaf_pairs(
+                        s, t, sims, cinc
+                    )
+                elif wsim < thlow:
+                    result.scaled_pairs += self._scale_leaf_pairs(
+                        s, t, sims, cdec
+                    )
         return result
+
+    def _make_store(
+        self,
+        source_tree: SchemaTree,
+        target_tree: SchemaTree,
+        lsim_table: LsimTable,
+    ) -> SimilarityStore:
+        if self.config.engine == "dense":
+            return DenseSimilarityStore(
+                lsim_table, self.config, self.compat, source_tree, target_tree
+            )
+        return SimilarityStore(lsim_table, self.config, self.compat)
 
     # ------------------------------------------------------------------
     # Pieces
@@ -118,6 +150,7 @@ class TreeMatch:
         s: SchemaTreeNode,
         t: SchemaTreeNode,
         s_leaf_count: int,
+        t_leaf_count: int,
         source_root: SchemaTreeNode,
         target_root: SchemaTreeNode,
     ) -> bool:
@@ -126,9 +159,11 @@ class TreeMatch:
             return False
         if s is source_root and t is target_root:
             return False
-        t_count = t.leaf_count()
         ratio = self.config.leaf_count_ratio
-        return s_leaf_count > ratio * t_count or t_count > ratio * s_leaf_count
+        return (
+            s_leaf_count > ratio * t_leaf_count
+            or t_leaf_count > ratio * s_leaf_count
+        )
 
     def _effective_leaves(
         self, node: SchemaTreeNode
@@ -138,10 +173,17 @@ class TreeMatch:
         With ``leaf_prune_depth`` k > 0 (Section 8.4 "Pruning leaves"),
         the frontier is cut at depth k: nodes at that depth stand in
         for their subtrees.
+
+        Frontiers are cached on the node (they are consulted once per
+        node *pair* but only change when the tree mutates, which
+        :meth:`SchemaTree.invalidate_leaf_caches` signals).
         """
         depth_limit = self.config.leaf_prune_depth
         if depth_limit <= 0:
             return node.leaves_with_required_flag()
+        cached = node._frontier_cache
+        if cached is not None and cached[0] == depth_limit:
+            return cached[1]
         frontier: Dict[SchemaTreeNode, bool] = {}
         stack: List[Tuple[SchemaTreeNode, int, bool]] = [(node, 0, False)]
         while stack:
@@ -154,6 +196,7 @@ class TreeMatch:
                 stack.append(
                     (child, depth + 1, saw_optional or child.optional)
                 )
+        node._frontier_cache = (depth_limit, frontier)
         return frontier
 
     def _structural_similarity(
@@ -175,6 +218,16 @@ class TreeMatch:
 
         thaccept = self.config.thaccept
         discount = self.config.discount_optional_leaves
+
+        if isinstance(sims, DenseSimilarityStore):
+            fraction = sims.structural_fraction(
+                s, t, s_leaves, t_leaves, thaccept, discount
+            )
+            if fraction is not None:
+                return fraction
+            # Frontier includes depth-pruned stand-in nodes outside the
+            # leaf index: fall through to the per-pair reference loop
+            # (sims.wsim handles those nodes via the dict path).
 
         s_linked = 0
         s_total = 0
@@ -213,11 +266,21 @@ class TreeMatch:
         t: SchemaTreeNode,
         sims: SimilarityStore,
         factor: float,
-    ) -> None:
-        """Multiply ssim of every (leaf of s, leaf of t) pair by factor."""
+    ) -> int:
+        """Multiply ssim of every (leaf of s, leaf of t) pair by factor.
+
+        Returns the number of leaf pairs touched (for run statistics).
+        """
+        if isinstance(sims, DenseSimilarityStore):
+            scaled = sims.scale_block(s, t, factor)
+            if scaled is not None:
+                return scaled
+        count = 0
         for x in s.leaves():
             for y in t.leaves():
                 sims.scale_ssim(x, y, factor)
+                count += 1
+        return count
 
     # ------------------------------------------------------------------
     # Second pass (Section 7)
@@ -236,10 +299,15 @@ class TreeMatch:
         refreshed: Dict[Tuple[int, int], float] = {}
         source_root = result.source_tree.root
         target_root = result.target_tree.root
+        target_order = [
+            (t, t.leaf_count()) for t in result.target_tree.postorder()
+        ]
         for s in result.source_tree.postorder():
             s_leaf_count = s.leaf_count()
-            for t in result.target_tree.postorder():
-                if self._pruned(s, t, s_leaf_count, source_root, target_root):
+            for t, t_leaf_count in target_order:
+                if self._pruned(
+                    s, t, s_leaf_count, t_leaf_count, source_root, target_root
+                ):
                     continue
                 if not (s.is_leaf and t.is_leaf):
                     sims.set_ssim(

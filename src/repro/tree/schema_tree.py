@@ -34,6 +34,8 @@ class SchemaTreeNode:
         "node_id",
         "is_join_view",
         "_leaves_cache",
+        "_required_cache",
+        "_frontier_cache",
     )
 
     def __init__(
@@ -49,6 +51,11 @@ class SchemaTreeNode:
         self.node_id: int = next(_node_counter)
         self.is_join_view = is_join_view
         self._leaves_cache: Optional[Tuple["SchemaTreeNode", ...]] = None
+        self._required_cache: Optional[Dict["SchemaTreeNode", bool]] = None
+        # (depth_limit, frontier) for TreeMatch's depth-k leaf pruning.
+        self._frontier_cache: Optional[
+            Tuple[int, Dict["SchemaTreeNode", bool]]
+        ] = None
 
     # -- element passthroughs ------------------------------------------------
 
@@ -78,13 +85,34 @@ class SchemaTreeNode:
             )
         child.parent = self
         self.children.append(child)
-        self._leaves_cache = None
+        self._invalidate_ancestry_caches()
 
     def add_shared_child(self, child: "SchemaTreeNode") -> None:
         """Attach an *existing* node as an extra child (join views)."""
         self.children.append(child)
         child.extra_parents.append(self)
+        self._invalidate_ancestry_caches()
+
+    def _invalidate_own_caches(self) -> None:
         self._leaves_cache = None
+        self._required_cache = None
+        self._frontier_cache = None
+
+    def _invalidate_ancestry_caches(self) -> None:
+        """Clear leaf/required/frontier caches here and on every
+        ancestor (all parents — the mutation changes their subtrees
+        too). DAG-safe via visited set."""
+        seen: Set[int] = set()
+        stack: List[SchemaTreeNode] = [self]
+        while stack:
+            node = stack.pop()
+            if node.node_id in seen:
+                continue
+            seen.add(node.node_id)
+            node._invalidate_own_caches()
+            if node.parent is not None:
+                stack.append(node.parent)
+            stack.extend(node.extra_parents)
 
     def path(self) -> Tuple[str, ...]:
         """Names from the root to this node along primary parents."""
@@ -136,7 +164,14 @@ class SchemaTreeNode:
         Equivalently, a leaf is required iff some path from here to it
         traverses no optional node (the starting node's own optionality
         does not count — it is the context, not the path).
+
+        Cached per node (TreeMatch consults the flags for every node
+        pair); callers must treat the returned dict as read-only. The
+        cache is cleared by :meth:`SchemaTree.invalidate_leaf_caches`
+        and by structural mutation of this node.
         """
+        if self._required_cache is not None:
+            return self._required_cache
         required: Dict[SchemaTreeNode, bool] = {}
         stack: List[Tuple[SchemaTreeNode, bool]] = [(self, False)]
         # Track the best (least-optional) way each node was reached so a
@@ -157,6 +192,7 @@ class SchemaTreeNode:
                 continue
             for child in node.children:
                 stack.append((child, saw_optional or child.optional))
+        self._required_cache = required
         return required
 
     def iter_subtree(self) -> Iterator["SchemaTreeNode"]:
@@ -240,7 +276,7 @@ class SchemaTree:
 
     def invalidate_leaf_caches(self) -> None:
         for node in self.nodes():
-            node._leaves_cache = None
+            node._invalidate_own_caches()
 
     def __len__(self) -> int:
         return len(self.nodes())

@@ -84,6 +84,19 @@ class TestValidation:
         with pytest.raises(ConfigError):
             CupidConfig(leaf_prune_depth=-1).validate()
 
+    def test_dense_engine_is_default(self):
+        config = CupidConfig()
+        assert config.engine == "dense"
+        assert config.dense_backend == "auto"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            CupidConfig(engine="hash").validate()
+
+    def test_unknown_dense_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            CupidConfig(dense_backend="torch").validate()
+
     def test_token_weights_must_sum_to_one(self):
         weights = {t: 0.0 for t in TokenType}
         weights[TokenType.CONTENT] = 0.5

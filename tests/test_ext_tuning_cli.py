@@ -145,6 +145,39 @@ class TestCli:
         source, target = schema_files
         assert main(["match", source, target, "--no-thesaurus"]) == 0
 
+    def test_match_stats(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(["match", source, target, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "correspondences" in captured.out
+        # Counters go to stderr so --format json stdout stays clean.
+        assert "compared_pairs" in captured.err
+        assert "engine: dense" in captured.err
+        assert "token_sim_hit_rate" in captured.err
+
+    def test_match_engine_choice(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(
+            ["match", source, target, "--engine", "reference", "--stats"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "engine: reference" in err
+        # The reference engine has no linguistic memo to report on.
+        assert "token_sim_hit_rate" not in err
+
+    def test_engines_agree_on_json_output(self, schema_files, capsys):
+        source, target = schema_files
+        assert main(
+            ["match", source, target, "--format", "json"]
+        ) == 0
+        dense = json.loads(capsys.readouterr().out)
+        assert main(
+            ["match", source, target, "--format", "json",
+             "--engine", "reference"]
+        ) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert dense == reference
+
     def test_show(self, schema_files, capsys):
         source, _ = schema_files
         assert main(["show", source]) == 0

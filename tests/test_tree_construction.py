@@ -187,6 +187,33 @@ class TestOptionality:
         by_name = {node.name: required for node, required in flags.items()}
         assert by_name["x"] is True
 
+    def test_required_flags_cached_and_invalidated(self):
+        """leaves_with_required_flag is cached per node, and both the
+        invalidate_leaf_caches hook (used by augment_with_join_views)
+        and direct structural mutation clear it."""
+        builder = SchemaBuilder("S")
+        a = builder.add_child(builder.root, "A")
+        builder.add_leaf(a, "x", "int")
+        tree = construct_schema_tree(builder.schema)
+        first = tree.root.leaves_with_required_flag()
+        assert tree.root.leaves_with_required_flag() is first  # cached
+
+        tree.invalidate_leaf_caches()
+        second = tree.root.leaves_with_required_flag()
+        assert second is not first
+        assert second == first
+
+        from repro.model.element import SchemaElement
+        from repro.tree.schema_tree import SchemaTreeNode
+
+        # Direct mutation alone must invalidate the whole ancestry:
+        # the root's cached flags would otherwise omit the new leaf.
+        extra = SchemaTreeNode(SchemaElement(name="y"))
+        tree.node_for_path("A").add_child(extra)
+        flags = tree.root.leaves_with_required_flag()
+        assert extra in flags
+        assert extra in tree.root.leaves()
+
 
 class TestLazyConstruction:
     def test_lazy_shares_subtrees(self, shared_type_schema):
