@@ -2,15 +2,20 @@
 
 "The user can make corrections to a generated result map, and then
 re-run the match with the corrected input map, thereby generating an
-improved map." This example runs a match that misses a pair (no
-thesaurus support for a cryptic column name), shows the user supplying
-that one correspondence, and re-runs: the hint not only fixes the
-hinted leaf but also lifts the structural similarity of its ancestors.
+improved map." That loop is session-shaped: the same schema pair is
+matched over and over while the user refines hints. This example runs
+it through :class:`repro.MatchSession` — the first match prepares both
+schemas and caches the pair's lsim table, and ``session.rematch``
+reruns with the user's correction while *skipping* the unchanged
+phases (per-schema preparation and the linguistic phase; only
+structure matching and mapping generation actually re-run). Results
+are bit-identical to a from-scratch ``CupidMatcher.match`` with the
+same hints.
 
 Run:  python examples/iterative_feedback.py
 """
 
-from repro import CupidMatcher
+from repro import MatchSession
 from repro.linguistic.thesaurus import empty_thesaurus
 from repro.model.builder import schema_from_tree
 
@@ -37,9 +42,9 @@ def main() -> None:
         },
     )
 
-    matcher = CupidMatcher(thesaurus=empty_thesaurus())
+    session = MatchSession(thesaurus=empty_thesaurus())
 
-    first = matcher.match(legacy, modern)
+    first = session.match(legacy, modern)
     print("First pass (no thesaurus, no hints):")
     for element in first.leaf_mapping.sorted_by_similarity():
         print(f"  {element}")
@@ -48,20 +53,26 @@ def main() -> None:
     print(f"  [missed: {missing[0]} -> {missing[1]}]")
 
     print("\nUser validates the map and adds the missing pair as a hint.")
-    second = matcher.match(
-        legacy,
-        modern,
-        initial_mapping=[("ORD.XQTY7", "Order.Quantity")],
+    second = session.rematch(
+        first,
+        feedback=[("ORD.XQTY7", "Order.Quantity")],
     )
-    print("Second pass (with the initial mapping):")
+    print("Second pass (rematch with the feedback hint):")
     for element in second.leaf_mapping.sorted_by_similarity():
         print(f"  {element}")
     assert missing in second.leaf_mapping.path_pairs()
 
+    # The rerun skipped the already-cached phases: both schemas were
+    # prepared once, and the pair's lsim table came from the session
+    # cache (the hint is applied to a copy).
+    info = session.cache_info()
+    assert info["prepare_hits"] >= 2 and info["lsim_hits"] == 1
+    print(f"\n(session cache: {info})")
+
     # The hint also strengthens the parents' structural similarity.
     before = first.wsim("ORD", "Order")
     after = second.wsim("ORD", "Order")
-    print(f"\nwsim(ORD, Order): {before:.3f} -> {after:.3f} "
+    print(f"wsim(ORD, Order): {before:.3f} -> {after:.3f} "
           "(hint lifted the ancestors too)")
     assert after >= before
 

@@ -1,18 +1,25 @@
-"""Mapping reuse: compose past matches through a mediated schema.
+"""Mapping reuse through a mediated schema, session-style.
 
 The taxonomy (Section 3) lists reuse of past match information —
 "compute a mapping that is the composition of mappings that were
-performed earlier". Two source systems were each matched to a mediated
-schema at different times; composing the first mapping with the
-*inverse* of the second yields a direct source-to-source mapping with
-no new matching run, plus a hierarchical rendering (the Section 7
-"enrich the structure of the map" future work).
+performed earlier". The operational shape is one-vs-many: a mediated
+schema is matched against every source system. A
+:class:`repro.MatchSession` fits that shape exactly — the mediated
+schema is *prepared once* (normalization, categorization, tree
+construction, dense leaf layout) and every ``match_many`` target
+reuses the cached :class:`repro.PreparedSchema`, with results
+bit-identical to independent ``CupidMatcher.match`` calls.
+
+Composing the first mapping with the *inverse* of the second then
+yields a direct source-to-source mapping with no new matching run,
+plus a hierarchical rendering (the Section 7 "enrich the structure of
+the map" future work).
 
 Run:  python examples/mediated_schema_reuse.py
 """
 
 from repro import (
-    CupidMatcher,
+    MatchSession,
     build_hierarchical_mapping,
     compose_mappings,
     invert_mapping,
@@ -55,14 +62,21 @@ def main() -> None:
         },
     )
 
-    matcher = CupidMatcher()
-    a_to_mediated = matcher.match(shop_a, mediated).leaf_mapping
-    b_to_mediated = matcher.match(shop_b, mediated).leaf_mapping
-    print(f"ShopA -> Mediated: {len(a_to_mediated)} correspondences")
-    print(f"ShopB -> Mediated: {len(b_to_mediated)} correspondences")
+    # One session: the mediated schema is prepared once and matched
+    # against every shop (swap in hundreds of sources — same API).
+    session = MatchSession()
+    results = session.match_many(mediated, [shop_a, shop_b])
+    mediated_to_a, mediated_to_b = (r.leaf_mapping for r in results)
+    print(f"Mediated -> ShopA: {len(mediated_to_a)} correspondences")
+    print(f"Mediated -> ShopB: {len(mediated_to_b)} correspondences")
+    info = session.cache_info()
+    print(f"(session prepared {info['prepared_schemas']} schemas for "
+          f"{info['matches']} matches)")
 
-    # Reuse: A -> Mediated ∘ (B -> Mediated)⁻¹ = A -> B, no new match.
-    a_to_b = compose_mappings(a_to_mediated, invert_mapping(b_to_mediated))
+    # Reuse: (Mediated -> A)⁻¹ ∘ (Mediated -> B) = A -> B, no new match.
+    a_to_b = compose_mappings(
+        invert_mapping(mediated_to_a), mediated_to_b
+    )
     print(f"\nComposed ShopA -> ShopB ({len(a_to_b)} correspondences):")
     for element in a_to_b.sorted_by_similarity():
         print(f"  {element}")
@@ -73,7 +87,8 @@ def main() -> None:
     ) in a_to_b.path_pairs()
 
     # Hierarchical rendering of a direct match (Section 7 future work).
-    direct = matcher.match(shop_a, shop_b)
+    # ShopA and ShopB are already prepared — the session reuses them.
+    direct = session.match(shop_a, shop_b)
     hierarchy = build_hierarchical_mapping(
         direct.nonleaf_mapping, direct.leaf_mapping
     )

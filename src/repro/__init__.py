@@ -7,6 +7,12 @@ Public API
 The common entry points are re-exported here:
 
 * :class:`CupidMatcher` / :class:`CupidResult` — the matcher itself.
+* :class:`MatchSession` — session-oriented matching: prepare each
+  schema once, then ``match`` / ``match_many`` / ``rematch`` with
+  cached :class:`PreparedSchema` artifacts.
+* :class:`MatchPipeline` / :class:`MatchStage` — the composable stage
+  sequence behind the matcher (substitution, insertion, variants);
+  :func:`baseline_pipeline` adapts the Section 9 baselines to it.
 * :class:`Schema`, :class:`SchemaBuilder`, :func:`schema_from_tree` —
   building schemas programmatically.
 * :class:`CupidConfig` — all Table 1 control parameters.
@@ -19,6 +25,15 @@ The common entry points are re-exported here:
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.core.cupid import CupidMatcher, CupidResult
 from repro.core.tuning import auto_config, tune_against_sample
+from repro.pipeline import (
+    Matcher,
+    MatchContext,
+    MatchPipeline,
+    MatchSession,
+    MatchStage,
+    PreparedSchema,
+    baseline_pipeline,
+)
 from repro.linguistic.learning import LexicalProposal, ThesaurusLearner
 from repro.linguistic.lexicon import builtin_thesaurus, paper_experiment_thesaurus
 from repro.linguistic.thesaurus import Thesaurus, empty_thesaurus
@@ -47,6 +62,12 @@ __all__ = [
     "LexicalProposal",
     "Mapping",
     "MappingElement",
+    "MatchContext",
+    "MatchPipeline",
+    "MatchSession",
+    "MatchStage",
+    "Matcher",
+    "PreparedSchema",
     "Schema",
     "SchemaBuilder",
     "SchemaElement",
@@ -54,6 +75,7 @@ __all__ = [
     "ThesaurusLearner",
     "TypeCompatibilityTable",
     "auto_config",
+    "baseline_pipeline",
     "build_hierarchical_mapping",
     "builtin_thesaurus",
     "compose_mappings",

@@ -11,6 +11,14 @@ These are reimplementations from the published algorithm descriptions;
 the original binaries were never released. They reproduce the
 qualitative behaviour the paper reports (which examples each system
 does or does not handle), not the originals' exact coefficients.
+
+Baselines whose ``match(source, target)`` returns a
+:class:`~repro.mapping.mapping.Mapping` (``PathNameMatcher``,
+``TopDownMatcher``) expose ``as_pipeline()``, adapting them to the
+same ``Matcher`` protocol and ``CupidResult``-compatible output as
+``CupidMatcher`` (see :mod:`repro.pipeline.adapters`); matchers with
+their own result domains (MOMIS clusters, DIKE's ER models) adapt via
+``baseline_pipeline(matcher, extract=...)``.
 """
 
 from repro.baselines.dike import DikeMatcher, DikeResult, LSPD

@@ -47,6 +47,19 @@ class PathNameMatcher:
         target_tree = construct_schema_tree(target)
         return self.match_trees(source_tree, target_tree)
 
+    def as_pipeline(self):
+        """This baseline as a :class:`repro.pipeline.MatchPipeline`.
+
+        Satisfies the same ``Matcher`` protocol as ``CupidMatcher``
+        (``match`` returning a ``CupidResult``-compatible object), so
+        the evaluation harness and CLI can drive it interchangeably.
+        """
+        from repro.pipeline.adapters import baseline_pipeline
+
+        return baseline_pipeline(
+            self, thesaurus=self.thesaurus, config=self.config
+        )
+
     def match_trees(
         self, source_tree: SchemaTree, target_tree: SchemaTree
     ) -> Mapping:

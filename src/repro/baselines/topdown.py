@@ -94,3 +94,16 @@ class TopDownMatcher:
 
         descend(source_tree.root, target_tree.root)
         return mapping
+
+    def as_pipeline(self):
+        """This baseline as a :class:`repro.pipeline.MatchPipeline`.
+
+        Satisfies the same ``Matcher`` protocol as ``CupidMatcher``
+        (``match`` returning a ``CupidResult``-compatible object), so
+        the evaluation harness and CLI can drive it interchangeably.
+        """
+        from repro.pipeline.adapters import baseline_pipeline
+
+        return baseline_pipeline(
+            self, thesaurus=self.thesaurus, config=self.config
+        )

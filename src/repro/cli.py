@@ -1,17 +1,27 @@
 """Command-line interface.
 
 The paper positions Match as "an independent component" usable from
-many tools; the CLI is the smallest such tool:
+many tools; the CLI is the smallest such tool, now speaking the
+pipeline/session API:
 
 .. code-block:: console
 
     $ python -m repro match warehouse.sql star.sql --format json
     $ python -m repro match po_cidx.xml po_excel.xml --one-to-one
+    $ python -m repro match a.sql b.sql --pipeline mapping=one-to-one
+    $ python -m repro match-many mediated.json src1.sql src2.xml src3.oo
     $ python -m repro show warehouse.sql
 
+``match-many`` matches one source schema against N targets through a
+:class:`repro.MatchSession`, so the source's preparation (and the
+linguistic memo) is shared across all N matches. ``--pipeline`` swaps
+registered stage variants into the run (``linguistic=off``,
+``structural=no-context``, ``mapping=one-to-one``,
+``mapping=hungarian``).
+
 Schema formats are detected from the file extension: ``.sql`` (mini
-DDL), ``.xml`` (the XML schema dialect), ``.oo`` (class-definition
-DSL), ``.json`` (serialized schema).
+DDL), ``.xml`` (the XML schema dialect), ``.dtd``, ``.oo``
+(class-definition DSL), ``.json`` (serialized schema).
 """
 
 from __future__ import annotations
@@ -20,10 +30,9 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import CupidConfig
-from repro.core.cupid import CupidMatcher
 from repro.core.tuning import auto_config
 from repro.exceptions import ReproError
 from repro.io.dtd import parse_dtd
@@ -33,7 +42,9 @@ from repro.io.sql_ddl import parse_sql_ddl
 from repro.io.xml_schema import parse_xml_schema
 from repro.linguistic.thesaurus import empty_thesaurus
 from repro.mapping.assignment import greedy_one_to_one
+from repro.mapping.mapping import Mapping
 from repro.model.schema import Schema
+from repro.pipeline import CupidResult, MatchPipeline, MatchSession
 from repro.tree.construction import construct_schema_tree
 
 
@@ -59,6 +70,63 @@ def load_schema(path: str) -> Schema:
     )
 
 
+def parse_pipeline_spec(spec: str) -> List[Tuple[str, str]]:
+    """Parse ``--pipeline`` overrides: ``stage=variant[,stage=variant]``."""
+    overrides: List[Tuple[str, str]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ReproError(
+                f"bad --pipeline entry {part!r} (expected stage=variant, "
+                "e.g. mapping=one-to-one)"
+            )
+        stage, _, variant = part.partition("=")
+        overrides.append((stage.strip(), variant.strip()))
+    return overrides
+
+
+def _add_match_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``match`` and ``match-many``."""
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--one-to-one", action="store_true",
+        help="extract a 1:1 mapping (greedy) instead of the naive 1:n",
+    )
+    parser.add_argument(
+        "--no-thesaurus", action="store_true",
+        help="run without any linguistic knowledge (ablation)",
+    )
+    parser.add_argument(
+        "--cinc", type=float, default=None,
+        help="override the structural increase factor (Table 1: 1.2)",
+    )
+    parser.add_argument(
+        "--min-similarity", type=float, default=None,
+        help="only print correspondences at or above this wsim",
+    )
+    parser.add_argument(
+        "--engine", choices=("dense", "reference"), default=None,
+        help="matching engine (default: dense; reference is the "
+             "dict-based correctness oracle)",
+    )
+    parser.add_argument(
+        "--pipeline", default=None, metavar="STAGE=VARIANT[,...]",
+        help="substitute registered stage variants (linguistic=off, "
+             "structural=no-context, mapping=one-to-one, "
+             "mapping=hungarian)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="dump run counters (compared/pruned/scaled pairs, cache "
+             "hit rates, per-phase timings) to stderr",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -72,43 +140,23 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("source", help="source schema file")
     match.add_argument("target", help="target schema file")
     match.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
-    )
-    match.add_argument(
-        "--one-to-one", action="store_true",
-        help="extract a 1:1 mapping (greedy) instead of the naive 1:n",
-    )
-    match.add_argument(
         "--include-nonleaf", action="store_true",
         help="also print non-leaf (structural) correspondences",
-    )
-    match.add_argument(
-        "--no-thesaurus", action="store_true",
-        help="run without any linguistic knowledge (ablation)",
     )
     match.add_argument(
         "--auto-tune", action="store_true",
         help="derive cinc / pruning ratio from the schema shapes",
     )
-    match.add_argument(
-        "--cinc", type=float, default=None,
-        help="override the structural increase factor (Table 1: 1.2)",
+    _add_match_options(match)
+
+    many = commands.add_parser(
+        "match-many",
+        help="match one source schema against many targets through a "
+             "shared session (one prepare, N matches)",
     )
-    match.add_argument(
-        "--min-similarity", type=float, default=None,
-        help="only print correspondences at or above this wsim",
-    )
-    match.add_argument(
-        "--engine", choices=("dense", "reference"), default=None,
-        help="matching engine (default: dense; reference is the "
-             "dict-based correctness oracle)",
-    )
-    match.add_argument(
-        "--stats", action="store_true",
-        help="dump run counters (compared/pruned/scaled pairs, cache "
-             "hit rates, per-phase timings) to stderr",
-    )
+    many.add_argument("source", help="source schema file")
+    many.add_argument("targets", nargs="+", help="target schema files")
+    _add_match_options(many)
 
     show = commands.add_parser(
         "show", help="print a schema file as its expanded schema tree"
@@ -117,51 +165,150 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_match(args: argparse.Namespace) -> int:
-    source = load_schema(args.source)
-    target = load_schema(args.target)
-
+def _config_from_args(
+    args: argparse.Namespace,
+    source: Optional[Schema] = None,
+    target: Optional[Schema] = None,
+) -> CupidConfig:
     config = CupidConfig()
-    if args.auto_tune:
+    if getattr(args, "auto_tune", False) and source is not None:
         config = auto_config(source, target, config)
     if args.cinc is not None:
         config = config.replace(cinc=args.cinc)
     if args.engine is not None:
         config = config.replace(engine=args.engine)
+    return config
 
+
+def _pipeline_from_args(
+    args: argparse.Namespace, config: CupidConfig
+) -> MatchPipeline:
     thesaurus = empty_thesaurus() if args.no_thesaurus else None
-    matcher = CupidMatcher(thesaurus=thesaurus, config=config)
-    result = matcher.match(source, target)
+    pipeline = MatchPipeline.default(thesaurus=thesaurus, config=config)
+    if args.pipeline:
+        for stage, variant in parse_pipeline_spec(args.pipeline):
+            pipeline = pipeline.with_variant(stage, variant)
+    return pipeline
 
+
+def _selected_elements(
+    result: CupidResult, args: argparse.Namespace, include_nonleaf: bool
+) -> List:
     mapping = result.leaf_mapping
     if args.one_to_one:
         mapping = greedy_one_to_one(mapping)
-
     elements = list(mapping)
-    if args.include_nonleaf:
+    if include_nonleaf:
         elements += list(result.nonleaf_mapping)
     if args.min_similarity is not None:
         elements = [
             e for e in elements if e.similarity >= args.min_similarity
         ]
     elements.sort(key=lambda e: (-e.similarity, e.path_pair()))
+    return elements
+
+
+def _timings_ms(result: CupidResult) -> Dict[str, float]:
+    return {
+        phase: round(seconds * 1000.0, 3)
+        for phase, seconds in result.timings.items()
+    }
+
+
+def _session_stats(session: MatchSession) -> Dict[str, object]:
+    """Cache counters plus the session-cumulative linguistic memo."""
+    stats: Dict[str, object] = dict(session.cache_info())
+    memo = session.pipeline.linguistic.memo
+    if memo is not None:
+        stats.update(memo.stats())
+    return stats
+
+
+def _print_stats(stats: Dict[str, object], header: str) -> None:
+    print(f"# {header}", file=sys.stderr)
+    for key, value in stats.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        print(f"#   {key}: {value}", file=sys.stderr)
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    source = load_schema(args.source)
+    target = load_schema(args.target)
+
+    config = _config_from_args(args, source, target)
+    pipeline = _pipeline_from_args(args, config)
+    result = pipeline.run(source, target)
+
+    elements = _selected_elements(args=args, result=result,
+                                  include_nonleaf=args.include_nonleaf)
 
     if args.format == "json":
-        from repro.mapping.mapping import Mapping
-
         out = Mapping(source.name, target.name, elements)
-        print(json.dumps(mapping_to_dict(out), indent=2))
+        payload = mapping_to_dict(out)
+        # Per-phase timings and engine counters ride along in JSON so
+        # downstream tooling need not scrape the --stats text dump.
+        payload["timings_ms"] = _timings_ms(result)
+        payload["stats"] = pipeline.run_stats(result)
+        print(json.dumps(payload, indent=2))
     else:
         print(f"# {source.name} -> {target.name}: "
               f"{len(elements)} correspondences")
         for element in elements:
             print(element)
     if args.stats:
-        print("# run stats", file=sys.stderr)
-        for key, value in matcher.run_stats(result).items():
-            if isinstance(value, float):
-                value = f"{value:.4f}"
-            print(f"#   {key}: {value}", file=sys.stderr)
+        _print_stats(pipeline.run_stats(result), "run stats")
+    return 0
+
+
+def _command_match_many(args: argparse.Namespace) -> int:
+    source = load_schema(args.source)
+    targets = [load_schema(path) for path in args.targets]
+
+    config = _config_from_args(args)
+    session = MatchSession(pipeline=_pipeline_from_args(args, config))
+    results = session.match_many(source, targets)
+
+    if args.format == "json":
+        matches = []
+        for target, result in zip(targets, results):
+            elements = _selected_elements(
+                args=args, result=result, include_nonleaf=False
+            )
+            payload = mapping_to_dict(
+                Mapping(source.name, target.name, elements)
+            )
+            payload["timings_ms"] = _timings_ms(result)
+            # Memo counters are session-cumulative, not per match, so
+            # they are reported once in the session block below.
+            payload["stats"] = session.pipeline.run_stats(
+                result, include_memo=False
+            )
+            matches.append(payload)
+        print(json.dumps(
+            {
+                "source_schema": source.name,
+                "matches": matches,
+                "session": _session_stats(session),
+            },
+            indent=2,
+        ))
+    else:
+        for target, result in zip(targets, results):
+            elements = _selected_elements(
+                args=args, result=result, include_nonleaf=False
+            )
+            print(f"# {source.name} -> {target.name}: "
+                  f"{len(elements)} correspondences")
+            for element in elements:
+                print(element)
+    if args.stats:
+        _print_stats(_session_stats(session), "session cache")
+        for target, result in zip(targets, results):
+            _print_stats(
+                session.pipeline.run_stats(result, include_memo=False),
+                f"run stats ({source.name} -> {target.name})",
+            )
     return 0
 
 
@@ -190,6 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "match":
             return _command_match(args)
+        if args.command == "match-many":
+            return _command_match_many(args)
         return _command_show(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,102 +1,45 @@
-"""End-to-end Cupid pipeline (paper Section 4).
+"""The Cupid matcher facade (paper Section 4).
 
 "The coefficients ... are calculated in two phases": linguistic
 matching produces ``lsim``; structural matching (TreeMatch over the
 expanded schema trees) produces ``ssim``; their weighted mean ``wsim``
-drives mapping generation. This module wires those phases together
-behind one call:
+drives mapping generation. Those phases now live as substitutable
+stages in :mod:`repro.pipeline`; :class:`CupidMatcher` is the thin
+backward-compatible facade over the default stage sequence:
 
 >>> from repro import CupidMatcher
 >>> matcher = CupidMatcher()
 >>> result = matcher.match(source_schema, target_schema)  # doctest: +SKIP
 >>> for element in result.leaf_mapping:                   # doctest: +SKIP
 ...     print(element)
+
+For batch or iterative workloads prefer :class:`repro.MatchSession`,
+which caches per-schema preparation across matches; for custom phase
+sequences build a :class:`repro.MatchPipeline` directly.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional
 
-from repro.config import DEFAULT_CONFIG, CupidConfig
-from repro.exceptions import MappingError
-from repro.linguistic.lexicon import builtin_thesaurus
-from repro.linguistic.matcher import LinguisticMatcher, LsimTable
+from repro.config import CupidConfig
 from repro.linguistic.thesaurus import Thesaurus
-from repro.mapping.assignment import greedy_one_to_one
-from repro.mapping.generator import MappingGenerator
-from repro.mapping.mapping import Mapping
-from repro.model.datatypes import TypeCompatibilityTable, default_compatibility_table
+from repro.model.datatypes import TypeCompatibilityTable
 from repro.model.schema import Schema
-from repro.structure.treematch import TreeMatch, TreeMatchResult
-from repro.tree.construction import construct_schema_tree
-from repro.tree.lazy import construct_schema_tree_lazy
-from repro.tree.refint import augment_with_join_views
-from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
+from repro.pipeline.context import InitialMapping, PathLike
+from repro.pipeline.pipeline import MatchPipeline
+from repro.pipeline.result import CupidResult
 
-#: An initial-mapping hint: a (source, target) pair of containment
-#: paths, each given as a dotted string ("POLines.Item.Qty") or a tuple
-#: of names below the schema root.
-PathLike = Union[str, Sequence[str]]
-InitialMapping = Iterable[Tuple[PathLike, PathLike]]
-
-
-@dataclass
-class CupidResult:
-    """All artifacts of one Cupid match run."""
-
-    source_schema: Schema
-    target_schema: Schema
-    lsim_table: LsimTable
-    source_tree: SchemaTree
-    target_tree: SchemaTree
-    treematch_result: TreeMatchResult
-    leaf_mapping: Mapping
-    nonleaf_mapping: Mapping
-    #: Wall-clock seconds per pipeline phase (linguistic / trees /
-    #: treematch / mapping), for benchmark and ``--stats`` reporting.
-    timings: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def mapping(self) -> Mapping:
-        """Leaf + non-leaf mapping elements combined."""
-        combined = Mapping(self.source_schema.name, self.target_schema.name)
-        for element in self.leaf_mapping:
-            combined.add(element)
-        for element in self.nonleaf_mapping:
-            combined.add(element)
-        return combined
-
-    def one_to_one(self) -> Mapping:
-        """Greedy 1:1 extraction of the leaf mapping (Section 7)."""
-        return greedy_one_to_one(self.leaf_mapping)
-
-    def wsim(self, source_path: PathLike, target_path: PathLike) -> float:
-        """Weighted similarity of two nodes addressed by path."""
-        s = self._resolve(self.source_tree, source_path)
-        t = self._resolve(self.target_tree, target_path)
-        return self.treematch_result.wsim_of(s, t)
-
-    def lsim(self, source_path: PathLike, target_path: PathLike) -> float:
-        s = self._resolve(self.source_tree, source_path)
-        t = self._resolve(self.target_tree, target_path)
-        return self.lsim_table.get(s.element, t.element)
-
-    @staticmethod
-    def _resolve(tree: SchemaTree, path: PathLike) -> SchemaTreeNode:
-        parts = _path_parts(path)
-        return tree.node_for_path(*parts)
-
-
-def _path_parts(path: PathLike) -> Tuple[str, ...]:
-    if isinstance(path, str):
-        return tuple(p for p in path.split(".") if p)
-    return tuple(path)
+__all__ = ["CupidMatcher", "CupidResult", "InitialMapping", "PathLike"]
 
 
 class CupidMatcher:
     """The Cupid generic schema matcher.
+
+    A facade over ``MatchPipeline.default()``: one instance per
+    configuration, ``match`` per schema pair. The pipeline's shared
+    components stay reachable as ``linguistic`` / ``treematch`` /
+    ``generator`` for introspection.
 
     Parameters
     ----------
@@ -116,13 +59,15 @@ class CupidMatcher:
         config: Optional[CupidConfig] = None,
         compat: Optional[TypeCompatibilityTable] = None,
     ) -> None:
-        self.thesaurus = thesaurus if thesaurus is not None else builtin_thesaurus()
-        self.config = config or DEFAULT_CONFIG
-        self.config.validate()
-        self.compat = compat or default_compatibility_table()
-        self.linguistic = LinguisticMatcher(self.thesaurus, self.config)
-        self.treematch = TreeMatch(self.config, self.compat)
-        self.generator = MappingGenerator(self.config)
+        self.pipeline = MatchPipeline.default(
+            thesaurus=thesaurus, config=config, compat=compat
+        )
+        self.thesaurus = self.pipeline.thesaurus
+        self.config = self.pipeline.config
+        self.compat = self.pipeline.compat
+        self.linguistic = self.pipeline.linguistic
+        self.treematch = self.pipeline.treematch
+        self.generator = self.pipeline.generator
 
     def match(
         self,
@@ -137,97 +82,10 @@ class CupidMatcher:
         ``config.initial_mapping_lsim`` before structure matching, so
         a corrected result map can be fed back in for a better re-run.
         """
-        phase_start = time.perf_counter()
-        lsim_table = self.linguistic.compute(source, target)
-        linguistic_time = time.perf_counter() - phase_start
-
-        phase_start = time.perf_counter()
-        build = (
-            construct_schema_tree_lazy
-            if self.config.lazy_expansion
-            else construct_schema_tree
-        )
-        source_tree = build(source)
-        target_tree = build(target)
-        if self.config.use_refint_joins:
-            augment_with_join_views(source_tree)
-            augment_with_join_views(target_tree)
-
-        if initial_mapping:
-            self._apply_initial_mapping(
-                lsim_table, source_tree, target_tree, initial_mapping
-            )
-        tree_time = time.perf_counter() - phase_start
-
-        phase_start = time.perf_counter()
-        tm_result = self.treematch.run(source_tree, target_tree, lsim_table)
-        treematch_time = time.perf_counter() - phase_start
-
-        phase_start = time.perf_counter()
-        leaf_mapping = self.generator.leaf_mapping(tm_result)
-        nonleaf_mapping = self.generator.nonleaf_mapping(
-            tm_result, self.treematch
-        )
-        mapping_time = time.perf_counter() - phase_start
-        return CupidResult(
-            source_schema=source,
-            target_schema=target,
-            lsim_table=lsim_table,
-            source_tree=source_tree,
-            target_tree=target_tree,
-            treematch_result=tm_result,
-            leaf_mapping=leaf_mapping,
-            nonleaf_mapping=nonleaf_mapping,
-            timings={
-                "linguistic": linguistic_time,
-                "trees": tree_time,
-                "treematch": treematch_time,
-                "mapping": mapping_time,
-            },
+        return self.pipeline.run(
+            source, target, initial_mapping=initial_mapping
         )
 
     def run_stats(self, result: CupidResult) -> Dict[str, object]:
-        """Counter dump for one match run (``python -m repro ... --stats``).
-
-        Collects the TreeMatch pair counters, the dense store's shape,
-        and the linguistic memo's hit rates — the numbers to eyeball
-        when a perf regression needs triage.
-        """
-        tm = result.treematch_result
-        sims = tm.sims
-        stats: Dict[str, object] = {
-            "engine": self.config.engine,
-            "compared_pairs": tm.compared_pairs,
-            "pruned_pairs": tm.pruned_pairs,
-            "scaled_pairs": tm.scaled_pairs,
-            "lsim_entries": len(result.lsim_table),
-            "leaf_mappings": len(result.leaf_mapping),
-            "nonleaf_mappings": len(result.nonleaf_mapping),
-        }
-        describe = getattr(sims, "describe", None)
-        if describe is not None:
-            stats.update(describe())
-        memo = self.linguistic.memo
-        if memo is not None:
-            stats.update(memo.stats())
-        for phase, seconds in result.timings.items():
-            stats[f"time_{phase}_ms"] = round(seconds * 1000.0, 3)
-        return stats
-
-    def _apply_initial_mapping(
-        self,
-        lsim_table: LsimTable,
-        source_tree: SchemaTree,
-        target_tree: SchemaTree,
-        initial_mapping: InitialMapping,
-    ) -> None:
-        value = self.config.initial_mapping_lsim
-        for source_path, target_path in initial_mapping:
-            try:
-                s = source_tree.node_for_path(*_path_parts(source_path))
-                t = target_tree.node_for_path(*_path_parts(target_path))
-            except KeyError as exc:
-                raise MappingError(
-                    f"initial mapping refers to unknown path: {exc}"
-                ) from exc
-            lsim_table.set(s.element, t.element, value)
+        """Counter dump for one match run (``python -m repro ... --stats``)."""
+        return self.pipeline.run_stats(result)

@@ -10,15 +10,16 @@ belong to any compatible categories."
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import DEFAULT_CONFIG, CupidConfig
-from repro.linguistic.categorization import Categorizer
+from repro.linguistic.categorization import Categorizer, Category
 from repro.linguistic.name_similarity import (
     NameSimilarityMemo,
     element_name_similarity,
 )
-from repro.linguistic.normalizer import Normalizer
+from repro.linguistic.normalizer import NormalizedName, Normalizer
 from repro.linguistic.thesaurus import Thesaurus
 from repro.model.element import SchemaElement
 from repro.model.schema import Schema
@@ -48,8 +49,39 @@ class LsimTable:
     def items(self) -> Iterable[Tuple[Tuple[str, str], float]]:
         return self._table.items()
 
+    def copy(self) -> "LsimTable":
+        """Independent copy (cheap: one dict copy).
+
+        :class:`repro.pipeline.session.MatchSession` caches the table
+        per schema pair and hands out copies, so initial-mapping hints
+        applied to one run never leak into the cached original.
+        """
+        duplicate = LsimTable()
+        duplicate._table = dict(self._table)
+        return duplicate
+
     def __len__(self) -> int:
         return len(self._table)
+
+
+@dataclass
+class LinguisticPreparation:
+    """One schema's share of the linguistic phase (Section 5).
+
+    Categorization and name normalization depend only on the schema
+    (plus thesaurus/config), not on what it will be matched against —
+    so a :class:`~repro.pipeline.prepared.PreparedSchema` computes this
+    once and every subsequent match against any partner reuses it.
+    """
+
+    schema: Schema
+    categories: Dict[str, Category]
+    normalized: Dict[str, NormalizedName]
+    elements_by_id: Dict[str, SchemaElement]
+    #: Elements carrying a data-dictionary description (the
+    #: ``use_descriptions`` extension compares these even when
+    #: categorization would prune the pair).
+    described: List[SchemaElement]
 
 
 class LinguisticMatcher:
@@ -80,6 +112,28 @@ class LinguisticMatcher:
                 thesaurus, self.normalizer, self.config
             )
 
+    def prepare(self, schema: Schema) -> LinguisticPreparation:
+        """The per-schema half of :meth:`compute`.
+
+        Normalizes every element name exactly once and categorizes the
+        schema; both are pure functions of (schema, thesaurus, config),
+        so callers may cache the result and reuse it across matches
+        against any number of partners.
+        """
+        return LinguisticPreparation(
+            schema=schema,
+            categories=self.categorizer.categorize(schema),
+            normalized={
+                e.element_id: self.normalizer.normalize(e.name)
+                for e in schema.elements
+            },
+            elements_by_id={e.element_id: e for e in schema.elements},
+            described=[
+                e for e in schema.elements
+                if e.description and not e.not_instantiated
+            ],
+        )
+
     def compute(self, source: Schema, target: Schema) -> LsimTable:
         """Build the full lsim table for ``source`` × ``target``.
 
@@ -88,22 +142,26 @@ class LinguisticMatcher:
         ``lsim = ns(m1, m2) × max ns(c1, c2)`` over the compatible
         category pairs both belong to.
         """
-        source_categories = self.categorizer.categorize(source)
-        target_categories = self.categorizer.categorize(target)
-        memo = self.memo
+        return self.compute_prepared(
+            self.prepare(source), self.prepare(target)
+        )
 
-        # Normalize each schema's names exactly once. The pair loop
-        # below used to re-normalize the source name once per *target*
-        # element (O(n·m) normalizer probes); these maps make the cost
-        # O(n + m) regardless of engine.
-        normalized_s = {
-            e.element_id: self.normalizer.normalize(e.name)
-            for e in source.elements
-        }
-        normalized_t = {
-            e.element_id: self.normalizer.normalize(e.name)
-            for e in target.elements
-        }
+    def compute_prepared(
+        self,
+        source_prep: LinguisticPreparation,
+        target_prep: LinguisticPreparation,
+    ) -> LsimTable:
+        """The cross-schema half of :meth:`compute`.
+
+        Consumes two :class:`LinguisticPreparation` artifacts (freshly
+        built or cached) and produces the pair's lsim table; the values
+        are bit-identical either way because preparation is pure.
+        """
+        source_categories = source_prep.categories
+        target_categories = target_prep.categories
+        normalized_s = source_prep.normalized
+        normalized_t = target_prep.normalized
+        memo = self.memo
 
         # Precompute compatible category pairs and their similarity
         # (one keyword comparison per pair — compatibility and strength
@@ -120,8 +178,8 @@ class LinguisticMatcher:
         # For each element pair in some compatible category pair, the
         # category scale factor is the max over all its compatible pairs.
         scale: Dict[Tuple[str, str], float] = {}
-        elements_by_id_s = {e.element_id: e for e in source.elements}
-        elements_by_id_t = {e.element_id: e for e in target.elements}
+        elements_by_id_s = source_prep.elements_by_id
+        elements_by_id_t = target_prep.elements_by_id
         for (key1, key2), cat_sim in compatible_pairs.items():
             for m1 in source_categories[key1].members:
                 for m2 in target_categories[key2].members:
@@ -154,16 +212,8 @@ class LinguisticMatcher:
             # Categorization prunes by names; annotated pairs whose
             # names share nothing still deserve a description-driven
             # comparison (that is the point of the annotations).
-            described_s = [
-                e for e in source.elements
-                if e.description and not e.not_instantiated
-            ]
-            described_t = [
-                e for e in target.elements
-                if e.description and not e.not_instantiated
-            ]
-            for m1 in described_s:
-                for m2 in described_t:
+            for m1 in source_prep.described:
+                for m2 in target_prep.described:
                     if (m1.element_id, m2.element_id) in scale:
                         continue
                     desc = self._descriptions.similarity(m1, m2)

@@ -164,11 +164,14 @@ class NameSimilarityMemo:
         "thesaurus",
         "config",
         "_token",
+        "_set",
         "_element",
         "_buckets",
         "_weight_entries",
         "token_hits",
         "token_misses",
+        "set_hits",
+        "set_misses",
         "element_hits",
         "element_misses",
     )
@@ -179,6 +182,9 @@ class NameSimilarityMemo:
         # text1 -> text2 -> sim — nested rather than tuple-keyed so the
         # inner loops probe with one dict get and no tuple allocation.
         self._token: Dict[str, Dict[str, float]] = {}
+        # (texts1, texts2) -> ns(T1, T2) for whole (filtered) token
+        # sets; what the category-compatibility scan repeats most.
+        self._set: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], float] = {}
         self._element: Dict[Tuple[str, str], float] = {}
         # raw name -> per-type non-ignored token lists, slot-aligned
         # with _weight_entries (avoids enum hashing in the pair loop).
@@ -188,6 +194,8 @@ class NameSimilarityMemo:
         )
         self.token_hits = 0
         self.token_misses = 0
+        self.set_hits = 0
+        self.set_misses = 0
         self.element_hits = 0
         self.element_misses = 0
 
@@ -221,7 +229,23 @@ class NameSimilarityMemo:
             # similarity itself — the common case for category
             # keywords: (s + s) / 2 == s.
             return self.token_similarity(t1[0], t2[0])
-        return self._token_set_filtered(t1, t2)
+        # Whole-set cache: after filtering, the value depends only on
+        # the token texts (token_similarity reads nothing else), so the
+        # text tuples are a sound pure-function key. The category scan
+        # compares the same keyword sets for every schema pair a
+        # session matches — this turns those repeats into one dict get.
+        key = (
+            tuple(t.text for t in t1),
+            tuple(t.text for t in t2),
+        )
+        value = self._set.get(key)
+        if value is not None:
+            self.set_hits += 1
+            return value
+        self.set_misses += 1
+        value = self._token_set_filtered(t1, t2)
+        self._set[key] = value
+        return value
 
     def _token_set_filtered(
         self, t1: List[Token], t2: List[Token]
@@ -328,11 +352,17 @@ class NameSimilarityMemo:
         """Hit/miss counters for ``--stats`` regression triage."""
         token_total = self.token_hits + self.token_misses
         element_total = self.element_hits + self.element_misses
+        set_total = self.set_hits + self.set_misses
         return {
             "token_sim_hits": self.token_hits,
             "token_sim_misses": self.token_misses,
             "token_sim_hit_rate": (
                 self.token_hits / token_total if token_total else 0.0
+            ),
+            "token_set_sim_hits": self.set_hits,
+            "token_set_sim_misses": self.set_misses,
+            "token_set_sim_hit_rate": (
+                self.set_hits / set_total if set_total else 0.0
             ),
             "element_sim_hits": self.element_hits,
             "element_sim_misses": self.element_misses,

@@ -1,0 +1,61 @@
+"""Composable match pipelines, prepared schemas, and match sessions.
+
+This package is the architectural seam of the reproduction: the paper
+positions Match as "an independent component" with interchangeable
+phases, and everything here makes that literal.
+
+* :class:`MatchStage` / :mod:`repro.pipeline.stages` — the phase
+  contract plus the four concrete Cupid stages (linguistic, trees,
+  structural, mapping) extracted from the old monolithic matcher.
+* :class:`MatchPipeline` — composes stages, threads a
+  :class:`MatchContext` between them, supports stage substitution,
+  insertion, and registered variants (``--pipeline`` on the CLI).
+* :class:`PreparedSchema` — the one-time per-schema work
+  (normalization, categorization, tree construction, dense leaf
+  layout), computed lazily and cached.
+* :class:`MatchSession` — caches ``PreparedSchema``s and per-pair lsim
+  tables: ``session.match(a, b)``, ``session.match_many(source,
+  targets)``, ``session.rematch(result, feedback=...)``.
+* :func:`baseline_pipeline` / :class:`BaselineStage` — run the
+  Section 9 baselines through the same :class:`Matcher` protocol with
+  :class:`CupidResult`-compatible output.
+
+:class:`repro.CupidMatcher` remains a thin backward-compatible shim
+over ``MatchPipeline.default()``.
+"""
+
+from repro.pipeline.adapters import BaselineStage, baseline_pipeline
+from repro.pipeline.context import InitialMapping, MatchContext, PathLike
+from repro.pipeline.pipeline import Matcher, MatchPipeline
+from repro.pipeline.prepared import PreparedSchema
+from repro.pipeline.result import CupidResult
+from repro.pipeline.session import MatchSession
+from repro.pipeline.stages import (
+    STAGE_VARIANTS,
+    EmptyLinguisticStage,
+    LinguisticStage,
+    MappingStage,
+    MatchStage,
+    StructuralStage,
+    TreeBuildStage,
+)
+
+__all__ = [
+    "BaselineStage",
+    "CupidResult",
+    "EmptyLinguisticStage",
+    "InitialMapping",
+    "LinguisticStage",
+    "MappingStage",
+    "MatchContext",
+    "MatchPipeline",
+    "MatchSession",
+    "MatchStage",
+    "Matcher",
+    "PathLike",
+    "PreparedSchema",
+    "STAGE_VARIANTS",
+    "StructuralStage",
+    "TreeBuildStage",
+    "baseline_pipeline",
+]

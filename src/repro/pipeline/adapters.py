@@ -1,0 +1,89 @@
+"""Adapters that turn the Section 9 baselines into match pipelines.
+
+The paper compares Cupid against other matchers by running each over
+the same schema pairs; with these adapters every baseline is a
+:class:`~repro.pipeline.pipeline.MatchPipeline` satisfying the same
+:class:`~repro.pipeline.pipeline.Matcher` protocol and producing
+:class:`~repro.pipeline.result.CupidResult`-compatible output, so the
+evaluation harness, CLI, and benchmarks can drive them
+interchangeably.
+
+A baseline whose ``match(source, target)`` already returns a
+:class:`~repro.mapping.mapping.Mapping` (``PathNameMatcher``,
+``TopDownMatcher``) adapts directly; matchers with their own result
+types (``MomisMatcher``'s clusters, ``DikeMatcher``'s ER-model domain)
+need an ``extract`` callable converting their output to a ``Mapping``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import CupidConfig
+from repro.exceptions import ReproError
+from repro.linguistic.thesaurus import Thesaurus
+from repro.mapping.mapping import Mapping
+from repro.model.datatypes import TypeCompatibilityTable
+from repro.pipeline.context import MatchContext
+from repro.pipeline.pipeline import MatchPipeline
+from repro.pipeline.stages import TreeBuildStage
+
+
+class BaselineStage:
+    """Runs a whole baseline matcher as one pipeline stage.
+
+    Replaces the linguistic/structural/mapping stages: the baseline's
+    leaf-level output becomes ``leaf_mapping``; ``nonleaf_mapping`` is
+    empty and the Cupid-specific artifacts stay ``None`` on the
+    result.
+    """
+
+    name = "baseline"
+    timing_key = "baseline"
+
+    def __init__(
+        self,
+        matcher,
+        extract: Optional[Callable[[object], Mapping]] = None,
+    ) -> None:
+        self.matcher = matcher
+        self.extract = extract
+
+    def run(self, context: MatchContext) -> None:
+        outcome = self.matcher.match(
+            context.source.schema, context.target.schema
+        )
+        if self.extract is not None:
+            outcome = self.extract(outcome)
+        if not isinstance(outcome, Mapping):
+            raise ReproError(
+                f"baseline {type(self.matcher).__name__} returned "
+                f"{type(outcome).__name__}, not a Mapping — supply an "
+                "extract= callable to baseline_pipeline()"
+            )
+        context.leaf_mapping = outcome
+        context.nonleaf_mapping = Mapping(
+            context.source.schema.name, context.target.schema.name
+        )
+
+
+def baseline_pipeline(
+    matcher,
+    *,
+    thesaurus: Optional[Thesaurus] = None,
+    config: Optional[CupidConfig] = None,
+    compat: Optional[TypeCompatibilityTable] = None,
+    extract: Optional[Callable[[object], Mapping]] = None,
+) -> MatchPipeline:
+    """Wrap a baseline matcher as a two-stage pipeline.
+
+    The tree-build stage still runs (baselines are judged on the same
+    expanded trees, and the result needs trees for path resolution);
+    the baseline stage then produces the mapping.
+    """
+    default = MatchPipeline.default(
+        thesaurus=thesaurus, config=config, compat=compat
+    )
+    return default._with_stages(
+        [TreeBuildStage(), BaselineStage(matcher, extract=extract)]
+    )

@@ -1,0 +1,74 @@
+"""The explicit state threaded between match-pipeline stages.
+
+The paper positions Match as "an independent component" built from
+interchangeable phases; :class:`MatchContext` is the contract between
+those phases. Each :class:`~repro.pipeline.stages.MatchStage` reads the
+artifacts earlier stages produced (prepared schemas, the lsim table,
+schema trees, the TreeMatch result) and writes its own, so stages can
+be substituted, inserted, or skipped without the pipeline knowing what
+any particular stage computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.config import CupidConfig
+from repro.linguistic.thesaurus import Thesaurus
+from repro.model.datatypes import TypeCompatibilityTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.linguistic.matcher import LsimTable
+    from repro.mapping.mapping import Mapping
+    from repro.pipeline.prepared import PreparedSchema
+    from repro.structure.treematch import TreeMatchResult
+    from repro.tree.schema_tree import SchemaTree
+
+#: An initial-mapping hint: a (source, target) pair of containment
+#: paths, each given as a dotted string ("POLines.Item.Qty") or a tuple
+#: of names below the schema root.
+PathLike = Union[str, Sequence[str]]
+InitialMapping = Iterable[Tuple[PathLike, PathLike]]
+
+
+def path_parts(path: PathLike) -> Tuple[str, ...]:
+    """Split a dotted path string (or pass a tuple through)."""
+    if isinstance(path, str):
+        return tuple(p for p in path.split(".") if p)
+    return tuple(path)
+
+
+@dataclass
+class MatchContext:
+    """Mutable state of one match run, threaded through the stages.
+
+    ``config`` / ``thesaurus`` / ``compat`` are the run's knowledge and
+    control parameters; ``source`` / ``target`` carry the per-schema
+    prepared artifacts; the remaining fields are filled in by the
+    stages (``lsim_table`` by the linguistic stage, the trees by the
+    tree-build stage, and so on). A field arriving pre-set is a cache
+    hook: the default linguistic stage, for example, skips itself when
+    ``lsim_table`` is already present (how :class:`MatchSession` reuses
+    a cached table for a schema pair it has matched before).
+
+    ``extras`` is a free-form scratch dict for user-defined stages that
+    need to hand data to a later user-defined stage.
+    """
+
+    config: CupidConfig
+    thesaurus: Thesaurus
+    compat: TypeCompatibilityTable
+    source: "PreparedSchema"
+    target: "PreparedSchema"
+    initial_mapping: Optional[InitialMapping] = None
+    lsim_table: Optional["LsimTable"] = None
+    source_tree: Optional["SchemaTree"] = None
+    target_tree: Optional["SchemaTree"] = None
+    treematch_result: Optional["TreeMatchResult"] = None
+    leaf_mapping: Optional["Mapping"] = None
+    nonleaf_mapping: Optional["Mapping"] = None
+    #: Wall-clock seconds per stage timing key, filled by the pipeline.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Scratch space for user-defined stages.
+    extras: Dict[str, object] = field(default_factory=dict)

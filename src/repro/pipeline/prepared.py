@@ -1,0 +1,107 @@
+"""Per-schema preparation, computed once and reused across matches.
+
+The monolithic ``CupidMatcher.match`` re-did all of this on every call:
+name normalization, categorization, schema-tree construction (plus
+join-view augmentation), and the dense engine's leaf-index layout. None
+of it depends on the *partner* schema — only on (schema, thesaurus,
+config) — so in the paper's own motivating scenarios (matching one
+mediated schema against N sources, warehouse loading) it is pure
+repeated work.
+
+:class:`PreparedSchema` captures that work lazily: each artifact is
+built on first access and cached. A :class:`~repro.pipeline.session.
+MatchSession` keeps one ``PreparedSchema`` per schema, which is where
+the one-vs-many batch speedup comes from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import CupidConfig
+from repro.model.schema import Schema
+from repro.structure.dense import LeafLayout
+from repro.tree.construction import construct_schema_tree
+from repro.tree.lazy import construct_schema_tree_lazy
+from repro.tree.refint import augment_with_join_views
+from repro.tree.schema_tree import SchemaTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.linguistic.matcher import (
+        LinguisticMatcher,
+        LinguisticPreparation,
+    )
+
+
+class PreparedSchema:
+    """Lazily-built, cached per-schema match artifacts.
+
+    Construction is free; each artifact is computed on first access:
+
+    * :attr:`linguistic` — normalized names + categories (Section 5's
+      per-schema half).
+    * :attr:`tree` — the expanded schema tree, with join views when
+      ``config.use_refint_joins`` is set (Sections 8.2/8.3).
+    * :attr:`leaf_layout` — the dense engine's leaf-index layout.
+
+    The artifacts are tied to the preparing pipeline's thesaurus and
+    config; reusing a ``PreparedSchema`` under a different config is
+    undefined (a :class:`~repro.pipeline.session.MatchSession` never
+    does).
+    """
+
+    __slots__ = ("schema", "_linguistic_matcher", "_config",
+                 "_linguistic", "_tree", "_layout")
+
+    def __init__(
+        self,
+        schema: Schema,
+        linguistic_matcher: "LinguisticMatcher",
+        config: CupidConfig,
+    ) -> None:
+        self.schema = schema
+        self._linguistic_matcher = linguistic_matcher
+        self._config = config
+        self._linguistic: Optional["LinguisticPreparation"] = None
+        self._tree: Optional[SchemaTree] = None
+        self._layout: Optional[LeafLayout] = None
+
+    @property
+    def linguistic(self) -> "LinguisticPreparation":
+        """Normalized names and categories (built once)."""
+        if self._linguistic is None:
+            self._linguistic = self._linguistic_matcher.prepare(self.schema)
+        return self._linguistic
+
+    @property
+    def tree(self) -> SchemaTree:
+        """The expanded schema tree (built once, config-dependent)."""
+        if self._tree is None:
+            build = (
+                construct_schema_tree_lazy
+                if self._config.lazy_expansion
+                else construct_schema_tree
+            )
+            tree = build(self.schema)
+            if self._config.use_refint_joins:
+                augment_with_join_views(tree)
+            self._tree = tree
+        return self._tree
+
+    @property
+    def leaf_layout(self) -> LeafLayout:
+        """Dense leaf-index layout over :attr:`tree` (built once)."""
+        if self._layout is None:
+            self._layout = LeafLayout(self.tree)
+        return self._layout
+
+    def __repr__(self) -> str:
+        built = [
+            name for name, attr in (
+                ("linguistic", self._linguistic),
+                ("tree", self._tree),
+                ("layout", self._layout),
+            ) if attr is not None
+        ]
+        state = ", ".join(built) if built else "nothing built yet"
+        return f"<PreparedSchema {self.schema.name!r}: {state}>"

@@ -1,0 +1,94 @@
+"""The result artifact every match pipeline produces.
+
+:class:`CupidResult` is the common output contract: the default Cupid
+pipeline fills every field; adapted baseline pipelines
+(:mod:`repro.pipeline.adapters`) leave the Cupid-specific artifacts
+(``lsim_table``, ``treematch_result``) as ``None`` but still deliver
+the trees, the mappings, and per-stage timings, so downstream tooling
+(CLI, evaluation, benchmarks) can consume any matcher's output through
+one type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ReproError
+from repro.linguistic.matcher import LsimTable
+from repro.mapping.assignment import greedy_one_to_one
+from repro.mapping.mapping import Mapping
+from repro.model.schema import Schema
+from repro.pipeline.context import PathLike, path_parts
+from repro.structure.treematch import TreeMatchResult
+from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
+
+
+@dataclass
+class CupidResult:
+    """All artifacts of one match run.
+
+    ``lsim_table`` and ``treematch_result`` are ``None`` for pipelines
+    whose stages do not produce them (e.g. adapted baselines); the
+    accessors that need them raise :class:`ReproError` in that case.
+    """
+
+    source_schema: Schema
+    target_schema: Schema
+    lsim_table: Optional[LsimTable]
+    source_tree: SchemaTree
+    target_tree: SchemaTree
+    treematch_result: Optional[TreeMatchResult]
+    leaf_mapping: Mapping
+    nonleaf_mapping: Mapping
+    #: Wall-clock seconds per pipeline stage (linguistic / trees /
+    #: treematch / mapping), for benchmark and ``--stats`` reporting.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Cached combined mapping (built on first ``.mapping`` access; the
+    #: mappings above are immutable once the run returns).
+    _combined: Optional[Mapping] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def mapping(self) -> Mapping:
+        """Leaf + non-leaf mapping elements combined (cached)."""
+        if self._combined is None:
+            combined = Mapping(
+                self.source_schema.name, self.target_schema.name
+            )
+            for element in self.leaf_mapping:
+                combined.add(element)
+            for element in self.nonleaf_mapping:
+                combined.add(element)
+            self._combined = combined
+        return self._combined
+
+    def one_to_one(self) -> Mapping:
+        """Greedy 1:1 extraction of the leaf mapping (Section 7)."""
+        return greedy_one_to_one(self.leaf_mapping)
+
+    def wsim(self, source_path: PathLike, target_path: PathLike) -> float:
+        """Weighted similarity of two nodes addressed by path."""
+        if self.treematch_result is None:
+            raise ReproError(
+                "this result has no TreeMatch artifacts (produced by a "
+                "pipeline without a structural stage)"
+            )
+        s = self._resolve(self.source_tree, source_path)
+        t = self._resolve(self.target_tree, target_path)
+        return self.treematch_result.wsim_of(s, t)
+
+    def lsim(self, source_path: PathLike, target_path: PathLike) -> float:
+        if self.lsim_table is None:
+            raise ReproError(
+                "this result has no lsim table (produced by a pipeline "
+                "without a linguistic stage)"
+            )
+        s = self._resolve(self.source_tree, source_path)
+        t = self._resolve(self.target_tree, target_path)
+        return self.lsim_table.get(s.element, t.element)
+
+    @staticmethod
+    def _resolve(tree: SchemaTree, path: PathLike) -> SchemaTreeNode:
+        return tree.node_for_path(*path_parts(path))

@@ -1,0 +1,186 @@
+"""Session-oriented matching: prepare once, match many times.
+
+The paper's own deployment scenarios are batch-shaped: a mediated
+schema matched against N source schemas, a warehouse schema matched
+against each incoming feed, a user iterating hint → re-match on the
+same pair. The monolithic ``CupidMatcher.match`` re-did every per-
+schema phase on each call; a :class:`MatchSession` caches them:
+
+* one :class:`~repro.pipeline.prepared.PreparedSchema` per schema
+  (normalization, categorization, tree construction, dense leaf
+  layout), shared across every match that schema participates in;
+* one lsim table per (source, target) pair, so re-matching the same
+  pair — the Section 8.4 iterative-feedback loop — skips the linguistic
+  phase entirely (:meth:`rematch`);
+* the pipeline's linguistic memo, warm across all of the session's
+  matches.
+
+Results are bit-identical to independent ``CupidMatcher.match`` calls:
+everything cached is a pure function of (schema, thesaurus, config).
+
+>>> from repro import MatchSession
+>>> session = MatchSession()
+>>> results = session.match_many(mediated, sources)     # doctest: +SKIP
+>>> better = session.rematch(results[0],
+...     feedback=[("Order.Qty", "PO.Quantity")])        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import CupidConfig
+from repro.linguistic.matcher import LsimTable
+from repro.linguistic.thesaurus import Thesaurus
+from repro.model.datatypes import TypeCompatibilityTable
+from repro.model.schema import Schema
+from repro.pipeline.context import InitialMapping
+from repro.pipeline.pipeline import MatchPipeline, SchemaLike
+from repro.pipeline.prepared import PreparedSchema
+from repro.pipeline.result import CupidResult
+
+
+class MatchSession:
+    """Caches per-schema and per-pair artifacts across matches.
+
+    Parameters mirror :class:`~repro.core.cupid.CupidMatcher`; pass a
+    custom ``pipeline`` to run a substituted stage sequence under the
+    same caching (the session only caches what the pipeline's stages
+    actually consume).
+    """
+
+    def __init__(
+        self,
+        thesaurus: Optional[Thesaurus] = None,
+        config: Optional[CupidConfig] = None,
+        compat: Optional[TypeCompatibilityTable] = None,
+        pipeline: Optional[MatchPipeline] = None,
+    ) -> None:
+        if pipeline is None:
+            pipeline = MatchPipeline.default(
+                thesaurus=thesaurus, config=config, compat=compat
+            )
+        self.pipeline = pipeline
+        # id(schema) -> (schema, prepared); holding the schema keeps
+        # the id stable for the session's lifetime.
+        self._prepared: Dict[int, Tuple[Schema, PreparedSchema]] = {}
+        # (id(prep_s), id(prep_t)) -> pristine lsim table for the pair.
+        self._lsim_cache: Dict[Tuple[int, int], LsimTable] = {}
+        self._counters = {
+            "matches": 0,
+            "prepare_hits": 0,
+            "prepare_misses": 0,
+            "lsim_hits": 0,
+            "lsim_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Caching
+    # ------------------------------------------------------------------
+
+    def prepare(self, schema: SchemaLike) -> PreparedSchema:
+        """The session's cached :class:`PreparedSchema` for ``schema``.
+
+        Accepts an already-prepared schema (registered so later calls
+        with its raw schema hit the same artifact).
+        """
+        if isinstance(schema, PreparedSchema):
+            registered = self._prepared.get(id(schema.schema))
+            if registered is not None:
+                # The session's own artifact wins: it is retained for
+                # the session's lifetime, so its id() — the lsim-cache
+                # key — can never be reused by a new object.
+                self._counters["prepare_hits"] += 1
+                return registered[1]
+            self._prepared[id(schema.schema)] = (schema.schema, schema)
+            return schema
+        entry = self._prepared.get(id(schema))
+        if entry is not None:
+            self._counters["prepare_hits"] += 1
+            return entry[1]
+        self._counters["prepare_misses"] += 1
+        prepared = self.pipeline.prepare(schema)
+        self._prepared[id(schema)] = (schema, prepared)
+        return prepared
+
+    def _cached_lsim(
+        self, prep_s: PreparedSchema, prep_t: PreparedSchema
+    ) -> Optional[LsimTable]:
+        cached = self._lsim_cache.get((id(prep_s), id(prep_t)))
+        if cached is None:
+            return None
+        self._counters["lsim_hits"] += 1
+        # Hand out a copy: initial-mapping hints mutate the table.
+        return cached.copy()
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        source: SchemaLike,
+        target: SchemaLike,
+        initial_mapping: Optional[InitialMapping] = None,
+    ) -> CupidResult:
+        """Match with every applicable session cache engaged."""
+        prep_s = self.prepare(source)
+        prep_t = self.prepare(target)
+        self._counters["matches"] += 1
+        lsim_table = self._cached_lsim(prep_s, prep_t)
+        fresh = lsim_table is None
+        if fresh:
+            self._counters["lsim_misses"] += 1
+        result = self.pipeline.run(
+            prep_s,
+            prep_t,
+            initial_mapping=initial_mapping,
+            lsim_table=lsim_table,
+        )
+        if fresh and not initial_mapping and result.lsim_table is not None:
+            # Only a hint-free table is pristine enough to cache.
+            self._lsim_cache[(id(prep_s), id(prep_t))] = (
+                result.lsim_table.copy()
+            )
+        return result
+
+    def match_many(
+        self,
+        source: SchemaLike,
+        targets: Iterable[SchemaLike],
+    ) -> List[CupidResult]:
+        """Match one source against each target (one prepare, N
+        matches) — the mediated-schema / warehouse-loading batch shape.
+        """
+        prep_s = self.prepare(source)
+        return [self.match(prep_s, target) for target in targets]
+
+    def rematch(
+        self,
+        result: CupidResult,
+        feedback: Optional[InitialMapping] = None,
+    ) -> CupidResult:
+        """Re-run a previous result's pair with user feedback.
+
+        Section 8.4: "the user can make corrections to a generated
+        result map, and then re-run the match with the corrected input
+        map". The pair's prepared schemas and lsim table come from the
+        session caches, so only the structural and mapping phases
+        actually re-run.
+        """
+        return self.match(
+            result.source_schema,
+            result.target_schema,
+            initial_mapping=feedback,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> Dict[str, int]:
+        """Session cache counters (also in CLI ``match-many --stats``)."""
+        info = dict(self._counters)
+        info["prepared_schemas"] = len(self._prepared)
+        info["cached_lsim_pairs"] = len(self._lsim_cache)
+        return info

@@ -71,6 +71,25 @@ def resolve_backend(requested: str) -> str:
     return "numpy" if _np is not None else "stdlib"
 
 
+class LeafLayout:
+    """Dense leaf-index layout of one tree side.
+
+    Maps the root's deduplicated leaf tuple to consecutive integer ids.
+    Computing it is cheap, but it is pure per-tree work: a
+    :class:`~repro.pipeline.prepared.PreparedSchema` captures it once so
+    batch sessions skip re-deriving it for every match. Must be rebuilt
+    if the tree is structurally mutated afterwards.
+    """
+
+    __slots__ = ("leaves", "index")
+
+    def __init__(self, tree: SchemaTree) -> None:
+        self.leaves: Tuple[SchemaTreeNode, ...] = tuple(tree.root.leaves())
+        self.index: Dict[int, int] = {
+            leaf.node_id: i for i, leaf in enumerate(self.leaves)
+        }
+
+
 class _NodeIndex:
     """Cached dense leaf ids of one node's subtree (one tree side).
 
@@ -136,22 +155,20 @@ class DenseSimilarityStore(SimilarityStore):
         compat: TypeCompatibilityTable,
         source_tree: SchemaTree,
         target_tree: SchemaTree,
+        source_layout: Optional[LeafLayout] = None,
+        target_layout: Optional[LeafLayout] = None,
     ) -> None:
         super().__init__(lsim_table, config, compat)
         self.backend = resolve_backend(config.dense_backend)
         self._use_numpy = self.backend == "numpy"
-        self._s_leaves: Tuple[SchemaTreeNode, ...] = tuple(
-            source_tree.root.leaves()
-        )
-        self._t_leaves: Tuple[SchemaTreeNode, ...] = tuple(
-            target_tree.root.leaves()
-        )
-        self._s_index: Dict[int, int] = {
-            leaf.node_id: i for i, leaf in enumerate(self._s_leaves)
-        }
-        self._t_index: Dict[int, int] = {
-            leaf.node_id: j for j, leaf in enumerate(self._t_leaves)
-        }
+        if source_layout is None:
+            source_layout = LeafLayout(source_tree)
+        if target_layout is None:
+            target_layout = LeafLayout(target_tree)
+        self._s_leaves = source_layout.leaves
+        self._t_leaves = target_layout.leaves
+        self._s_index = source_layout.index
+        self._t_index = target_layout.index
         self._n_s = len(self._s_leaves)
         self._n_t = len(self._t_leaves)
         self._wl = config.wstruct_leaf

@@ -76,9 +76,18 @@ class TreeMatch:
         source_tree: SchemaTree,
         target_tree: SchemaTree,
         lsim_table: LsimTable,
+        source_layout=None,
+        target_layout=None,
     ) -> TreeMatchResult:
+        """Run TreeMatch. ``source_layout`` / ``target_layout`` are
+        optional prebuilt :class:`~repro.structure.dense.LeafLayout`
+        objects (per-schema artifacts a
+        :class:`~repro.pipeline.prepared.PreparedSchema` caches);
+        omitted, the dense store derives them itself."""
         config = self.config
-        sims = self._make_store(source_tree, target_tree, lsim_table)
+        sims = self._make_store(
+            source_tree, target_tree, lsim_table, source_layout, target_layout
+        )
         result = TreeMatchResult(
             source_tree=source_tree,
             target_tree=target_tree,
@@ -134,10 +143,18 @@ class TreeMatch:
         source_tree: SchemaTree,
         target_tree: SchemaTree,
         lsim_table: LsimTable,
+        source_layout=None,
+        target_layout=None,
     ) -> SimilarityStore:
         if self.config.engine == "dense":
             return DenseSimilarityStore(
-                lsim_table, self.config, self.compat, source_tree, target_tree
+                lsim_table,
+                self.config,
+                self.compat,
+                source_tree,
+                target_tree,
+                source_layout,
+                target_layout,
             )
         return SimilarityStore(lsim_table, self.config, self.compat)
 

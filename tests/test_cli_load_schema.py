@@ -1,0 +1,116 @@
+"""CLI schema loading: every supported extension dispatches and
+round-trips; unknown extensions fail loudly with a ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import load_schema
+from repro.exceptions import ReproError
+from repro.io.json_io import schema_from_json, schema_to_json
+from repro.model.schema import Schema
+
+_SQL = """
+CREATE TABLE Customers (
+  CustomerID int PRIMARY KEY,
+  CompanyName varchar(40) NOT NULL,
+  PostalCode varchar(10)
+);
+"""
+
+_XML = """
+<schema name="PurchaseOrder">
+  <element name="Items">
+    <attribute name="itemCount" type="integer"/>
+    <element name="Item">
+      <attribute name="Quantity" type="integer"/>
+    </element>
+  </element>
+</schema>
+"""
+
+_DTD = """
+<!ELEMENT po (header)>
+<!ELEMENT header (#PCDATA)>
+<!ATTLIST header
+  ponumber CDATA #REQUIRED
+  podate CDATA #IMPLIED>
+"""
+
+_OO = """
+class PurchaseOrder (OrderNumber: integer (key),
+                     ProductName: string)
+"""
+
+#: extension -> (file content, an element name that must be present).
+SUPPORTED = {
+    ".sql": (_SQL, "CustomerID"),
+    ".xml": (_XML, "Quantity"),
+    ".dtd": (_DTD, "ponumber"),
+    ".oo": (_OO, "OrderNumber"),
+}
+
+
+def _write(tmp_path, extension, content):
+    path = tmp_path / f"schema{extension}"
+    path.write_text(content)
+    return str(path)
+
+
+class TestExtensionDispatch:
+    @pytest.mark.parametrize("extension", sorted(SUPPORTED))
+    def test_supported_extension_loads(self, tmp_path, extension):
+        content, expected_element = SUPPORTED[extension]
+        schema = load_schema(_write(tmp_path, extension, content))
+        assert isinstance(schema, Schema)
+        assert schema.element_named(expected_element) is not None
+
+    @pytest.mark.parametrize("extension", sorted(SUPPORTED))
+    def test_supported_extension_round_trips_via_json(
+        self, tmp_path, extension
+    ):
+        """Loading any format, serializing to .json, and loading that
+        file again must preserve the element names."""
+        content, _ = SUPPORTED[extension]
+        schema = load_schema(_write(tmp_path, extension, content))
+        json_path = tmp_path / "roundtrip.json"
+        json_path.write_text(schema_to_json(schema))
+        reloaded = load_schema(str(json_path))
+        assert isinstance(reloaded, Schema)
+        assert (
+            sorted(e.name for e in reloaded.elements)
+            == sorted(e.name for e in schema.elements)
+        )
+
+    def test_json_extension_loads(self, tmp_path):
+        schema = load_schema(
+            _write(tmp_path, ".sql", _SQL)
+        )
+        json_path = tmp_path / "db.json"
+        json_path.write_text(schema_to_json(schema))
+        loaded = load_schema(str(json_path))
+        assert loaded.name == schema.name
+
+    def test_uppercase_extension_is_normalized(self, tmp_path):
+        path = tmp_path / "DB.SQL"
+        path.write_text(_SQL)
+        schema = load_schema(str(path))
+        assert schema.element_named("CustomerID") is not None
+
+    @pytest.mark.parametrize(
+        "filename", ["schema.weird", "schema.txt", "schema", "schema."]
+    )
+    def test_unknown_extension_raises_repro_error(self, tmp_path, filename):
+        path = tmp_path / filename
+        path.write_text("whatever")
+        with pytest.raises(ReproError) as excinfo:
+            load_schema(str(path))
+        message = str(excinfo.value)
+        assert "cannot infer schema format" in message
+        # The error teaches the supported formats.
+        for extension in (".sql", ".xml", ".dtd", ".oo", ".json"):
+            assert extension in message
+
+    def test_missing_file_raises_os_error(self, tmp_path):
+        with pytest.raises(OSError):
+            load_schema(str(tmp_path / "nope.sql"))

@@ -1,0 +1,73 @@
+"""The ``repro`` package's public surface stays honest.
+
+``__all__`` must list exactly names that exist and resolve, the
+pipeline/session symbols must be re-exported at the top level, and the
+re-exports must be the same objects as their defining modules'.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.pipeline as pipeline_pkg
+
+
+class TestAllList:
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, (
+                f"repro.__all__ lists {name!r} but it does not resolve"
+            )
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_sorted_for_readability(self):
+        assert repro.__all__ == sorted(repro.__all__)
+
+    def test_all_covers_public_module_attributes(self):
+        """Every public (non-underscore) class/function re-exported into
+        the package namespace from repro's own modules is listed."""
+        import inspect
+
+        exported = set(repro.__all__)
+        missing = []
+        for name, value in vars(repro).items():
+            if name.startswith("_") or inspect.ismodule(value):
+                continue
+            module = getattr(value, "__module__", "")
+            if not str(module).startswith("repro"):
+                continue
+            if name not in exported:
+                missing.append(name)
+        assert not missing, (
+            f"public names bound in repro but absent from __all__: "
+            f"{sorted(missing)}"
+        )
+
+
+class TestPipelineReExports:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "MatchPipeline",
+            "MatchSession",
+            "MatchStage",
+            "MatchContext",
+            "Matcher",
+            "PreparedSchema",
+            "baseline_pipeline",
+        ],
+    )
+    def test_pipeline_symbol_re_exported(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is getattr(pipeline_pkg, name)
+
+    def test_cupid_result_is_the_pipeline_result(self):
+        # The shim's CupidResult and the pipeline's are one type.
+        assert repro.CupidResult is pipeline_pkg.CupidResult
+
+    def test_pipeline_package_all_resolves(self):
+        for name in pipeline_pkg.__all__:
+            assert getattr(pipeline_pkg, name, None) is not None

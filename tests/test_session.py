@@ -1,0 +1,228 @@
+"""Tests for MatchSession: cached preparation, batch matching, rematch.
+
+The session's contract is *pure speedup*: every cached artifact is a
+deterministic function of (schema, thesaurus, config), so session
+results must be bit-identical to independent ``CupidMatcher.match``
+calls — including under the reference engine and with feedback hints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CupidMatcher, MatchSession, PreparedSchema
+from repro.config import CupidConfig
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.linguistic.thesaurus import empty_thesaurus
+from repro.pipeline import MatchPipeline
+
+
+def _mapping_signature(mapping):
+    return sorted(
+        (e.source_path, e.target_path, e.similarity) for e in mapping
+    )
+
+
+def _wsim_signature(result):
+    source_paths = {n.node_id: n.path() for n in result.source_tree.nodes()}
+    target_paths = {n.node_id: n.path() for n in result.target_tree.nodes()}
+    return sorted(
+        (source_paths[s], target_paths[t], value)
+        for (s, t), value in result.treematch_result.wsim.items()
+    )
+
+
+def _batch_workload(n_targets=4, size=24, seed=11):
+    generator = SchemaGenerator(seed=seed)
+    source = generator.generate(n_leaves=size, max_depth=3)
+    targets = []
+    for i in range(n_targets):
+        perturber = SchemaGenerator(seed=seed + 50 + i)
+        copy, _ = perturber.perturb(
+            source, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+        )
+        targets.append(copy)
+    return source, targets
+
+
+def assert_identical(session_result, matcher_result):
+    assert sorted(session_result.lsim_table.items()) == (
+        sorted(matcher_result.lsim_table.items())
+    )
+    assert _wsim_signature(session_result) == _wsim_signature(matcher_result)
+    assert _mapping_signature(session_result.leaf_mapping) == (
+        _mapping_signature(matcher_result.leaf_mapping)
+    )
+    assert _mapping_signature(session_result.nonleaf_mapping) == (
+        _mapping_signature(matcher_result.nonleaf_mapping)
+    )
+
+
+class TestSessionParity:
+    def test_single_match_identical_to_matcher(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        assert_identical(
+            MatchSession().match(source, target),
+            CupidMatcher().match(source, target),
+        )
+
+    def test_repeat_match_uses_lsim_cache_and_stays_identical(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        session = MatchSession()
+        first = session.match(source, target)
+        second = session.match(source, target)
+        assert session.cache_info()["lsim_hits"] == 1
+        assert_identical(second, CupidMatcher().match(source, target))
+        # Fresh result objects each time, not a replay of the first.
+        assert second is not first
+
+    def test_match_many_identical_to_independent_calls(self):
+        source, targets = _batch_workload()
+        session_results = MatchSession().match_many(source, targets)
+        for target, session_result in zip(targets, session_results):
+            assert_identical(
+                session_result, CupidMatcher().match(source, target)
+            )
+
+    def test_reference_engine_parity(self):
+        source, targets = _batch_workload(n_targets=2)
+        config = CupidConfig(engine="reference")
+        session = MatchSession(config=config)
+        for target, session_result in zip(
+            targets, session.match_many(source, targets)
+        ):
+            assert_identical(
+                session_result,
+                CupidMatcher(config=config).match(source, target),
+            )
+
+    def test_match_with_hints_identical(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        hints = [("POLines.Item.Line", "Items.Item.ItemNumber")]
+        session = MatchSession()
+        session.match(source, target)  # populate the pair cache
+        hinted = session.match(source, target, initial_mapping=hints)
+        assert_identical(
+            hinted, CupidMatcher().match(source, target, initial_mapping=hints)
+        )
+
+    def test_hints_do_not_pollute_the_pair_cache(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        hints = [("POLines.Item.Line", "Items.Item.ItemNumber")]
+        session = MatchSession()
+        session.match(source, target)
+        session.match(source, target, initial_mapping=hints)
+        clean = session.match(source, target)
+        assert_identical(clean, CupidMatcher().match(source, target))
+
+
+class TestRematch:
+    def test_rematch_without_feedback_reproduces_result(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        session = MatchSession()
+        first = session.rematch(session.match(source, target))
+        assert_identical(first, CupidMatcher().match(source, target))
+
+    def test_rematch_with_feedback_matches_hinted_run(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        feedback = [("POLines.Item.Line", "Items.Item.ItemNumber")]
+        session = MatchSession()
+        first = session.match(source, target)
+        rerun = session.rematch(first, feedback=feedback)
+        assert_identical(
+            rerun,
+            CupidMatcher().match(source, target, initial_mapping=feedback),
+        )
+
+    def test_rematch_skips_prepared_phases(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        session = MatchSession()
+        first = session.match(source, target)
+        session.rematch(first, feedback=[("POShipTo", "DeliverTo")])
+        info = session.cache_info()
+        assert info["prepare_misses"] == 2     # source + target, once
+        assert info["prepare_hits"] == 2       # both reused on rematch
+        assert info["lsim_hits"] == 1          # linguistic phase skipped
+
+
+class TestSessionCaching:
+    def test_prepare_returns_same_artifact(self):
+        source, _ = figure2_po(), figure2_purchase_order()
+        session = MatchSession()
+        assert session.prepare(source) is session.prepare(source)
+
+    def test_prepare_accepts_prepared_schema(self):
+        source = figure2_po()
+        session = MatchSession()
+        prepared = session.pipeline.prepare(source)
+        assert session.prepare(prepared) is prepared
+        # The raw schema now resolves to the registered artifact.
+        assert session.prepare(source) is prepared
+
+    def test_foreign_prepared_schema_does_not_shadow_registered(self):
+        """A caller-made PreparedSchema for an already-registered schema
+        must not displace (or bypass) the session's retained artifact —
+        cache keys are ids, so only retained objects may be used."""
+        source = figure2_po()
+        session = MatchSession()
+        registered = session.prepare(source)
+        foreign = session.pipeline.prepare(source)
+        assert foreign is not registered
+        assert session.prepare(foreign) is registered
+
+    def test_prepared_schema_lazy_and_cached(self):
+        source = figure2_po()
+        prepared = MatchPipeline.default().prepare(source)
+        assert isinstance(prepared, PreparedSchema)
+        assert prepared._tree is None  # nothing built yet
+        tree = prepared.tree
+        assert prepared.tree is tree
+        assert prepared.linguistic is prepared.linguistic
+        assert prepared.leaf_layout is prepared.leaf_layout
+
+    def test_match_many_prepares_source_once(self):
+        source, targets = _batch_workload(n_targets=4)
+        session = MatchSession()
+        session.match_many(source, targets)
+        info = session.cache_info()
+        assert info["matches"] == 4
+        assert info["prepared_schemas"] == 5   # source + 4 targets
+        assert info["prepare_misses"] == 5
+        assert info["cached_lsim_pairs"] == 4
+
+    def test_cache_info_counts(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        session = MatchSession()
+        info = session.cache_info()
+        assert info["matches"] == 0 and info["prepared_schemas"] == 0
+        session.match(source, target)
+        session.match(source, target)
+        info = session.cache_info()
+        assert info["matches"] == 2
+        assert info["lsim_misses"] == 1 and info["lsim_hits"] == 1
+
+
+class TestSessionConfiguration:
+    def test_no_thesaurus_session(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        session = MatchSession(thesaurus=empty_thesaurus())
+        matcher = CupidMatcher(thesaurus=empty_thesaurus())
+        assert_identical(
+            session.match(source, target), matcher.match(source, target)
+        )
+
+    def test_custom_pipeline_session(self):
+        source, target = figure2_po(), figure2_purchase_order()
+        pipeline = MatchPipeline.default().with_variant(
+            "mapping", "one-to-one"
+        )
+        session = MatchSession(pipeline=pipeline)
+        result = session.match(source, target)
+        assert result.leaf_mapping.is_one_to_one()
+        # Second match reuses the cached lsim under the custom stages.
+        again = session.match(source, target)
+        assert _mapping_signature(again.leaf_mapping) == (
+            _mapping_signature(result.leaf_mapping)
+        )
+        assert session.cache_info()["lsim_hits"] == 1
