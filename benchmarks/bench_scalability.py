@@ -32,10 +32,41 @@ ENGINE_COMPARISON_SIZES = [20, 40, 80, 160]
 #: least this much faster than the reference engine in the same run.
 REQUIRED_SPEEDUP_AT_80 = 3.0
 
+#: Repetition axis of the engine comparison: name-repetition factors
+#: the duplicate-heavy records sweep (0.0 = every name distinct).
+REPETITION_AXIS = [0.0, 0.9]
 
-def _workload(n_leaves, seed=11):
+#: Duplicate-heavy workload shape for the linguistic-kernel ablation:
+#: wide, shallow trees (star-schema-like fact tables) whose element
+#: names repeat with this probability.
+KERNEL_REPETITION = 0.9
+KERNEL_SIZES = [80, 160, 320]
+
+#: Acceptance floor: at the largest duplicate-heavy size the dense
+#: engine's linguistic phase with the distinct-name kernel must beat
+#: the same engine without it (strictest baseline: the memoized
+#: per-element-pair path) by this factor.
+REQUIRED_KERNEL_SPEEDUP = 2.0
+
+
+def _workload(n_leaves, seed=11, repetition=0.0):
     generator = SchemaGenerator(seed=seed)
-    schema = generator.generate(n_leaves=n_leaves, max_depth=3)
+    schema = generator.generate(
+        n_leaves=n_leaves, max_depth=3, name_repetition=repetition
+    )
+    copy, gold = generator.perturb(
+        schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+    )
+    return schema, copy, gold
+
+
+def _repetition_workload(n_leaves, repetition=KERNEL_REPETITION, seed=11):
+    """Duplicate-heavy wide workload (see KERNEL_REPETITION)."""
+    generator = SchemaGenerator(seed=seed)
+    schema = generator.generate(
+        n_leaves=n_leaves, max_depth=2, fanout=12,
+        name_repetition=repetition,
+    )
     copy, gold = generator.perturb(
         schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
     )
@@ -95,68 +126,84 @@ def _mapping_signature(mapping):
 def test_engine_comparison(publish, results_dir):
     """Dense vs reference engines: wall time, per-phase breakdown.
 
-    Publishes both the rendered table and BENCH_scalability_engines.json
-    (the machine-readable speedup trajectory), and asserts the
-    acceptance floor: >= 3x at 80 leaves/side, with identical mappings.
+    Sweeps both size and the name-repetition axis (duplicate-heavy
+    schemas exercise the distinct-name kernel), publishes the rendered
+    table and BENCH_scalability_engines.json (the machine-readable
+    speedup trajectory), and asserts the acceptance floor: >= 3x at 80
+    leaves/side, with identical mappings.
     """
     rows = []
     records = []
     speedup_at_80 = None
     for size in ENGINE_COMPARISON_SIZES:
-        schema, copy, _ = _workload(size)
-        engine_results = {}
-        for engine in ("dense", "reference"):
-            config = CupidConfig(engine=engine)
-            elapsed, result = _timed_match(config, schema, copy)
-            engine_results[engine] = (elapsed, result)
-            timings = result.timings
-            rows.append(
-                [
-                    size,
-                    engine,
-                    f"{timings['linguistic'] * 1000:.1f} ms",
-                    f"{timings['treematch'] * 1000:.1f} ms",
-                    f"{timings['mapping'] * 1000:.1f} ms",
-                    f"{elapsed * 1000:.1f} ms",
-                    result.treematch_result.compared_pairs,
-                ]
+        for repetition in REPETITION_AXIS:
+            schema, copy, _ = _workload(size, repetition=repetition)
+            engine_results = {}
+            for engine in ("dense", "reference"):
+                config = CupidConfig(engine=engine)
+                elapsed, result = _timed_match(config, schema, copy)
+                engine_results[engine] = (elapsed, result)
+                timings = result.timings
+                rows.append(
+                    [
+                        size,
+                        repetition,
+                        engine,
+                        f"{timings['linguistic'] * 1000:.1f} ms",
+                        f"{timings['treematch'] * 1000:.1f} ms",
+                        f"{timings['mapping'] * 1000:.1f} ms",
+                        f"{elapsed * 1000:.1f} ms",
+                        result.treematch_result.compared_pairs,
+                    ]
+                )
+                records.append(
+                    {
+                        "size": size,
+                        "repetition": repetition,
+                        "engine": engine,
+                        "backend": getattr(
+                            result.treematch_result.sims, "backend", "dict"
+                        ),
+                        "linguistic_ms": round(
+                            timings["linguistic"] * 1000, 2
+                        ),
+                        "treematch_ms": round(
+                            timings["treematch"] * 1000, 2
+                        ),
+                        "mapping_ms": round(timings["mapping"] * 1000, 2),
+                        "total_ms": round(elapsed * 1000, 2),
+                        "compared_pairs": (
+                            result.treematch_result.compared_pairs
+                        ),
+                        "scaled_pairs": result.treematch_result.scaled_pairs,
+                    }
+                )
+            dense_time, dense_result = engine_results["dense"]
+            reference_time, reference_result = engine_results["reference"]
+            # The dense engine must be a pure speedup: same mappings.
+            assert _mapping_signature(dense_result.leaf_mapping) == (
+                _mapping_signature(reference_result.leaf_mapping)
             )
+            speedup = reference_time / dense_time
             records.append(
                 {
                     "size": size,
-                    "engine": engine,
-                    "backend": getattr(
-                        result.treematch_result.sims, "backend", "dict"
-                    ),
-                    "linguistic_ms": round(timings["linguistic"] * 1000, 2),
-                    "treematch_ms": round(timings["treematch"] * 1000, 2),
-                    "mapping_ms": round(timings["mapping"] * 1000, 2),
-                    "total_ms": round(elapsed * 1000, 2),
-                    "compared_pairs": (
-                        result.treematch_result.compared_pairs
-                    ),
-                    "scaled_pairs": result.treematch_result.scaled_pairs,
+                    "repetition": repetition,
+                    "speedup_dense_vs_reference": round(speedup, 2),
                 }
             )
-        dense_time, dense_result = engine_results["dense"]
-        reference_time, reference_result = engine_results["reference"]
-        # The dense engine must be a pure speedup: same mappings.
-        assert _mapping_signature(dense_result.leaf_mapping) == (
-            _mapping_signature(reference_result.leaf_mapping)
-        )
-        speedup = reference_time / dense_time
-        records.append(
-            {"size": size, "speedup_dense_vs_reference": round(speedup, 2)}
-        )
-        rows.append([size, "speedup", "", "", "", f"{speedup:.2f}x", ""])
-        if size == 80:
-            speedup_at_80 = speedup
+            rows.append(
+                [size, repetition, "speedup", "", "", "",
+                 f"{speedup:.2f}x", ""]
+            )
+            if size == 80 and repetition == 0.0:
+                speedup_at_80 = speedup
 
     publish(
         "scalability_engines",
         render_table(
-            ["Leaves/side", "Engine", "Linguistic", "TreeMatch",
-             "Mapping", "Total", "Pairs"],
+            ["Leaves/side", "Repetition", "Engine", "Linguistic",
+             "TreeMatch", "Mapping", "Total", "Pairs"],
             rows,
             title="Dense vs reference engine (per-phase wall time)",
         ),
@@ -170,6 +217,101 @@ def test_engine_comparison(publish, results_dir):
     assert speedup_at_80 >= REQUIRED_SPEEDUP_AT_80, (
         f"dense engine only {speedup_at_80:.2f}x faster than reference at "
         f"80 leaves/side (required {REQUIRED_SPEEDUP_AT_80}x)"
+    )
+
+
+def test_linguistic_kernel_speedup(publish, results_dir):
+    """Distinct-name kernel ablation on the duplicate-heavy workload.
+
+    Same dense engine, kernel on vs off (the memoized per-element-pair
+    path — the strictest baseline), plus the reference engine for
+    scale. Mappings must be identical everywhere; at the largest size
+    the kernel must cut the linguistic phase by
+    REQUIRED_KERNEL_SPEEDUP x. Publishes the table and
+    BENCH_linguistic_kernel.json.
+    """
+    rows = []
+    records = []
+    kernel_speedup_at_largest = None
+    largest = max(KERNEL_SIZES)
+    for size in KERNEL_SIZES:
+        schema, copy, _ = _repetition_workload(size)
+        variants = [
+            ("dense+kernel", CupidConfig()),
+            ("dense no-kernel", CupidConfig(linguistic_kernel=False)),
+        ]
+        if size <= 160:  # the reference engine is ~20x slower here
+            variants.append(("reference", CupidConfig(engine="reference")))
+        timings = {}
+        results = {}
+        for label, config in variants:
+            elapsed, result = _timed_match(config, schema, copy)
+            linguistic_ms = result.timings["linguistic"] * 1000
+            timings[label] = linguistic_ms
+            results[label] = result
+            record = {
+                "size": size,
+                "repetition": KERNEL_REPETITION,
+                "variant": label,
+                "linguistic_ms": round(linguistic_ms, 2),
+                "total_ms": round(elapsed * 1000, 2),
+            }
+            stats = getattr(result.lsim_table, "kernel_stats", None)
+            if stats:
+                record.update(
+                    vocab_names=(
+                        stats["vocab_source_names"],
+                        stats["vocab_target_names"],
+                    ),
+                    kernel_hit_rate=round(stats["kernel_hit_rate"], 4),
+                    kernel_element_pairs=stats["kernel_element_pairs"],
+                    kernel_distinct_name_pairs=(
+                        stats["kernel_distinct_name_pairs"]
+                    ),
+                )
+            records.append(record)
+            rows.append(
+                [size, label, f"{linguistic_ms:.1f} ms",
+                 f"{elapsed * 1000:.1f} ms"]
+            )
+        baseline = _mapping_signature(results["dense+kernel"].leaf_mapping)
+        for label, result in results.items():
+            assert _mapping_signature(result.leaf_mapping) == baseline, (
+                f"{label} changed the mapping at size {size}"
+            )
+        speedup = timings["dense no-kernel"] / timings["dense+kernel"]
+        records.append(
+            {
+                "size": size,
+                "repetition": KERNEL_REPETITION,
+                "kernel_linguistic_speedup": round(speedup, 2),
+            }
+        )
+        rows.append([size, "kernel speedup", f"{speedup:.2f}x", ""])
+        if size == largest:
+            kernel_speedup_at_largest = speedup
+
+    publish(
+        "scalability_kernel",
+        render_table(
+            ["Leaves/side", "Variant", "Linguistic", "Total"],
+            rows,
+            title=(
+                "Distinct-name kernel on the duplicate-heavy workload "
+                f"(name repetition {KERNEL_REPETITION})"
+            ),
+        ),
+    )
+    json_path = os.path.join(results_dir, "BENCH_linguistic_kernel.json")
+    with open(json_path, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(f"[written to {json_path}]")
+
+    assert kernel_speedup_at_largest is not None
+    assert kernel_speedup_at_largest >= REQUIRED_KERNEL_SPEEDUP, (
+        f"distinct-name kernel only {kernel_speedup_at_largest:.2f}x on "
+        f"the linguistic phase at {largest} leaves/side "
+        f"(required {REQUIRED_KERNEL_SPEEDUP}x)"
     )
 
 

@@ -139,6 +139,15 @@ class CupidConfig:
     #: numpy is unavailable).
     dense_backend: str = "auto"
 
+    #: Route the dense engine's linguistic phase through the
+    #: distinct-name kernel (:mod:`repro.linguistic.kernel`): name
+    #: similarities are computed once per distinct normalized-name pair
+    #: and broadcast to element pairs by index gather. Bit-identical to
+    #: the per-pair path; only applies when ``engine == "dense"`` and
+    #: descriptions are off. ``False`` keeps the per-element-pair loop
+    #: (the kernel ablation baseline in the benchmarks).
+    linguistic_kernel: bool = True
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if the parameters are inconsistent."""
         for name in ("thns", "thhigh", "thlow", "thaccept"):

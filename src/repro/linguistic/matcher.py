@@ -11,7 +11,7 @@ belong to any compatible categories."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.linguistic.categorization import Categorizer, Category
@@ -23,6 +23,10 @@ from repro.linguistic.normalizer import NormalizedName, Normalizer
 from repro.linguistic.thesaurus import Thesaurus
 from repro.model.element import SchemaElement
 from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids the
+    # matcher <-> kernel import cycle; kernel imports LsimTable)
+    from repro.linguistic.kernel import SchemaVocabulary
 
 
 class LsimTable:
@@ -82,6 +86,12 @@ class LinguisticPreparation:
     #: ``use_descriptions`` extension compares these even when
     #: categorization would prune the pair).
     described: List[SchemaElement]
+    #: Distinct-name/profile factoring for the linguistic kernel
+    #: (:mod:`repro.linguistic.kernel`), built lazily on the first
+    #: kernel match and cached here — a PreparedSchema retains this
+    #: object, which makes the vocabulary a per-schema session cache
+    #: tier like the tree and leaf layout.
+    vocabulary: Optional["SchemaVocabulary"] = None
 
 
 class LinguisticMatcher:
@@ -146,6 +156,33 @@ class LinguisticMatcher:
             self.prepare(source), self.prepare(target)
         )
 
+    def vocabulary(self, prep: LinguisticPreparation) -> "SchemaVocabulary":
+        """The preparation's distinct-name vocabulary, built once.
+
+        Cached on the preparation itself, so a session that retains
+        the :class:`~repro.pipeline.prepared.PreparedSchema` reuses the
+        factoring across every match the schema participates in.
+        """
+        if prep.vocabulary is None:
+            from repro.linguistic.kernel import SchemaVocabulary
+
+            prep.vocabulary = SchemaVocabulary(prep)
+        return prep.vocabulary
+
+    def _kernel_applicable(self) -> bool:
+        """Whether the distinct-name kernel may serve this matcher.
+
+        Requires the dense engine's memo (the kernel reads name
+        similarities through it) and no description matching
+        (description similarity depends on the *element*, not only its
+        name, so broadcast-by-profile would be unsound).
+        """
+        return (
+            self.config.linguistic_kernel
+            and self.memo is not None
+            and self._descriptions is None
+        )
+
     def compute_prepared(
         self,
         source_prep: LinguisticPreparation,
@@ -156,7 +193,35 @@ class LinguisticMatcher:
         Consumes two :class:`LinguisticPreparation` artifacts (freshly
         built or cached) and produces the pair's lsim table; the values
         are bit-identical either way because preparation is pure.
+
+        With the dense engine, routes through the distinct-name kernel
+        (:mod:`repro.linguistic.kernel`): similarity per distinct name
+        pair, broadcast to element pairs — same values, fewer
+        computations on repetitive schemas.
         """
+        if self._kernel_applicable():
+            from repro.linguistic.kernel import (
+                compute_factored_lsim,
+                numpy_enabled,
+            )
+
+            return compute_factored_lsim(
+                self.categorizer,
+                self.memo,
+                self.vocabulary(source_prep),
+                self.vocabulary(target_prep),
+                numpy_enabled(self.config.dense_backend),
+            )
+        return self._compute_prepared_reference(source_prep, target_prep)
+
+    def _compute_prepared_reference(
+        self,
+        source_prep: LinguisticPreparation,
+        target_prep: LinguisticPreparation,
+    ) -> LsimTable:
+        """Per-element-pair lsim (the correctness oracle's path, and
+        the fallback when descriptions or the reference engine are in
+        play)."""
         source_categories = source_prep.categories
         target_categories = target_prep.categories
         normalized_s = source_prep.normalized

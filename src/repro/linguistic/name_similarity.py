@@ -50,6 +50,13 @@ def substring_similarity(a: str, b: str, ceiling: float = 0.8) -> float:
     """
     if not a or not b:
         return 0.0
+    # An overlap can be at most min(len) and must start at the first
+    # or end at the last character; both checks reject the typical
+    # unrelated pair before any per-character scan.
+    if len(a) < 3 or len(b) < 3:
+        return 0.0
+    if a[0] != b[0] and a[-1] != b[-1]:
+        return 0.0
     overlap = max(_common_prefix_len(a, b), _common_suffix_len(a, b))
     if overlap < 3:
         return 0.0
@@ -222,22 +229,41 @@ class NameSimilarityMemo:
         """
         t1 = [t for t in tokens1 if not t.ignored]
         t2 = [t for t in tokens2 if not t.ignored]
-        if not t1 or not t2:
-            return 0.0
-        if len(t1) == 1 and len(t2) == 1:
-            # Bidirectional best-match of singletons is the pair's
-            # similarity itself — the common case for category
-            # keywords: (s + s) / 2 == s.
-            return self.token_similarity(t1[0], t2[0])
         # Whole-set cache: after filtering, the value depends only on
         # the token texts (token_similarity reads nothing else), so the
         # text tuples are a sound pure-function key. The category scan
         # compares the same keyword sets for every schema pair a
         # session matches — this turns those repeats into one dict get.
-        key = (
-            tuple(t.text for t in t1),
-            tuple(t.text for t in t2),
+        return self.token_set_similarity_prefiltered(
+            (
+                tuple(t.text for t in t1),
+                tuple(t.text for t in t2),
+            ),
+            t1,
+            t2,
         )
+
+    def token_set_similarity_prefiltered(
+        self,
+        key: Tuple[Tuple[str, ...], Tuple[str, ...]],
+        t1: Sequence[Token],
+        t2: Sequence[Token],
+    ) -> float:
+        """``ns(T1, T2)`` for pre-filtered token lists with a prebuilt
+        cache key.
+
+        The distinct-name kernel's category-class scan probes the same
+        keyword sets thousands of times per match; this entry point
+        skips the per-call ignored-token filtering and key-tuple
+        construction :meth:`token_set_similarity` performs (``t1`` /
+        ``t2`` must already exclude ignored tokens and ``key`` must be
+        their text tuples). Same arithmetic, same cache — values are
+        bit-identical to the generic path.
+        """
+        if not t1 or not t2:
+            return 0.0
+        if len(t1) == 1 and len(t2) == 1:
+            return self.token_similarity(t1[0], t2[0])
         value = self._set.get(key)
         if value is not None:
             self.set_hits += 1
@@ -248,20 +274,24 @@ class NameSimilarityMemo:
         return value
 
     def _token_set_filtered(
-        self, t1: List[Token], t2: List[Token]
+        self, t1: Sequence[Token], t2: Sequence[Token]
     ) -> float:
         """Bidirectional best-match average over non-ignored tokens.
 
         Same arithmetic as :func:`token_set_similarity` (sum of
-        per-token maxima in the same iteration order), with the cache
-        probed via plain dict gets instead of a method call per pair.
+        per-token maxima in the same iteration order): the forward scan
+        resolves every (a, b) similarity once through the cache and
+        keeps the values, so the backward maxima fold over those local
+        lists instead of re-probing the cache pair by pair.
         """
         cache = self._token
         forward = 0.0
+        pair_rows: List[List[float]] = []
         for a in t1:
             row = cache.get(a.text)
             if row is None:
                 row = cache[a.text] = {}
+            values: List[float] = []
             best: Optional[float] = None
             for b in t2:
                 value = row.get(b.text)
@@ -273,26 +303,16 @@ class NameSimilarityMemo:
                     row[b.text] = value
                 else:
                     self.token_hits += 1
+                values.append(value)
                 if best is None or value > best:
                     best = value
+            pair_rows.append(values)
             forward += best
         backward = 0.0
-        for b in t2:
-            b_text = b.text
+        for k in range(len(t2)):
             best = None
-            for a in t1:
-                row = cache.get(a.text)
-                if row is None:
-                    row = cache[a.text] = {}
-                value = row.get(b_text)
-                if value is None:
-                    self.token_misses += 1
-                    value = token_similarity(
-                        a, b, self.thesaurus, self.config
-                    )
-                    row[b_text] = value
-                else:
-                    self.token_hits += 1
+            for values in pair_rows:
+                value = values[k]
                 if best is None or value > best:
                     best = value
             backward += best

@@ -12,7 +12,14 @@ phases, and everything here makes that literal.
   insertion, and registered variants (``--pipeline`` on the CLI).
 * :class:`PreparedSchema` — the one-time per-schema work
   (normalization, categorization, tree construction, dense leaf
-  layout), computed lazily and cached.
+  layout), computed lazily and cached. The dense engine's distinct-name
+  **vocabulary** (:class:`repro.linguistic.kernel.SchemaVocabulary` —
+  distinct normalized names, category classes, element profiles) is a
+  further tier here: built by the first kernel match a schema
+  participates in, retained on the cached linguistic preparation, and
+  reused by every later match against any partner
+  (``PreparedSchema.vocabulary``; sizes surface in
+  ``MatchSession.cache_info()`` and ``--stats``).
 * :class:`MatchSession` — caches ``PreparedSchema``s and per-pair lsim
   tables: ``session.match(a, b)``, ``session.match_many(source,
   targets)``, ``session.rematch(result, feedback=...)``.

@@ -310,10 +310,27 @@ class MatchPipeline:
                 pruned_pairs=tm.pruned_pairs,
                 scaled_pairs=tm.scaled_pairs,
             )
+            if tm.recompute_pairs:
+                # Dirty-set effectiveness of the incremental second
+                # TreeMatch pass (the reference engine always rescans:
+                # its dirty fraction reads 1.0).
+                stats.update(
+                    recompute_pairs=tm.recompute_pairs,
+                    recompute_dirty_pairs=tm.recompute_dirty,
+                    recompute_skipped_pairs=tm.recompute_skipped,
+                    recompute_dirty_fraction=round(
+                        tm.recompute_dirty / tm.recompute_pairs, 4
+                    ),
+                )
             describe = getattr(tm.sims, "describe", None)
             if describe is not None:
                 stats.update(describe())
         if result.lsim_table is not None:
+            kernel_stats = getattr(result.lsim_table, "kernel_stats", None)
+            if kernel_stats:
+                # Distinct-name kernel counters (vocabulary sizes and
+                # the dedup rate of the linguistic phase).
+                stats.update(kernel_stats)
             stats["lsim_entries"] = len(result.lsim_table)
         stats["leaf_mappings"] = len(result.leaf_mapping)
         stats["nonleaf_mappings"] = len(result.nonleaf_mapping)

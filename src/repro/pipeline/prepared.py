@@ -74,6 +74,21 @@ class PreparedSchema:
         return self._linguistic
 
     @property
+    def vocabulary(self):
+        """The distinct-name vocabulary, if the kernel has built it.
+
+        The vocabulary (:class:`repro.linguistic.kernel.
+        SchemaVocabulary`) is attached to the cached
+        :class:`LinguisticPreparation` by the first kernel match this
+        schema participates in, making it another per-schema cache
+        tier; returns None while unbuilt (never forces a build — the
+        reference engine has no use for it).
+        """
+        if self._linguistic is None:
+            return None
+        return self._linguistic.vocabulary
+
+    @property
     def tree(self) -> SchemaTree:
         """The expanded schema tree (built once, config-dependent)."""
         if self._tree is None:
@@ -99,6 +114,7 @@ class PreparedSchema:
         built = [
             name for name, attr in (
                 ("linguistic", self._linguistic),
+                ("vocabulary", self.vocabulary),
                 ("tree", self._tree),
                 ("layout", self._layout),
             ) if attr is not None

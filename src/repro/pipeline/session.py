@@ -183,4 +183,15 @@ class MatchSession:
         info = dict(self._counters)
         info["prepared_schemas"] = len(self._prepared)
         info["cached_lsim_pairs"] = len(self._lsim_cache)
+        # The vocabulary tier: distinct-name factorings the kernel has
+        # built and retained on the session's prepared schemas.
+        vocabularies = 0
+        distinct_names = 0
+        for _, prepared in self._prepared.values():
+            vocabulary = prepared.vocabulary
+            if vocabulary is not None:
+                vocabularies += 1
+                distinct_names += vocabulary.n_names
+        info["vocabulary_tables"] = vocabularies
+        info["vocabulary_distinct_names"] = distinct_names
         return info

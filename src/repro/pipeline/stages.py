@@ -50,6 +50,11 @@ class LinguisticStage:
     Skips itself when ``context.lsim_table`` is already set — that is
     the cache hook :class:`~repro.pipeline.session.MatchSession` uses
     to reuse a table computed for the same schema pair earlier.
+
+    With the dense engine the matcher routes through the distinct-name
+    kernel (:mod:`repro.linguistic.kernel`), producing a factored
+    table whose per-schema vocabularies live on the prepared schemas —
+    bit-identical values, deduplicated work on repetitive schemas.
     """
 
     name = "linguistic"

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import CupidConfig
 from repro.exceptions import ConfigError
+from repro.linguistic.kernel import FactoredLsimTable
 from repro.linguistic.matcher import LsimTable
 from repro.model.datatypes import TypeCompatibilityTable
 from repro.structure.similarity import SimilarityStore
@@ -180,6 +181,23 @@ class DenseSimilarityStore(SimilarityStore):
         self._frontier_s: Dict[int, Optional[_FrontierIndex]] = {}
         self._frontier_t: Dict[int, Optional[_FrontierIndex]] = {}
 
+        # Dirty-set bookkeeping for the incremental second TreeMatch
+        # pass. A non-leaf pair's structural similarity reads only the
+        # *strong-link status* (wsim >= thaccept) of its leaf cells, so
+        # a mutation invalidates earlier-computed pairs only when a
+        # cell CROSSES thaccept — cinc/cdec scaling moves many values
+        # but flips few statuses. Each crossing event bumps the global
+        # sequence and stamps it on the rows/columns containing crossed
+        # cells; a pair is provably fresh since sequence S when none of
+        # its rows AND none of its columns were stamped after S
+        # (conservative: disjoint row/column events can flag a block no
+        # cell of which crossed — that costs a recompute, never
+        # correctness).
+        self.mutation_seq = 0
+        self._thaccept = config.thaccept
+        self._row_seq: List[int] = [0] * self._n_s
+        self._col_seq: List[int] = [0] * self._n_t
+
         self._build_matrices(lsim_table)
 
     # ------------------------------------------------------------------
@@ -223,26 +241,32 @@ class DenseSimilarityStore(SimilarityStore):
                 ssim_flat[pos] = value
                 pos += 1
 
-        # lsim is sparse: scatter the table into the matrix instead of
-        # probing every cell. Shared-type expansion can map one element
-        # to several tree leaves, hence the per-element index lists.
-        s_rows: Dict[str, List[int]] = {}
-        for i, leaf in enumerate(self._s_leaves):
-            s_rows.setdefault(leaf.element.element_id, []).append(i)
-        t_cols: Dict[str, List[int]] = {}
-        for j, leaf in enumerate(self._t_leaves):
-            t_cols.setdefault(leaf.element.element_id, []).append(j)
-        for (id1, id2), value in lsim_table.items():
-            rows = s_rows.get(id1)
-            if not rows:
-                continue
-            cols = t_cols.get(id2)
-            if not cols:
-                continue
-            for i in rows:
-                base_off = i * n_t
-                for j in cols:
-                    lsim_flat[base_off + j] = value
+        if isinstance(lsim_table, FactoredLsimTable) and lsim_table.factored_live:
+            # Kernel-factored table: gather each leaf's profile row
+            # instead of materializing the dict form and scattering it.
+            self._gather_lsim(lsim_table, lsim_flat)
+        else:
+            # lsim is sparse: scatter the table into the matrix instead
+            # of probing every cell. Shared-type expansion can map one
+            # element to several tree leaves, hence the per-element
+            # index lists.
+            s_rows: Dict[str, List[int]] = {}
+            for i, leaf in enumerate(self._s_leaves):
+                s_rows.setdefault(leaf.element.element_id, []).append(i)
+            t_cols: Dict[str, List[int]] = {}
+            for j, leaf in enumerate(self._t_leaves):
+                t_cols.setdefault(leaf.element.element_id, []).append(j)
+            for (id1, id2), value in lsim_table.items():
+                rows = s_rows.get(id1)
+                if not rows:
+                    continue
+                cols = t_cols.get(id2)
+                if not cols:
+                    continue
+                for i in rows:
+                    base_off = i * n_t
+                    for j in cols:
+                        lsim_flat[base_off + j] = value
 
         wsim_flat = array("d", bytes(8 * size))
         self._S = ssim_flat
@@ -267,6 +291,57 @@ class DenseSimilarityStore(SimilarityStore):
             wl, om = self._wl, self._om
             for i in range(size):
                 wsim_flat[i] = wl * ssim_flat[i] + om * lsim_flat[i]
+
+    def _gather_lsim(
+        self, factored: FactoredLsimTable, lsim_flat: array
+    ) -> None:
+        """Fill the leaf lsim matrix by profile-index gather.
+
+        Each leaf maps to its element's profile id; the cell (i, j) is
+        a straight copy of the profile matrix cell, so the result is
+        bit-identical to scattering the materialized dict. Leaves whose
+        element carries no profile (no category membership) keep lsim
+        0, exactly the pairs the dict form omits.
+        """
+        n_s, n_t = self._n_s, self._n_t
+        p_s = factored.n_source_profiles
+        p_t = factored.n_target_profiles
+        s_profile_of = factored.profile_of_source
+        t_profile_of = factored.profile_of_target
+        # Sentinel p_s / p_t rows (all zero after padding) stand in for
+        # unprofiled elements.
+        row_profiles = [
+            s_profile_of.get(leaf.element.element_id, p_s)
+            for leaf in self._s_leaves
+        ]
+        col_profiles = [
+            t_profile_of.get(leaf.element.element_id, p_t)
+            for leaf in self._t_leaves
+        ]
+        if self._use_numpy and n_s * n_t >= self._VECTOR_MIN_CELLS:
+            padded = _np.zeros((p_s + 1, p_t + 1))
+            if p_s and p_t:
+                padded[:p_s, :p_t] = factored.numpy_values()
+            gathered = padded[
+                _np.asarray(row_profiles, dtype=_np.intp)[:, None],
+                _np.asarray(col_profiles, dtype=_np.intp)[None, :],
+            ]
+            _np.frombuffer(lsim_flat, dtype=_np.float64)[:] = (
+                gathered.reshape(-1)
+            )
+            return
+        values = factored.profile_values
+        for i, p in enumerate(row_profiles):
+            if p == p_s:
+                continue
+            base = i * n_t
+            p_base = p * p_t
+            for j, q in enumerate(col_profiles):
+                if q == p_t:
+                    continue
+                value = values[p_base + q]
+                if value != 0.0:
+                    lsim_flat[base + j] = value
 
     # ------------------------------------------------------------------
     # Scalar accessors (leaf-pair fast path, inherited fallback)
@@ -293,13 +368,21 @@ class DenseSimilarityStore(SimilarityStore):
     def set_ssim(
         self, s: SchemaTreeNode, t: SchemaTreeNode, value: float
     ) -> None:
-        pos = self._leaf_pos(s, t)
-        if pos is None:
+        i = self._s_index.get(s.node_id)
+        j = self._t_index.get(t.node_id) if i is not None else None
+        if i is None or j is None:
             super().set_ssim(s, t, value)
             return
+        pos = i * self._n_t + j
         clamped = min(1.0, max(0.0, value))
+        old_wsim = self._W[pos]
+        new_wsim = self._wl * clamped + self._om * self._L[pos]
         self._S[pos] = clamped
-        self._W[pos] = self._wl * clamped + self._om * self._L[pos]
+        self._W[pos] = new_wsim
+        threshold = self._thaccept
+        if (old_wsim >= threshold) != (new_wsim >= threshold):
+            self.mutation_seq += 1
+            self._row_seq[i] = self._col_seq[j] = self.mutation_seq
 
     def lsim(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
         pos = self._leaf_pos(s, t)
@@ -393,34 +476,52 @@ class DenseSimilarityStore(SimilarityStore):
         cells = len(s_entry.ids) * len(t_entry.ids)
 
         if self._use_numpy and cells >= self._VECTOR_MIN_CELLS:
+            threshold = self._thaccept
             if s_entry.lo is not None and t_entry.lo is not None:
                 rows = slice(s_entry.lo, s_entry.hi)
                 cols = slice(t_entry.lo, t_entry.hi)
+                wsim_block = self._Wnp[rows, cols]
+                old_strong = wsim_block >= threshold
                 block = self._Snp[rows, cols]
                 block *= factor
                 _np.clip(block, 0.0, 1.0, out=block)
-                self._Wnp[rows, cols] = (
+                wsim_block[...] = (
                     self._wl * block + self._om * self._Lnp[rows, cols]
                 )
+                crossed = old_strong != (wsim_block >= threshold)
             else:
                 ix = _np.ix_(s_entry.numpy_ids(), t_entry.numpy_ids())
+                old_strong = self._Wnp[ix] >= threshold
                 block = self._Snp[ix] * factor
                 _np.clip(block, 0.0, 1.0, out=block)
                 self._Snp[ix] = block
-                self._Wnp[ix] = self._wl * block + self._om * self._Lnp[ix]
+                new_wsim = self._wl * block + self._om * self._Lnp[ix]
+                self._Wnp[ix] = new_wsim
+                crossed = old_strong != (new_wsim >= threshold)
+            if crossed.any():
+                self._mark_crossed(
+                    s_entry,
+                    t_entry,
+                    crossed.any(axis=1).tolist(),
+                    crossed.any(axis=0).tolist(),
+                )
             return cells
 
         ssim_flat, lsim_flat, wsim_flat = self._S, self._L, self._W
         n_t = self._n_t
         wl, om = self._wl, self._om
+        threshold = self._thaccept
         t_ids = (
             range(t_entry.lo, t_entry.hi)
             if t_entry.lo is not None
             else t_entry.ids
         )
-        for x in s_entry.ids:
+        rows_crossed = [False] * len(s_entry.ids)
+        cols_crossed = [False] * len(t_ids)
+        any_crossed = False
+        for xi, x in enumerate(s_entry.ids):
             base = x * n_t
-            for y in t_ids:
+            for yi, y in enumerate(t_ids):
                 flat = base + y
                 value = ssim_flat[flat] * factor
                 if value > 1.0:
@@ -428,8 +529,105 @@ class DenseSimilarityStore(SimilarityStore):
                 elif value < 0.0:
                     value = 0.0
                 ssim_flat[flat] = value
-                wsim_flat[flat] = wl * value + om * lsim_flat[flat]
+                old_wsim = wsim_flat[flat]
+                new_wsim = wl * value + om * lsim_flat[flat]
+                wsim_flat[flat] = new_wsim
+                if (old_wsim >= threshold) != (new_wsim >= threshold):
+                    any_crossed = True
+                    rows_crossed[xi] = True
+                    cols_crossed[yi] = True
+        if any_crossed:
+            self._mark_crossed(s_entry, t_entry, rows_crossed, cols_crossed)
         return cells
+
+    # ------------------------------------------------------------------
+    # Dirty-set queries (incremental recompute_wsim)
+    # ------------------------------------------------------------------
+
+    def _mark_crossed(
+        self,
+        s_entry: _NodeIndex,
+        t_entry: _NodeIndex,
+        rows_crossed: List[bool],
+        cols_crossed: List[bool],
+    ) -> None:
+        """Stamp a fresh sequence on rows/columns with crossed cells.
+
+        ``rows_crossed`` aligns with ``s_entry.ids``; ``cols_crossed``
+        with ``t_entry``'s id sequence (``lo..hi`` when contiguous).
+        """
+        self.mutation_seq += 1
+        seq = self.mutation_seq
+        row_seq = self._row_seq
+        row_base = s_entry.lo
+        if row_base is not None:
+            for k, flag in enumerate(rows_crossed):
+                if flag:
+                    row_seq[row_base + k] = seq
+        else:
+            ids = s_entry.ids
+            for k, flag in enumerate(rows_crossed):
+                if flag:
+                    row_seq[ids[k]] = seq
+        col_seq = self._col_seq
+        col_base = t_entry.lo
+        if col_base is not None:
+            for k, flag in enumerate(cols_crossed):
+                if flag:
+                    col_seq[col_base + k] = seq
+        else:
+            ids = t_entry.ids
+            for k, flag in enumerate(cols_crossed):
+                if flag:
+                    col_seq[ids[k]] = seq
+
+    def block_dirty_since(
+        self, s: SchemaTreeNode, t: SchemaTreeNode, seq: int
+    ) -> Optional[bool]:
+        """Could any leaf cell of (subtree of s) × (subtree of t) have
+        crossed ``thaccept`` after sequence ``seq``?
+
+        False means provably fresh: a recompute of the pair's
+        structural similarity would reproduce the value computed at
+        ``seq`` exactly (the strong-link fraction reads only the
+        cells' >= thaccept statuses, none of which flipped). True is
+        conservative — a row-touching and a column-touching event can
+        flag a block even when no single event hit both. None means
+        the subtrees are not fully leaf-indexed (mutated tree);
+        callers must recompute.
+        """
+        s_entry = self._node_indices(s, source_side=True)
+        if s_entry is None:
+            return None
+        t_entry = self._node_indices(t, source_side=False)
+        if t_entry is None:
+            return None
+        # Only after the indexed-leaves check: non-indexed (dict-path)
+        # cells never stamp the sequence, so a global "nothing
+        # changed" short-circuit must not override the None contract.
+        if self.mutation_seq <= seq:
+            return False
+        row_seq = self._row_seq
+        rows = (
+            range(s_entry.lo, s_entry.hi)
+            if s_entry.lo is not None
+            else s_entry.ids
+        )
+        for i in rows:
+            if row_seq[i] > seq:
+                break
+        else:
+            return False
+        col_seq = self._col_seq
+        cols = (
+            range(t_entry.lo, t_entry.hi)
+            if t_entry.lo is not None
+            else t_entry.ids
+        )
+        for j in cols:
+            if col_seq[j] > seq:
+                return True
+        return False
 
     def structural_fraction(
         self,

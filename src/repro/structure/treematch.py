@@ -50,6 +50,16 @@ class TreeMatchResult:
     #: Leaf-pair ssim cells touched by cinc/cdec context adjustments.
     scaled_pairs: int = 0
     engine: str = "reference"
+    #: Dense engine only: store mutation sequence observed when each
+    #: non-leaf pair's wsim was computed (before the pair's own
+    #: cinc/cdec event). :meth:`TreeMatch.recompute_wsim` compares it
+    #: against the rows/columns dirtied later to skip clean pairs.
+    visit_seq: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Second-pass (recompute_wsim) dirty-set counters: non-leaf pairs
+    #: considered, recomputed (dirty), and skipped as provably clean.
+    recompute_pairs: int = 0
+    recompute_dirty: int = 0
+    recompute_skipped: int = 0
 
     def wsim_of(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
         return self.wsim.get((s.node_id, t.node_id), 0.0)
@@ -108,19 +118,33 @@ class TreeMatch:
         target_root = target_tree.root
         thhigh, thlow = config.thhigh, config.thlow
         cinc, cdec = config.cinc, config.cdec
+        # Dense engine: remember the store state each non-leaf pair saw
+        # so the second pass can prove most of them clean and skip the
+        # strong-link rescan.
+        track_seq = isinstance(sims, DenseSimilarityStore)
+        visit_seq = result.visit_seq
 
         for s in source_order:
             s_leaf_count = s.leaf_count()
+            s_is_leaf = s.is_leaf
             for t, t_leaf_count in target_order:
                 if self._pruned(
                     s, t, s_leaf_count, t_leaf_count, source_root, target_root
                 ):
                     result.pruned_pairs += 1
                     continue
-                if not (s.is_leaf and t.is_leaf):
+                both_leaves = s_is_leaf and t.is_leaf
+                if not both_leaves:
                     sims.set_ssim(
                         s, t, self._structural_similarity(s, t, sims)
                     )
+                    if track_seq:
+                        # Snapshot BEFORE this pair's own scaling: a
+                        # pair that scales its own block must be
+                        # recomputed (the paper's pass-2 rationale).
+                        visit_seq[(s.node_id, t.node_id)] = (
+                            sims.mutation_seq
+                        )
                 # For a leaf pair the structural similarity IS the
                 # stored ssim, which wsim() reads directly — no
                 # separate probe needed.
@@ -303,7 +327,9 @@ class TreeMatch:
     # Second pass (Section 7)
     # ------------------------------------------------------------------
 
-    def recompute_wsim(self, result: TreeMatchResult) -> Dict[Tuple[int, int], float]:
+    def recompute_wsim(
+        self, result: TreeMatchResult, force_full: bool = False
+    ) -> Dict[Tuple[int, int], float]:
         """Second post-order pass re-computing non-leaf similarities.
 
         "To generate non-leaf mappings, we need a second post-order
@@ -311,6 +337,17 @@ class TreeMatch:
         tree-match may affect the structural similarity of non-leaf
         nodes after they were first calculated." No threshold updates
         happen here; leaf pair values pass through unchanged.
+
+        With the dense engine the pass is **incremental**: a non-leaf
+        pair whose leaf block provably did not change after its first-
+        pass visit (:meth:`DenseSimilarityStore.block_dirty_since`
+        against the recorded ``visit_seq``) would recompute to exactly
+        its stored value — the strong-link fraction reads only those
+        unchanged cells — so the rescan is skipped and the stored
+        value re-read. ``force_full=True`` disables the skip (the
+        parity tests use it as the oracle for the incremental path).
+        The reference engine always rescans: it is the correctness
+        oracle.
         """
         sims = result.sims
         refreshed: Dict[Tuple[int, int], float] = {}
@@ -319,17 +356,47 @@ class TreeMatch:
         target_order = [
             (t, t.leaf_count()) for t in result.target_tree.postorder()
         ]
+        # Depth-pruned frontiers contain non-leaf stand-ins whose dict
+        # wsims can be stale at a pair's first-pass visit even when its
+        # leaf block never changes afterwards — leaf-cell cleanliness
+        # alone cannot prove those pairs fresh, so the incremental skip
+        # only applies to the depth-0 configuration (frontier == real
+        # leaves, exactly the cells the dirty stamps cover).
+        incremental = (
+            not force_full
+            and self.config.leaf_prune_depth <= 0
+            and isinstance(sims, DenseSimilarityStore)
+        )
+        visit_seq = result.visit_seq
+        result.recompute_pairs = 0
+        result.recompute_dirty = 0
+        result.recompute_skipped = 0
         for s in result.source_tree.postorder():
             s_leaf_count = s.leaf_count()
+            s_is_leaf = s.is_leaf
             for t, t_leaf_count in target_order:
                 if self._pruned(
                     s, t, s_leaf_count, t_leaf_count, source_root, target_root
                 ):
                     continue
-                if not (s.is_leaf and t.is_leaf):
+                key = (s.node_id, t.node_id)
+                if not (s_is_leaf and t.is_leaf):
+                    result.recompute_pairs += 1
+                    if incremental:
+                        seq = visit_seq.get(key)
+                        if (
+                            seq is not None
+                            and sims.block_dirty_since(s, t, seq) is False
+                        ):
+                            # Clean block: the stored ssim/wsim already
+                            # equal what a rescan would produce.
+                            result.recompute_skipped += 1
+                            refreshed[key] = sims.wsim(s, t)
+                            continue
+                    result.recompute_dirty += 1
                     sims.set_ssim(
                         s, t, self._structural_similarity(s, t, sims)
                     )
-                refreshed[(s.node_id, t.node_id)] = sims.wsim(s, t)
+                refreshed[key] = sims.wsim(s, t)
         result.wsim = refreshed
         return refreshed

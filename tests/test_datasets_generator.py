@@ -39,6 +39,52 @@ class TestGeneration:
             SchemaGenerator().generate(n_leaves=0)
 
 
+class TestNameRepetition:
+    def test_zero_repetition_leaves_stream_untouched(self):
+        """The default must reproduce pre-knob schemas bit-for-bit
+        (seeded workloads in benchmarks and tests depend on it)."""
+        a = SchemaGenerator(seed=42).generate(n_leaves=30)
+        b = SchemaGenerator(seed=42).generate(n_leaves=30, name_repetition=0.0)
+        assert [e.name for e in a.elements] == [e.name for e in b.elements]
+
+    def test_repetition_creates_duplicates(self):
+        schema = SchemaGenerator(seed=11).generate(
+            n_leaves=60, name_repetition=0.8
+        )
+        names = [e.name for e in schema.elements if e.name]
+        assert len(set(names)) < len(names) * 0.7
+
+    def test_repetition_deterministic(self):
+        a = SchemaGenerator(seed=9).generate(n_leaves=40, name_repetition=0.5)
+        b = SchemaGenerator(seed=9).generate(n_leaves=40, name_repetition=0.5)
+        assert [e.name for e in a.elements] == [e.name for e in b.elements]
+
+    def test_no_duplicate_siblings(self):
+        """Paths must stay unambiguous: reuse never collides under one
+        parent."""
+        schema = SchemaGenerator(seed=13).generate(
+            n_leaves=80, name_repetition=0.9
+        )
+        assert validate_schema(schema) == []
+        for element in schema.elements:
+            children = [
+                c.name for c in schema.contained_children(element)
+            ]
+            assert len(children) == len(set(children))
+
+    def test_invalid_repetition_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaGenerator().generate(n_leaves=5, name_repetition=1.5)
+
+    def test_repetition_workload_matches_and_perturbs(self):
+        generator = SchemaGenerator(seed=7)
+        schema = generator.generate(n_leaves=40, name_repetition=0.7)
+        copy, gold = generator.perturb(schema)
+        assert len(gold) > 0
+        result = CupidMatcher().match(schema, copy)
+        assert len(result.leaf_mapping) > 0
+
+
 class TestPerturbation:
     def test_identity_perturbation(self):
         generator = SchemaGenerator(seed=5)

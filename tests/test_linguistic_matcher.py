@@ -116,6 +116,98 @@ class TestLsimTable:
             table.set(a, b, 1.2)
 
 
+class TestFactoredLsimTable:
+    """Distinct-name kernel output: factored form vs dict form."""
+
+    @pytest.fixture
+    def kernel_matcher(self, thesaurus):
+        return LinguisticMatcher(thesaurus, CupidConfig(engine="dense"))
+
+    def test_kernel_produces_factored_table(
+        self, kernel_matcher, tiny_pair
+    ):
+        from repro.linguistic.kernel import FactoredLsimTable
+
+        table = kernel_matcher.compute(*tiny_pair)
+        assert isinstance(table, FactoredLsimTable)
+        assert table.factored_live
+
+    def test_factored_matches_reference_path(self, thesaurus, tiny_pair):
+        kernel = LinguisticMatcher(
+            thesaurus, CupidConfig(engine="dense")
+        ).compute(*tiny_pair)
+        plain = LinguisticMatcher(
+            thesaurus, CupidConfig(engine="dense", linguistic_kernel=False)
+        ).compute(*tiny_pair)
+        assert sorted(kernel.items()) == sorted(plain.items())
+        assert len(kernel) == len(plain)
+
+    def test_factored_reads_without_materializing(
+        self, kernel_matcher, tiny_pair
+    ):
+        source, target = tiny_pair
+        table = kernel_matcher.compute(source, target)
+        qty = source.element_named("Qty")
+        quantity = target.element_named("Quantity")
+        assert table.get(qty, quantity) == pytest.approx(1.0)
+        assert table._materialized is False
+
+    def test_set_materializes_and_detaches(
+        self, kernel_matcher, tiny_pair
+    ):
+        source, target = tiny_pair
+        original = kernel_matcher.compute(source, target)
+        duplicate = original.copy()
+        assert duplicate.factored_live
+        qty = source.element_named("Qty")
+        cost = target.element_named("Cost")
+        duplicate.set(qty, cost, 0.9)
+        assert not duplicate.factored_live
+        assert duplicate.get(qty, cost) == 0.9
+        # The session-cached original is untouched (copy-on-write).
+        assert original.factored_live
+        assert original.get(qty, cost) != 0.9
+
+    def test_vocabulary_cached_on_preparation(
+        self, kernel_matcher, tiny_pair
+    ):
+        source, target = tiny_pair
+        prep = kernel_matcher.prepare(source)
+        assert prep.vocabulary is None
+        vocab = kernel_matcher.vocabulary(prep)
+        assert prep.vocabulary is vocab
+        assert kernel_matcher.vocabulary(prep) is vocab
+        assert vocab.n_names > 0
+        assert vocab.n_profiles >= vocab.n_names > 0
+
+    def test_kernel_disabled_for_reference_engine(
+        self, thesaurus, tiny_pair
+    ):
+        from repro.linguistic.kernel import FactoredLsimTable
+
+        table = LinguisticMatcher(
+            thesaurus, CupidConfig(engine="reference")
+        ).compute(*tiny_pair)
+        assert not isinstance(table, FactoredLsimTable)
+
+    def test_kernel_disabled_with_descriptions(self, thesaurus, tiny_pair):
+        from repro.linguistic.kernel import FactoredLsimTable
+
+        table = LinguisticMatcher(
+            thesaurus, CupidConfig(engine="dense", use_descriptions=True)
+        ).compute(*tiny_pair)
+        assert not isinstance(table, FactoredLsimTable)
+
+    def test_kernel_stats_present(self, kernel_matcher, tiny_pair):
+        table = kernel_matcher.compute(*tiny_pair)
+        stats = table.kernel_stats
+        assert stats["vocab_source_names"] > 0
+        assert stats["kernel_distinct_name_pairs"] <= (
+            stats["kernel_element_pairs"]
+        )
+        assert 0.0 <= stats["kernel_hit_rate"] <= 1.0
+
+
 class TestLinguisticMatcher:
     def test_identical_leaf_names_get_full_lsim(self, thesaurus, tiny_pair):
         source, target = tiny_pair
