@@ -139,6 +139,24 @@ class CupidConfig:
     #: numpy is unavailable).
     dense_backend: str = "auto"
 
+    #: Similarity-store layout for the dense engine. ``"flat"`` (the
+    #: default) materializes the full ``n_s×n_t`` ssim/lsim/wsim
+    #: matrices up front; ``"blocked"`` routes the same computation
+    #: through :class:`repro.structure.blocked.BlockedSimilarityStore`,
+    #: which allocates fixed-size tiles lazily on first *write*, keeps
+    #: ssim only (lsim is gathered from the linguistic tables, wsim is
+    #: recomputed from the same expression on read), and so bounds peak
+    #: memory by the live tiles instead of the whole plane — the
+    #: difference that matters for 10⁴-leaf schemas. Both layouts are
+    #: bit-identical (fuzz-parity-tested); flat stays the default until
+    #: the blocked store's perf record matches it on small schemas too.
+    store: str = "flat"
+
+    #: Tile edge length for ``store = "blocked"``; 0 picks the default
+    #: (:data:`repro.structure.blocked.DEFAULT_BLOCK_SIZE`). Ignored by
+    #: the flat store.
+    block_size: int = 0
+
     #: Route the dense engine's linguistic phase through the
     #: distinct-name kernel (:mod:`repro.linguistic.kernel`): name
     #: similarities are computed once per distinct normalized-name pair
@@ -195,6 +213,14 @@ class CupidConfig:
             raise ConfigError(
                 f"dense_backend={self.dense_backend!r} "
                 "(expected 'auto', 'numpy', or 'stdlib')"
+            )
+        if self.store not in ("flat", "blocked"):
+            raise ConfigError(
+                f"store={self.store!r} (expected 'flat' or 'blocked')"
+            )
+        if self.block_size < 0:
+            raise ConfigError(
+                f"block_size ({self.block_size}) must be >= 0 (0 = default)"
             )
         total = sum(self.token_type_weights.values())
         if abs(total - 1.0) > 1e-9:

@@ -318,6 +318,11 @@ class MatchPipeline:
                     recompute_pairs=tm.recompute_pairs,
                     recompute_dirty_pairs=tm.recompute_dirty,
                     recompute_skipped_pairs=tm.recompute_skipped,
+                    # Pairs whose depth-pruned frontier contains
+                    # non-leaf stand-ins, so the dirty-set skip had to
+                    # stand down (explains skip rates under
+                    # leaf_prune_depth > 0).
+                    recompute_standdown_pairs=tm.recompute_standdown,
                     recompute_dirty_fraction=round(
                         tm.recompute_dirty / tm.recompute_pairs, 4
                     ),

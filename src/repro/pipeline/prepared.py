@@ -110,6 +110,24 @@ class PreparedSchema:
             self._layout = LeafLayout(self.tree)
         return self._layout
 
+    def cache_info(self) -> dict:
+        """Which artifact tiers are built, and the layout's leaf count.
+
+        The leaf count is what sizes the similarity plane: together
+        with :meth:`MatchSession.cache_info`'s tile-occupancy counters
+        it shows how much of the ``n_s×n_t`` plane the blocked store
+        actually materialized.
+        """
+        info = {
+            "linguistic_built": self._linguistic is not None,
+            "vocabulary_built": self.vocabulary is not None,
+            "tree_built": self._tree is not None,
+            "leaf_layout_built": self._layout is not None,
+        }
+        if self._layout is not None:
+            info["leaves"] = len(self._layout.leaves)
+        return info
+
     def __repr__(self) -> str:
         built = [
             name for name, attr in (

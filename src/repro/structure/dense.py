@@ -72,6 +72,55 @@ def resolve_backend(requested: str) -> str:
     return "numpy" if _np is not None else "stdlib"
 
 
+def leaf_base_ssim(
+    config: CupidConfig, compat: TypeCompatibilityTable,
+    dt1, key1: bool, dt2, key2: bool,
+) -> float:
+    """Initial ssim of a leaf class pair: clamped type compatibility
+    plus the key-affinity adjustment.
+
+    The single source of the expression ``SimilarityStore.ssim`` uses
+    for never-updated pairs — the flat store's matrix fill and the
+    blocked store's base-class table both call it, so the two layouts
+    cannot drift apart bit-wise.
+    """
+    base = compat.compatibility(dt1, dt2)
+    if config.use_key_affinity:
+        if key1 and key2:
+            base += config.key_affinity_bonus
+        elif key1 != key2:
+            base -= config.key_affinity_bonus
+    return min(0.5, max(0.0, base))
+
+
+def iter_lsim_cells(lsim_table: LsimTable, s_leaves, t_leaves):
+    """Yield ``(i, j, value)`` for every leaf-matrix cell the (sparse)
+    lsim table assigns.
+
+    Shared-type expansion can map one element to several tree leaves,
+    hence the per-element index lists. Both store layouts scatter
+    through this iterator (the flat store into its lsim plane, the
+    blocked store into its cell dict + per-tile entry lists), keeping
+    the entry sets identical by construction.
+    """
+    s_rows: Dict[str, List[int]] = {}
+    for i, leaf in enumerate(s_leaves):
+        s_rows.setdefault(leaf.element.element_id, []).append(i)
+    t_cols: Dict[str, List[int]] = {}
+    for j, leaf in enumerate(t_leaves):
+        t_cols.setdefault(leaf.element.element_id, []).append(j)
+    for (id1, id2), value in lsim_table.items():
+        rows = s_rows.get(id1)
+        if not rows:
+            continue
+        cols = t_cols.get(id2)
+        if not cols:
+            continue
+        for i in rows:
+            for j in cols:
+                yield i, j, value
+
+
 class LeafLayout:
     """Dense leaf-index layout of one tree side.
 
@@ -210,14 +259,11 @@ class DenseSimilarityStore(SimilarityStore):
         ssim_flat = array("d", bytes(8 * size))
         lsim_flat = array("d", bytes(8 * size))
 
-        # Initial leaf ssim = clamped type compatibility (+ key
-        # affinity) — the same expression SimilarityStore.ssim uses for
-        # never-updated pairs, computed once per distinct
-        # (type, key-ness) combination instead of once per probe.
+        # Initial leaf ssim = the shared leaf_base_ssim expression,
+        # computed once per distinct (type, key-ness) combination
+        # instead of once per probe.
         config = self._config
         compat = self._compat
-        use_key = config.use_key_affinity
-        bonus = config.key_affinity_bonus
         t_props = [
             (leaf.data_type, leaf.element.is_key) for leaf in self._t_leaves
         ]
@@ -230,14 +276,9 @@ class DenseSimilarityStore(SimilarityStore):
                 key = (dt1, k1, dt2, k2)
                 value = base_cache.get(key)
                 if value is None:
-                    base = compat.compatibility(dt1, dt2)
-                    if use_key:
-                        if k1 and k2:
-                            base += bonus
-                        elif k1 != k2:
-                            base -= bonus
-                    value = min(0.5, max(0.0, base))
-                    base_cache[key] = value
+                    value = base_cache[key] = leaf_base_ssim(
+                        config, compat, dt1, k1, dt2, k2
+                    )
                 ssim_flat[pos] = value
                 pos += 1
 
@@ -247,26 +288,11 @@ class DenseSimilarityStore(SimilarityStore):
             self._gather_lsim(lsim_table, lsim_flat)
         else:
             # lsim is sparse: scatter the table into the matrix instead
-            # of probing every cell. Shared-type expansion can map one
-            # element to several tree leaves, hence the per-element
-            # index lists.
-            s_rows: Dict[str, List[int]] = {}
-            for i, leaf in enumerate(self._s_leaves):
-                s_rows.setdefault(leaf.element.element_id, []).append(i)
-            t_cols: Dict[str, List[int]] = {}
-            for j, leaf in enumerate(self._t_leaves):
-                t_cols.setdefault(leaf.element.element_id, []).append(j)
-            for (id1, id2), value in lsim_table.items():
-                rows = s_rows.get(id1)
-                if not rows:
-                    continue
-                cols = t_cols.get(id2)
-                if not cols:
-                    continue
-                for i in rows:
-                    base_off = i * n_t
-                    for j in cols:
-                        lsim_flat[base_off + j] = value
+            # of probing every cell.
+            for i, j, value in iter_lsim_cells(
+                lsim_table, self._s_leaves, self._t_leaves
+            ):
+                lsim_flat[i * n_t + j] = value
 
         wsim_flat = array("d", bytes(8 * size))
         self._S = ssim_flat
@@ -715,11 +741,36 @@ class DenseSimilarityStore(SimilarityStore):
 
     # ------------------------------------------------------------------
 
+    def frontier_leaf_indexed(
+        self,
+        node: SchemaTreeNode,
+        frontier: Dict[SchemaTreeNode, bool],
+        source_side: bool,
+    ) -> bool:
+        """Is every node of this frontier a matrix-indexed real leaf?
+
+        True exactly when the pair's structural fraction reads matrix
+        cells only — the condition under which the dirty-set crossing
+        stamps vouch for the whole read set even with
+        ``leaf_prune_depth > 0`` (a fully-leaf frontier at depth k is
+        the node's complete leaf set).
+        """
+        return (
+            self._frontier_indices(node, frontier, source_side) is not None
+        )
+
+    def store_bytes(self) -> int:
+        """Bytes held by the similarity plane representation (the
+        three flat matrices; the O(n) index dicts are not counted on
+        either store)."""
+        return 3 * 8 * self._n_s * self._n_t
+
     def describe(self) -> Dict[str, object]:
         """Engine/backend facts for ``--stats`` dumps."""
         return {
-            "store": "dense",
+            "store": "flat",
             "backend": self.backend,
             "matrix_shape": (self._n_s, self._n_t),
             "leaf_cells": self._n_s * self._n_t,
+            "store_bytes": self.store_bytes(),
         }

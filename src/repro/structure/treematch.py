@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.linguistic.matcher import LsimTable
 from repro.model.datatypes import TypeCompatibilityTable, default_compatibility_table
+from repro.structure.blocked import BlockedSimilarityStore
 from repro.structure.dense import DenseSimilarityStore
 from repro.structure.similarity import SimilarityStore
 from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
@@ -60,6 +61,11 @@ class TreeMatchResult:
     recompute_pairs: int = 0
     recompute_dirty: int = 0
     recompute_skipped: int = 0
+    #: Pairs the incremental skip had to stand down for because their
+    #: depth-pruned frontier contains non-leaf stand-ins the leaf
+    #: dirty stamps cannot vouch for (always recomputed). Explains a
+    #: low skip rate under ``leaf_prune_depth > 0`` in ``--stats``.
+    recompute_standdown: int = 0
 
     def wsim_of(self, s: SchemaTreeNode, t: SchemaTreeNode) -> float:
         return self.wsim.get((s.node_id, t.node_id), 0.0)
@@ -171,7 +177,12 @@ class TreeMatch:
         target_layout=None,
     ) -> SimilarityStore:
         if self.config.engine == "dense":
-            return DenseSimilarityStore(
+            store_cls = (
+                BlockedSimilarityStore
+                if self.config.store == "blocked"
+                else DenseSimilarityStore
+            )
+            return store_cls(
                 lsim_table,
                 self.config,
                 self.compat,
@@ -356,25 +367,41 @@ class TreeMatch:
         target_order = [
             (t, t.leaf_count()) for t in result.target_tree.postorder()
         ]
-        # Depth-pruned frontiers contain non-leaf stand-ins whose dict
-        # wsims can be stale at a pair's first-pass visit even when its
-        # leaf block never changes afterwards — leaf-cell cleanliness
-        # alone cannot prove those pairs fresh, so the incremental skip
-        # only applies to the depth-0 configuration (frontier == real
-        # leaves, exactly the cells the dirty stamps cover).
-        incremental = (
-            not force_full
-            and self.config.leaf_prune_depth <= 0
-            and isinstance(sims, DenseSimilarityStore)
+        incremental = not force_full and isinstance(
+            sims, DenseSimilarityStore
         )
+        # Depth-pruned frontiers can contain non-leaf stand-ins whose
+        # dict wsims are stale at a pair's first-pass visit even when
+        # its leaf block never changes afterwards — leaf-cell
+        # cleanliness alone cannot prove those pairs fresh. The skip is
+        # therefore decided per pair: allowed exactly when both
+        # frontiers are fully real-leaf-indexed (then the frontier IS
+        # the node's complete leaf set and the crossing stamps cover
+        # every cell the fraction reads); stand-in pairs stand down and
+        # are counted in ``recompute_standdown``.
+        pruned_frontiers = incremental and self.config.leaf_prune_depth > 0
+        if pruned_frontiers:
+            # Frontier-indexed-ness is per node, not per pair: decide
+            # each target once up front and each source once per row.
+            t_frontier_ok = [
+                sims.frontier_leaf_indexed(
+                    t, self._effective_leaves(t), source_side=False
+                )
+                for t, _ in target_order
+            ]
         visit_seq = result.visit_seq
         result.recompute_pairs = 0
         result.recompute_dirty = 0
         result.recompute_skipped = 0
+        result.recompute_standdown = 0
         for s in result.source_tree.postorder():
             s_leaf_count = s.leaf_count()
             s_is_leaf = s.is_leaf
-            for t, t_leaf_count in target_order:
+            if pruned_frontiers:
+                s_frontier_ok = sims.frontier_leaf_indexed(
+                    s, self._effective_leaves(s), source_side=True
+                )
+            for t_index, (t, t_leaf_count) in enumerate(target_order):
                 if self._pruned(
                     s, t, s_leaf_count, t_leaf_count, source_root, target_root
                 ):
@@ -382,7 +409,12 @@ class TreeMatch:
                 key = (s.node_id, t.node_id)
                 if not (s_is_leaf and t.is_leaf):
                     result.recompute_pairs += 1
-                    if incremental:
+                    allowed = incremental
+                    if pruned_frontiers:
+                        allowed = s_frontier_ok and t_frontier_ok[t_index]
+                        if not allowed:
+                            result.recompute_standdown += 1
+                    if allowed:
                         seq = visit_seq.get(key)
                         if (
                             seq is not None

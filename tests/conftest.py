@@ -11,6 +11,24 @@ from repro.linguistic.normalizer import Normalizer
 from repro.model.builder import SchemaBuilder, schema_from_tree
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Seed-report hook for the randomized (fuzz/property) tests.
+
+    Tests that derive their inputs from a seed record the reproducing
+    parameters via ``record_property``; on failure this hook surfaces
+    them as a report section, so a CI failure is one copy-paste away
+    from a local repro.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed and item.user_properties:
+        lines = [f"{key} = {value!r}" for key, value in item.user_properties]
+        report.sections.append(
+            ("randomized case — reproduce with", "\n".join(lines))
+        )
+
+
 @pytest.fixture
 def thesaurus():
     return builtin_thesaurus()

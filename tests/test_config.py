@@ -97,6 +97,22 @@ class TestValidation:
         with pytest.raises(ConfigError):
             CupidConfig(dense_backend="torch").validate()
 
+    def test_flat_store_is_default(self):
+        config = CupidConfig()
+        assert config.store == "flat"
+        assert config.block_size == 0  # 0 = auto tile size
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(ConfigError):
+            CupidConfig(store="sharded").validate()
+
+    def test_negative_block_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CupidConfig(block_size=-1).validate()
+
+    def test_blocked_store_accepted(self):
+        CupidConfig(store="blocked", block_size=32).validate()
+
     def test_token_weights_must_sum_to_one(self):
         weights = {t: 0.0 for t in TokenType}
         weights[TokenType.CONTENT] = 0.5

@@ -1,0 +1,308 @@
+"""Randomized parity fuzz harness: every engine tier vs the oracle.
+
+The dense engine now has four interacting fast paths — dense
+vectorization, the distinct-name linguistic kernel, the dirty-set
+incremental recompute, and the blocked tile store — whose pairwise
+interactions no hand-picked test can cover. This suite generates
+seeded random schema pairs across the axes that select those paths
+(size × name repetition × tree/DAG shape × leaf_prune_depth ×
+store × block size × kernel on/off × backend × threshold band) and
+asserts **bit-identical** lsim tables, wsim maps, and leaf/non-leaf
+mappings against the reference engine on every one.
+
+Tier-1 runs :data:`N_TIER1_PAIRS` schema pairs under the fixed
+:data:`FUZZ_SEED` (each pair checks :data:`VARIANTS_PER_PAIR` dense
+variants, so ≥200 engine comparisons total); the full sweep
+(:data:`N_FULL_PAIRS` pairs) runs with ``REPRO_FUZZ_FULL=1`` (select
+it with ``-m fuzz``). Failures print the reproducing case via the
+seed-report hook in ``conftest.py``::
+
+    _case_params(<index>)   # -> the failing case's full description
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro import CupidMatcher
+from repro.config import CupidConfig
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.linguistic.kernel import FactoredLsimTable
+from repro.model.element import ElementKind, SchemaElement
+from repro.structure.blocked import BlockedSimilarityStore
+from repro.structure.dense import numpy_available
+
+pytestmark = pytest.mark.fuzz
+
+#: One seed pins the whole sweep: case ``i`` is a pure function of
+#: ``(FUZZ_SEED, i)``, so a failing index reproduces everywhere.
+FUZZ_SEED = 20260728
+
+#: Schema pairs checked in tier-1 (each pair runs VARIANTS_PER_PAIR
+#: dense-vs-reference comparisons: 48 × 5 = 240 cases ≥ the 200-case
+#: floor).
+N_TIER1_PAIRS = 48
+VARIANTS_PER_PAIR = 5
+
+#: Full-sweep pair count (REPRO_FUZZ_FULL=1).
+N_FULL_PAIRS = 400
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+
+def _case_params(index: int) -> dict:
+    """The full description of fuzz case ``index`` (deterministic)."""
+    rng = random.Random(FUZZ_SEED * 1_000_003 + index)
+    params = {
+        "index": index,
+        "schema_seed": rng.randrange(1_000_000),
+        "n_leaves": rng.randint(4, 24),
+        "max_depth": rng.randint(2, 4),
+        "fanout": rng.randint(3, 9),
+        "name_repetition": rng.choice((0.0, 0.0, 0.3, 0.7, 0.9)),
+        # similar pairs exercise cinc/whole-plane scaling, independent
+        # pairs exercise the sparse strong-link regime.
+        "pair_kind": rng.choice(("perturbed", "perturbed", "independent")),
+        "dag_refints": rng.choice((0, 0, 1, 2)),
+        "leaf_prune_depth": rng.choice((0, 0, 0, 1, 2)),
+        "thlow": rng.choice((0.35, 0.35, 0.0)),
+        "discount_optional_leaves": rng.random() < 0.8,
+        "prune_by_leaf_count": rng.random() < 0.8,
+        "use_refint_joins": rng.random() < 0.8,
+        "extra_backend_stdlib": rng.random() < 0.3,
+        "small_block_size": rng.choice((3, 5, 8, 16)),
+    }
+    return params
+
+
+def _add_random_refints(schema, rng: random.Random, count: int) -> None:
+    """Wire random referential constraints between two inner elements.
+
+    Join-view augmentation then reifies them as shared-child DAG nodes,
+    which is what drives the dense stores through their non-contiguous
+    (gather-list) leaf index paths.
+    """
+    inners = [
+        e
+        for e in schema.elements
+        if not e.is_atomic
+        and e is not schema.root
+        and any(c.is_atomic for c in schema.contained_children(e))
+    ]
+    if len(inners) < 2:
+        return
+    for n in range(count):
+        source, target = rng.sample(inners, 2)
+        columns = [
+            c for c in schema.contained_children(source) if c.is_atomic
+        ]
+        refint = SchemaElement(
+            name=f"fk_{source.name}_{target.name}_{n}",
+            kind=ElementKind.REFINT,
+            not_instantiated=True,
+        )
+        schema.add_element(refint)
+        schema.add_containment(source, refint)
+        schema.add_aggregation(refint, rng.choice(columns))
+        # Referencing the table element directly is the documented
+        # fallback path in repro.tree.refint._add_join_view.
+        schema.add_reference(refint, target)
+
+
+def _build_pair(params: dict):
+    generator = SchemaGenerator(seed=params["schema_seed"])
+    schema = generator.generate(
+        name="fuzz_source",
+        n_leaves=params["n_leaves"],
+        max_depth=params["max_depth"],
+        fanout=params["fanout"],
+        name_repetition=params["name_repetition"],
+    )
+    if params["pair_kind"] == "perturbed":
+        other, _ = generator.perturb(
+            schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+        )
+    else:
+        other = SchemaGenerator(
+            seed=params["schema_seed"] + 7919
+        ).generate(
+            name="fuzz_target",
+            n_leaves=max(4, params["n_leaves"] - 2),
+            max_depth=params["max_depth"],
+            fanout=params["fanout"],
+            name_repetition=params["name_repetition"],
+        )
+    if params["dag_refints"]:
+        dag_rng = random.Random(params["schema_seed"] ^ 0xDA6)
+        _add_random_refints(schema, dag_rng, params["dag_refints"])
+        _add_random_refints(other, dag_rng, params["dag_refints"])
+    return schema, other
+
+
+def _shared_config_kwargs(params: dict) -> dict:
+    """Config axes shared by the oracle and every dense variant."""
+    return {
+        "leaf_prune_depth": params["leaf_prune_depth"],
+        "thlow": params["thlow"],
+        "discount_optional_leaves": params["discount_optional_leaves"],
+        "prune_by_leaf_count": params["prune_by_leaf_count"],
+        "use_refint_joins": params["use_refint_joins"],
+    }
+
+
+def _variants(params: dict):
+    """The dense-engine variants checked against the oracle (always
+    VARIANTS_PER_PAIR of them)."""
+    variants = [
+        ("flat+kernel", {"store": "flat"}),
+        ("blocked+kernel", {"store": "blocked"}),
+        (
+            "blocked small tiles",
+            {"store": "blocked", "block_size": params["small_block_size"]},
+        ),
+        ("flat no-kernel", {"store": "flat", "linguistic_kernel": False}),
+    ]
+    if params["extra_backend_stdlib"]:
+        variants.append(
+            (
+                "blocked stdlib",
+                {"store": "blocked", "dense_backend": "stdlib"},
+            )
+        )
+    else:
+        variants.append(
+            (
+                "blocked no-kernel",
+                {"store": "blocked", "linguistic_kernel": False},
+            )
+        )
+    return variants
+
+
+# ----------------------------------------------------------------------
+# Signatures (exact, path-keyed)
+# ----------------------------------------------------------------------
+
+def _mapping_signature(mapping):
+    return sorted(
+        (e.source_path, e.target_path, e.similarity) for e in mapping
+    )
+
+
+def _wsim_signature(result):
+    source_paths = {n.node_id: n.path() for n in result.source_tree.nodes()}
+    target_paths = {n.node_id: n.path() for n in result.target_tree.nodes()}
+    return sorted(
+        (source_paths[s], target_paths[t], value)
+        for (s, t), value in result.treematch_result.wsim.items()
+    )
+
+
+def _check_case(index: int, record_property) -> None:
+    params = _case_params(index)
+    for key, value in params.items():
+        record_property(key, value)
+    schema, other = _build_pair(params)
+    shared = _shared_config_kwargs(params)
+
+    reference = CupidMatcher(
+        config=CupidConfig(engine="reference", **shared)
+    ).match(schema, other)
+    ref_lsim = sorted(reference.lsim_table.items())
+    ref_wsim = _wsim_signature(reference)
+    ref_leaf = _mapping_signature(reference.leaf_mapping)
+    ref_nonleaf = _mapping_signature(reference.nonleaf_mapping)
+
+    for label, overrides in _variants(params):
+        record_property("failing_variant", label)
+        dense = CupidMatcher(
+            config=CupidConfig(engine="dense", **shared, **overrides)
+        ).match(schema, other)
+        assert sorted(dense.lsim_table.items()) == ref_lsim, label
+        assert _wsim_signature(dense) == ref_wsim, label
+        assert _mapping_signature(dense.leaf_mapping) == ref_leaf, label
+        assert (
+            _mapping_signature(dense.nonleaf_mapping) == ref_nonleaf
+        ), label
+        if overrides.get("store") == "blocked":
+            sims = dense.treematch_result.sims
+            assert isinstance(sims, BlockedSimilarityStore)
+            assert sims.tiles_touched() <= sims.tiles_total()
+            assert sims.tiles_allocated() <= sims.tiles_touched()
+
+
+# ----------------------------------------------------------------------
+# Tier-1 sweep (capped) and the full sweep (env-gated)
+# ----------------------------------------------------------------------
+
+class TestFuzzParityTier1:
+    @pytest.mark.parametrize("index", range(N_TIER1_PAIRS))
+    def test_case(self, index, record_property):
+        _check_case(index, record_property)
+
+    def test_case_count_floor(self):
+        """The tier-1 sweep must keep covering >= 200 comparisons."""
+        assert N_TIER1_PAIRS * VARIANTS_PER_PAIR >= 200
+
+    def test_axes_actually_vary(self):
+        """Degenerate-generator guard: the sampled axes must all take
+        more than one value across the tier-1 window."""
+        seen = {
+            key: set()
+            for key in (
+                "pair_kind", "dag_refints", "leaf_prune_depth",
+                "thlow", "name_repetition",
+            )
+        }
+        for index in range(N_TIER1_PAIRS):
+            params = _case_params(index)
+            for key in seen:
+                seen[key].add(params[key])
+        for key, values in seen.items():
+            assert len(values) > 1, key
+
+    def test_kernel_engaged_somewhere(self):
+        """At least one tier-1 case must actually route through the
+        factored kernel (otherwise the sweep lost its main subject)."""
+        for index in range(N_TIER1_PAIRS):
+            params = _case_params(index)
+            schema, other = _build_pair(params)
+            result = CupidMatcher(
+                config=CupidConfig(**_shared_config_kwargs(params))
+            ).match(schema, other)
+            if isinstance(result.lsim_table, FactoredLsimTable):
+                return
+        pytest.fail("no tier-1 fuzz case exercised the kernel")
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_FUZZ_FULL"),
+    reason="full fuzz sweep runs with REPRO_FUZZ_FULL=1",
+)
+class TestFuzzParityFull:
+    @pytest.mark.parametrize("index", range(N_TIER1_PAIRS, N_FULL_PAIRS))
+    def test_case(self, index, record_property):
+        _check_case(index, record_property)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+class TestFuzzForcedVectorization:
+    """A slice of the sweep with the vectorization threshold forced to
+    1, so the numpy tile paths run even on these small schemas."""
+
+    @pytest.fixture(autouse=True)
+    def _force_vectorization(self, monkeypatch):
+        monkeypatch.setattr(
+            BlockedSimilarityStore, "_VECTOR_MIN_CELLS", 1
+        )
+
+    @pytest.mark.parametrize("index", range(0, N_TIER1_PAIRS, 7))
+    def test_case(self, index, record_property):
+        record_property("forced_vectorization", True)
+        _check_case(index, record_property)

@@ -65,7 +65,7 @@ def test_run_stats_counters():
     result = matcher.match(schema, copy)
     stats = matcher.run_stats(result)
     assert stats["engine"] == "dense"
-    assert stats["store"] == "dense"
+    assert stats["store"] == "flat"
     assert stats["backend"] in ("numpy", "stdlib")
     assert stats["compared_pairs"] > 0
     assert stats["scaled_pairs"] > 0

@@ -85,6 +85,24 @@ class TestIncrementalMatchesFullRescan:
         )
         assert incremental == full
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_blocked_store(self, backend):
+        """The blocked store maintains the same crossing stamps, so
+        the incremental skip stays exact on it (small tiles force
+        plenty of tile-boundary traffic)."""
+        source, target = _workload(11)
+        config = CupidConfig(
+            store="blocked", dense_backend=backend, block_size=16
+        )
+        incremental, inc_result = _recompute_signature(
+            source, target, config, force_full=False
+        )
+        full, _ = _recompute_signature(
+            source, target, config, force_full=True
+        )
+        assert incremental == full
+        assert inc_result.recompute_skipped > 0
+
     @pytest.mark.parametrize("seed", [3, 11])
     def test_matches_reference_engine(self, seed):
         source, target = _workload(seed)
@@ -111,16 +129,58 @@ class TestIncrementalMatchesFullRescan:
         )
         assert incremental == full
 
-    def test_leaf_prune_depth_never_skips(self):
-        """Depth-pruned frontiers contain non-leaf stand-ins the leaf
-        dirty stamps cannot vouch for; the incremental path must stand
-        down entirely."""
+    @pytest.mark.parametrize("depth", [1, 2])
+    @pytest.mark.parametrize("seed", [5, 11])
+    def test_leaf_prune_depth_incremental_parity(self, seed, depth):
+        """Under leaf_prune_depth the skip is decided per pair: pairs
+        whose frontier is fully real leaves (frontier == complete leaf
+        set, every read covered by the crossing stamps) may skip; pairs
+        with non-leaf stand-ins stand down. The incremental pass must
+        still reproduce the forced full rescan exactly."""
+        source, target = _workload(seed, n_leaves=30)
+        config = CupidConfig(leaf_prune_depth=depth)
+        incremental, inc_result = _recompute_signature(
+            source, target, config, force_full=False
+        )
+        full, full_result = _recompute_signature(
+            source, target, config, force_full=True
+        )
+        assert incremental == full
+        assert inc_result.recompute_pairs == full_result.recompute_pairs
+        assert full_result.recompute_skipped == 0
+
+    def test_leaf_prune_depth_standdown_counter(self):
+        """Stand-in frontier pairs are recomputed and counted, so
+        --stats can explain a depressed skip rate under pruning."""
         source, target = _workload(5, n_leaves=30)
         _, result = _recompute_signature(
             source, target, CupidConfig(leaf_prune_depth=2),
             force_full=False,
         )
-        assert result.recompute_skipped == 0
+        # Shallow subtrees (frontier == real leaves) may now skip ...
+        assert result.recompute_skipped > 0
+        # ... deep ones must stand down, and be accounted for.
+        assert result.recompute_standdown > 0
+        assert (
+            result.recompute_dirty + result.recompute_skipped
+            == result.recompute_pairs
+        )
+        assert result.recompute_standdown <= result.recompute_dirty
+
+    def test_leaf_prune_depth_matches_reference(self):
+        """End to end: prune-depth incremental == the reference engine
+        (which recomputes everything from dicts)."""
+        source, target = _workload(11, n_leaves=30)
+        incremental, _ = _recompute_signature(
+            source, target, CupidConfig(leaf_prune_depth=1),
+            force_full=False,
+        )
+        reference, _ = _recompute_signature(
+            source, target,
+            CupidConfig(leaf_prune_depth=1, engine="reference"),
+            force_full=False,
+        )
+        assert incremental == reference
 
 
 class TestDirtySetEffectiveness:
