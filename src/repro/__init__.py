@@ -48,6 +48,11 @@ from repro.model.builder import SchemaBuilder, schema_from_tree
 from repro.model.datatypes import DataType, TypeCompatibilityTable
 from repro.model.element import ElementKind, SchemaElement
 from repro.model.schema import Schema
+from repro.repository import (
+    RankedMatch,
+    RepositorySearchResult,
+    SchemaRepository,
+)
 
 __version__ = "1.0.0"
 
@@ -68,9 +73,12 @@ __all__ = [
     "MatchStage",
     "Matcher",
     "PreparedSchema",
+    "RankedMatch",
+    "RepositorySearchResult",
     "Schema",
     "SchemaBuilder",
     "SchemaElement",
+    "SchemaRepository",
     "Thesaurus",
     "ThesaurusLearner",
     "TypeCompatibilityTable",

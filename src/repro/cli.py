@@ -10,6 +10,8 @@ pipeline/session API:
     $ python -m repro match po_cidx.xml po_excel.xml --one-to-one
     $ python -m repro match a.sql b.sql --pipeline mapping=one-to-one
     $ python -m repro match-many mediated.json src1.sql src2.xml src3.oo
+    $ python -m repro index schemas/ --repo corpus.repo
+    $ python -m repro search query.sql --repo corpus.repo -k 3
     $ python -m repro show warehouse.sql
 
 ``match-many`` matches one source schema against N targets through a
@@ -18,6 +20,12 @@ linguistic memo) is shared across all N matches. ``--pipeline`` swaps
 registered stage variants into the run (``linguistic=off``,
 ``structural=no-context``, ``mapping=one-to-one``,
 ``mapping=hungarian``).
+
+``index`` ingests schema files into a persistent
+:class:`repro.SchemaRepository` (prepared-schema artifacts serialized
+once, vocabulary index updated incrementally); ``search`` ranks the
+corpus against a query schema and runs the full pipeline only on the
+top ``--candidates`` schemas.
 
 Schema formats are detected from the file extension: ``.sql`` (mini
 DDL), ``.xml`` (the XML schema dialect), ``.dtd``, ``.oo``
@@ -45,7 +53,12 @@ from repro.mapping.assignment import greedy_one_to_one
 from repro.mapping.mapping import Mapping
 from repro.model.schema import Schema
 from repro.pipeline import CupidResult, MatchPipeline, MatchSession
+from repro.repository import SchemaRepository
 from repro.tree.construction import construct_schema_tree
+
+#: Extensions ``load_schema`` understands (also what ``index`` picks
+#: up when handed a directory).
+SCHEMA_EXTENSIONS = (".sql", ".xml", ".dtd", ".oo", ".json")
 
 
 def load_schema(path: str) -> Schema:
@@ -115,10 +128,11 @@ def _add_match_options(parser: argparse.ArgumentParser) -> None:
              "dict-based correctness oracle)",
     )
     parser.add_argument(
-        "--store", choices=("flat", "blocked"), default=None,
+        "--store", choices=("flat", "blocked", "auto"), default=None,
         help="dense-engine similarity store (default: flat; blocked "
              "allocates tiles lazily and bounds peak memory by the "
-             "live tiles — for very large schemas)",
+             "live tiles — for very large schemas; auto picks per "
+             "pair by leaf count)",
     )
     parser.add_argument(
         "--block-size", type=int, default=None, metavar="N",
@@ -167,6 +181,61 @@ def _build_parser() -> argparse.ArgumentParser:
     many.add_argument("source", help="source schema file")
     many.add_argument("targets", nargs="+", help="target schema files")
     _add_match_options(many)
+
+    index = commands.add_parser(
+        "index",
+        help="ingest schema files into a persistent schema repository "
+             "(prepared artifacts + vocabulary index, paid once ever)",
+    )
+    index.add_argument(
+        "paths", nargs="+",
+        help="schema files and/or directories to ingest (directories "
+             "are scanned for known schema extensions)",
+    )
+    index.add_argument(
+        "--repo", required=True, metavar="DIR",
+        help="repository directory (created if absent)",
+    )
+    index.add_argument(
+        "--stats", action="store_true",
+        help="dump repository cache counters to stderr",
+    )
+
+    search = commands.add_parser(
+        "search",
+        help="rank a repository's schemas against a query schema; the "
+             "full pipeline runs only on the top --candidates",
+    )
+    search.add_argument("schema", help="query schema file")
+    search.add_argument(
+        "--repo", required=True, metavar="DIR",
+        help="repository directory (must exist; see 'repro index')",
+    )
+    search.add_argument(
+        "-k", type=int, default=5, dest="k",
+        help="number of ranked matches to return (default: 5)",
+    )
+    search.add_argument(
+        "--candidates", type=int, default=None, metavar="C",
+        help="run the matcher only on the C best index candidates "
+             "(default: match the whole corpus)",
+    )
+    search.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    search.add_argument(
+        "--one-to-one", action="store_true",
+        help="extract 1:1 mappings (greedy) in the reported matches",
+    )
+    search.add_argument(
+        "--min-similarity", type=float, default=None,
+        help="only report correspondences at or above this wsim",
+    )
+    search.add_argument(
+        "--stats", action="store_true",
+        help="dump search + repository cache counters to stderr",
+    )
 
     show = commands.add_parser(
         "show", help="print a schema file as its expanded schema tree"
@@ -326,6 +395,96 @@ def _command_match_many(args: argparse.Namespace) -> int:
     return 0
 
 
+def _collect_schema_files(paths: List[str]) -> List[str]:
+    """Expand files/directories into a sorted schema-file list."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()  # deterministic traversal across filesystems
+                for name in sorted(files):
+                    if os.path.splitext(name)[1].lower() in SCHEMA_EXTENSIONS:
+                        collected.append(os.path.join(root, name))
+        else:
+            collected.append(path)
+    return collected
+
+
+def _command_index(args: argparse.Namespace) -> int:
+    files = _collect_schema_files(args.paths)
+    if not files:
+        raise ReproError(
+            "no schema files found under the given paths "
+            f"(recognized extensions: {', '.join(SCHEMA_EXTENSIONS)})"
+        )
+    with SchemaRepository(args.repo) as repo:
+        for path in files:
+            try:
+                schema = load_schema(path)
+            except ReproError as exc:
+                raise ReproError(f"{path}: {exc}") from exc
+            schema_id = repo.ingest(schema)
+            print(f"{schema_id}  <-  {path}")
+        print(
+            f"# {len(files)} file(s) ingested; repository now holds "
+            f"{len(repo)} schema(s) at {args.repo}"
+        )
+        if args.stats:
+            _print_stats(repo.cache_info(), "repository cache")
+    return 0
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    query = load_schema(args.schema)
+    with SchemaRepository.open(args.repo) as repo:
+        search = repo.search(
+            query, k=args.k, candidates=args.candidates
+        )
+        if args.format == "json":
+            matches = []
+            for match in search:
+                elements = _selected_elements(
+                    args=args, result=match.result, include_nonleaf=False
+                )
+                payload = mapping_to_dict(Mapping(
+                    query.name, match.schema_name, elements
+                ))
+                payload["schema_id"] = match.schema_id
+                payload["score"] = round(match.score, 6)
+                payload["timings_ms"] = _timings_ms(match.result)
+                matches.append(payload)
+            print(json.dumps(
+                {
+                    "query_schema": search.query_name,
+                    "matches": matches,
+                    "stats": search.stats,
+                    "repository": repo.cache_info(),
+                },
+                indent=2,
+            ))
+        else:
+            stats = search.stats
+            print(
+                f"# {search.query_name} vs {args.repo}: "
+                f"{stats['corpus_size']} schemas, "
+                f"{stats['candidates_considered']} matched, "
+                f"{stats['candidates_pruned']} pruned by the index"
+            )
+            for rank, match in enumerate(search, start=1):
+                elements = _selected_elements(
+                    args=args, result=match.result, include_nonleaf=False
+                )
+                print(
+                    f"{rank}. {match.schema_name} [{match.schema_id}] "
+                    f"score {match.score:.4f} "
+                    f"({len(elements)} correspondences)"
+                )
+        if args.stats:
+            _print_stats(search.stats, "search stats")
+            _print_stats(repo.cache_info(), "repository cache")
+    return 0
+
+
 def _command_show(args: argparse.Namespace) -> int:
     schema = load_schema(args.schema)
     tree = construct_schema_tree(schema)
@@ -353,6 +512,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_match(args)
         if args.command == "match-many":
             return _command_match_many(args)
+        if args.command == "index":
+            return _command_index(args)
+        if args.command == "search":
+            return _command_search(args)
         return _command_show(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -9,6 +9,7 @@ fails loudly before a match runs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping
 
@@ -30,6 +31,14 @@ def _default_token_weights() -> Dict["TokenType", float]:
         TokenType.SPECIAL: 0.05,
         TokenType.COMMON: 0.10,
     }
+
+
+def _default_dense_backend() -> str:
+    """``"auto"`` unless ``REPRO_FORCE_STDLIB`` is set in the
+    environment, which forces the pure-stdlib fallback even when numpy
+    is importable — the switch CI uses to exercise both array backends
+    without maintaining two container images."""
+    return "stdlib" if os.environ.get("REPRO_FORCE_STDLIB") else "auto"
 
 
 @dataclass
@@ -136,8 +145,9 @@ class CupidConfig:
     #: Array backend for the dense engine: ``"auto"`` uses numpy when
     #: importable and falls back to pure-stdlib ``array('d')``;
     #: ``"numpy"`` / ``"stdlib"`` force one (``"numpy"`` raises if
-    #: numpy is unavailable).
-    dense_backend: str = "auto"
+    #: numpy is unavailable). The default honors the
+    #: ``REPRO_FORCE_STDLIB`` environment variable (set → "stdlib").
+    dense_backend: str = field(default_factory=_default_dense_backend)
 
     #: Similarity-store layout for the dense engine. ``"flat"`` (the
     #: default) materializes the full ``n_s×n_t`` ssim/lsim/wsim
@@ -147,10 +157,31 @@ class CupidConfig:
     #: ssim only (lsim is gathered from the linguistic tables, wsim is
     #: recomputed from the same expression on read), and so bounds peak
     #: memory by the live tiles instead of the whole plane — the
-    #: difference that matters for 10⁴-leaf schemas. Both layouts are
-    #: bit-identical (fuzz-parity-tested); flat stays the default until
-    #: the blocked store's perf record matches it on small schemas too.
+    #: difference that matters for 10⁴-leaf schemas. ``"auto"`` picks
+    #: per pair: blocked when either side's leaf count reaches
+    #: :attr:`auto_store_leaf_threshold`, flat below it — the right
+    #: default for repository search, where query size is unknown and
+    #: most pairs are dissimilar (their planes stay virtual). All
+    #: layouts are bit-identical (fuzz-parity-tested); flat stays the
+    #: global default until the blocked store's perf record matches it
+    #: on small schemas too.
     store: str = "flat"
+
+    #: Leaf-count threshold at which ``store = "auto"`` switches from
+    #: flat to blocked (either side reaching it flips the pair). The
+    #: default follows the PR 4 measurements: flat wins below ~500
+    #: leaves/side, blocked wins above.
+    auto_store_leaf_threshold: int = 512
+
+    #: Upper bound on the prepared schemas a
+    #: :class:`~repro.pipeline.session.MatchSession` retains (0 =
+    #: unbounded). When set, the least-recently-matched prepared schema
+    #: (and its cached lsim tables) is evicted once the bound is
+    #: exceeded, so long-lived serving sessions — a repository serving
+    #: heavy search traffic — hold O(bound) memory instead of one
+    #: PreparedSchema per schema ever seen. Eviction counts appear in
+    #: ``MatchSession.cache_info()``.
+    max_prepared_schemas: int = 0
 
     #: Tile edge length for ``store = "blocked"``; 0 picks the default
     #: (:data:`repro.structure.blocked.DEFAULT_BLOCK_SIZE`). Ignored by
@@ -214,13 +245,24 @@ class CupidConfig:
                 f"dense_backend={self.dense_backend!r} "
                 "(expected 'auto', 'numpy', or 'stdlib')"
             )
-        if self.store not in ("flat", "blocked"):
+        if self.store not in ("flat", "blocked", "auto"):
             raise ConfigError(
-                f"store={self.store!r} (expected 'flat' or 'blocked')"
+                f"store={self.store!r} "
+                "(expected 'flat', 'blocked', or 'auto')"
             )
         if self.block_size < 0:
             raise ConfigError(
                 f"block_size ({self.block_size}) must be >= 0 (0 = default)"
+            )
+        if self.auto_store_leaf_threshold < 1:
+            raise ConfigError(
+                f"auto_store_leaf_threshold "
+                f"({self.auto_store_leaf_threshold}) must be >= 1"
+            )
+        if self.max_prepared_schemas < 0:
+            raise ConfigError(
+                f"max_prepared_schemas ({self.max_prepared_schemas}) "
+                "must be >= 0 (0 = unbounded)"
             )
         total = sum(self.token_type_weights.values())
         if abs(total - 1.0) > 1e-9:

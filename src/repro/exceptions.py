@@ -75,3 +75,13 @@ class ConfigError(MatchError):
 
 class MappingError(ReproError):
     """Raised for ill-formed mappings (unknown elements, bad confidence)."""
+
+
+class RepositoryError(ReproError):
+    """Raised when a schema repository is unusable or inconsistent.
+
+    Examples: a repository directory whose manifest is missing or
+    corrupt, an artifact file written by an incompatible format
+    version, or opening a repository under a config/thesaurus that
+    does not match the one its artifacts were prepared with.
+    """

@@ -9,7 +9,7 @@ export-only (they reference live tree nodes).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import SchemaError
 from repro.mapping.mapping import Mapping
@@ -59,6 +59,30 @@ def schema_from_dict(data: Dict[str, Any]) -> Schema:
     the same dict can be loaded multiple times (e.g. to match a schema
     against a copy of itself).
     """
+    schema, _ = schema_from_dict_with_ids(data)
+    return schema
+
+
+def schema_from_dict_with_ids(
+    data: Dict[str, Any]
+) -> Tuple[Schema, Dict[str, SchemaElement]]:
+    """:func:`schema_from_dict` plus the serialized-id → element map.
+
+    Persisted artifacts (repository prepared-schema tiers) reference
+    elements by their *serialized* ids; since deserialization mints
+    fresh process-unique ids, restoring those artifacts needs the
+    translation this variant returns.
+    """
+    if not isinstance(data, dict) or not {
+        "root", "name", "elements", "relationships"
+    } <= data.keys():
+        # Arbitrary JSON (a config file, a mapping export) routed here
+        # by extension dispatch must fail as a schema error, not leak
+        # a KeyError traceback.
+        raise SchemaError(
+            "JSON payload is not a serialized schema (expected object "
+            "with 'name', 'root', 'elements', 'relationships')"
+        )
     root_id = data["root"]
     by_id: Dict[str, SchemaElement] = {}
     schema: Optional[Schema] = None
@@ -100,7 +124,7 @@ def schema_from_dict(data: Dict[str, Any]) -> Schema:
     for rel in data["relationships"]:
         kind = RelationshipKind(rel["kind"])
         adders[kind](by_id[rel["source"]], by_id[rel["target"]])
-    return schema
+    return schema, by_id
 
 
 def schema_to_json(schema: Schema, indent: int = 2) -> str:

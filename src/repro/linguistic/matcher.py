@@ -169,13 +169,16 @@ class LinguisticMatcher:
             prep.vocabulary = SchemaVocabulary(prep)
         return prep.vocabulary
 
-    def _kernel_applicable(self) -> bool:
+    def kernel_applicable(self) -> bool:
         """Whether the distinct-name kernel may serve this matcher.
 
         Requires the dense engine's memo (the kernel reads name
         similarities through it) and no description matching
         (description similarity depends on the *element*, not only its
-        name, so broadcast-by-profile would be unsound).
+        name, so broadcast-by-profile would be unsound). The single
+        source of the applicability rule — eager builders
+        (:meth:`PreparedSchema.build_all`) consult it too, so they
+        cannot drift from the match path.
         """
         return (
             self.config.linguistic_kernel
@@ -199,7 +202,7 @@ class LinguisticMatcher:
         pair, broadcast to element pairs — same values, fewer
         computations on repetitive schemas.
         """
-        if self._kernel_applicable():
+        if self.kernel_applicable():
             from repro.linguistic.kernel import (
                 compute_factored_lsim,
                 numpy_enabled,

@@ -368,6 +368,65 @@ class NameSimilarityMemo:
         self._element[key] = value
         return value
 
+    # ------------------------------------------------------------------
+    # Persistence (the repository's cross-process memo tier)
+    # ------------------------------------------------------------------
+
+    def export_cache(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """The memo's persistable tiers as a JSON-compatible dict.
+
+        Exports the token-pair and element-name caches — the two tiers
+        whose entries are expensive (thesaurus probes, substring scans,
+        weighted means) and whose keys are plain strings. Both are pure
+        in (thesaurus, config), so a
+        :class:`~repro.repository.SchemaRepository` persists them keyed
+        by those fingerprints and preloads a fresh session's memo: the
+        cold-token cost of the category-class compatibility scan is
+        paid once per deployment, not once per process. Values
+        round-trip bit-exactly through JSON (repr-based floats).
+        """
+        return {
+            "token": {a: dict(row) for a, row in self._token.items()},
+            "element": self._nest(self._element),
+        }
+
+    def preload_cache(
+        self, data: Dict[str, Dict[str, Dict[str, float]]]
+    ) -> int:
+        """Merge an :meth:`export_cache` dump into the live caches.
+
+        Existing entries win (they were computed under this process's
+        thesaurus/config, the dump merely claims to match). Returns the
+        number of entries added. Callers are responsible for checking
+        that the dump's thesaurus/config fingerprints match — a
+        mismatched dump would poison bit-parity.
+        """
+        added = 0
+        for a, row in data.get("token", {}).items():
+            live = self._token.get(a)
+            if live is None:
+                live = self._token[a] = {}
+            for b, value in row.items():
+                if b not in live:
+                    live[b] = value
+                    added += 1
+        for raw1, row in data.get("element", {}).items():
+            for raw2, value in row.items():
+                key = (raw1, raw2)
+                if key not in self._element:
+                    self._element[key] = value
+                    added += 1
+        return added
+
+    @staticmethod
+    def _nest(
+        flat: Dict[Tuple[str, str], float]
+    ) -> Dict[str, Dict[str, float]]:
+        nested: Dict[str, Dict[str, float]] = {}
+        for (a, b), value in flat.items():
+            nested.setdefault(a, {})[b] = value
+        return nested
+
     def stats(self) -> Dict[str, float]:
         """Hit/miss counters for ``--stats`` regression triage."""
         token_total = self.token_hits + self.token_misses

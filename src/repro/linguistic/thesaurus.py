@@ -51,6 +51,11 @@ class Thesaurus:
         self._expansions: Dict[str, Tuple[str, ...]] = {}
         self._stopwords: Set[str] = set()
         self._concepts: Dict[str, str] = {}  # trigger token -> concept name
+        # term -> sorted [(related term, strength)], built lazily by
+        # related_terms() and dropped on mutation.
+        self._related_cache: Optional[
+            Dict[str, List[Tuple[str, float]]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Population
@@ -78,6 +83,7 @@ class Thesaurus:
         entry = ThesaurusEntry(a, b, strength, relation)
         self._pairs[(a, b)] = entry
         self._pairs[(b, a)] = entry
+        self._related_cache = None
 
     def add_abbreviation(self, short: str, expansion: Sequence[str]) -> None:
         """Register an abbreviation/acronym expansion.
@@ -109,6 +115,57 @@ class Thesaurus:
         """Strength of the (a, b) entry, or None if absent."""
         entry = self._pairs.get((a.lower(), b.lower()))
         return entry.strength if entry else None
+
+    def related_terms(self, term: str) -> List[Tuple[str, float]]:
+        """Every term related to ``term``, with strengths, sorted.
+
+        The synset view a repository's candidate index expands query
+        tokens through: a schema indexed under "invoice" should be a
+        candidate for a query naming "bill", at the pair's thesaurus
+        strength. Sorted by (-strength, term) so expansion order is
+        deterministic. Lookups hit a lazily-built adjacency map (the
+        candidate index probes one per query token per search, so a
+        linear scan of the pair table here would put the whole
+        thesaurus on the search hot path); mutation invalidates it.
+        """
+        cache = self._related_cache
+        if cache is None:
+            cache = {}
+            for (a, b), entry in self._pairs.items():
+                cache.setdefault(a, []).append((b, entry.strength))
+            for related in cache.values():
+                related.sort(key=lambda pair: (-pair[1], pair[0]))
+            self._related_cache = cache
+        return list(cache.get(term.lower(), ()))
+
+    def fingerprint(self) -> str:
+        """Content hash of every entry, stable across processes.
+
+        Two thesauri with the same synonyms/hypernyms, expansions,
+        stopwords, and concept triggers produce the same fingerprint
+        regardless of insertion order. Persistent artifacts (repository
+        schemas, the cross-session similarity cache) are keyed by this:
+        loading them under different linguistic knowledge would
+        silently change match results, so mismatches must be
+        detectable.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "pairs": sorted(
+                (*sorted((e.term_a, e.term_b)), repr(e.strength), e.relation)
+                for e in self.entries
+            ),
+            "expansions": sorted(
+                (short, list(tokens))
+                for short, tokens in self._expansions.items()
+            ),
+            "stopwords": sorted(self._stopwords),
+            "concepts": sorted(self._concepts.items()),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
 
     def expansion(self, token: str) -> Optional[Tuple[str, ...]]:
         return self._expansions.get(token.lower())

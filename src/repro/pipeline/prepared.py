@@ -66,6 +66,57 @@ class PreparedSchema:
         self._tree: Optional[SchemaTree] = None
         self._layout: Optional[LeafLayout] = None
 
+    @classmethod
+    def from_artifacts(
+        cls,
+        schema: Schema,
+        linguistic_matcher: "LinguisticMatcher",
+        config: CupidConfig,
+        linguistic: "LinguisticPreparation",
+    ) -> "PreparedSchema":
+        """A prepared schema seeded with a restored linguistic tier.
+
+        The deserialization hook for
+        :mod:`repro.repository.artifacts`: the (expensive) linguistic
+        preparation — and, via ``linguistic.vocabulary``, the kernel
+        vocabulary — comes off disk instead of being computed, while
+        the tree and leaf layout stay lazy (they rebuild
+        deterministically from the schema). ``linguistic`` must be the
+        exact artifact :meth:`linguistic` would have produced under
+        this matcher and config; bit-parity of later matches is the
+        caller's contract.
+        """
+        prepared = cls(schema, linguistic_matcher, config)
+        prepared._linguistic = linguistic
+        return prepared
+
+    def build_all(self) -> "PreparedSchema":
+        """Force every lazy tier now (ingest-time eager build).
+
+        Touches :attr:`linguistic`, the kernel vocabulary (when the
+        matcher would actually route matches through it), :attr:`tree`,
+        and :attr:`leaf_layout`, so serialization sees fully-built
+        artifacts and the cold-start cost is paid at ingest, not on the
+        first search that hits this schema. Returns ``self``.
+        """
+        linguistic = self.linguistic
+        if self._linguistic_matcher.kernel_applicable():
+            self._linguistic_matcher.vocabulary(linguistic)
+        self.tree
+        self.leaf_layout
+        return self
+
+    def prepared_by(self, linguistic_matcher: "LinguisticMatcher") -> bool:
+        """Whether this schema was prepared by ``linguistic_matcher``.
+
+        Artifacts are only valid under the matcher (thesaurus + config)
+        that built them; boundaries that persist them — the repository's
+        ingest — use this to detect a foreign ``PreparedSchema`` and
+        re-prepare under their own components instead of silently
+        storing mismatched tiers.
+        """
+        return self._linguistic_matcher is linguistic_matcher
+
     @property
     def linguistic(self) -> "LinguisticPreparation":
         """Normalized names and categories (built once)."""

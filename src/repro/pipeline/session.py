@@ -62,8 +62,16 @@ class MatchSession:
             )
         self.pipeline = pipeline
         # id(schema) -> (schema, prepared); holding the schema keeps
-        # the id stable for the session's lifetime.
+        # the id stable for the entry's lifetime. Insertion order is
+        # least-recently-matched first: prepare() re-inserts on every
+        # hit, so when config.max_prepared_schemas bounds the cache the
+        # front entry is always the eviction victim.
         self._prepared: Dict[int, Tuple[Schema, PreparedSchema]] = {}
+        # id(prepared) for every currently-registered prepared schema.
+        # Guards the lsim cache against id reuse: entries may only be
+        # added (or trusted) while both endpoints are live, and
+        # eviction purges every pair the victim participates in.
+        self._live_prep_ids: set = set()
         # (id(prep_s), id(prep_t)) -> pristine lsim table for the pair.
         self._lsim_cache: Dict[Tuple[int, int], LsimTable] = {}
         self._counters = {
@@ -72,6 +80,8 @@ class MatchSession:
             "prepare_misses": 0,
             "lsim_hits": 0,
             "lsim_misses": 0,
+            "prepared_evictions": 0,
+            "lsim_evictions": 0,
         }
         # Tile occupancy accumulated over the session's blocked-store
         # matches (each match owns one store; the session sums them so
@@ -99,21 +109,56 @@ class MatchSession:
         if isinstance(schema, PreparedSchema):
             registered = self._prepared.get(id(schema.schema))
             if registered is not None:
-                # The session's own artifact wins: it is retained for
-                # the session's lifetime, so its id() — the lsim-cache
-                # key — can never be reused by a new object.
+                # The session's own artifact wins: while registered,
+                # its id() — the lsim-cache key — cannot be reused by
+                # a new object.
                 self._counters["prepare_hits"] += 1
+                self._touch(id(schema.schema))
                 return registered[1]
-            self._prepared[id(schema.schema)] = (schema.schema, schema)
+            self._register(id(schema.schema), schema.schema, schema)
             return schema
         entry = self._prepared.get(id(schema))
         if entry is not None:
             self._counters["prepare_hits"] += 1
+            self._touch(id(schema))
             return entry[1]
         self._counters["prepare_misses"] += 1
         prepared = self.pipeline.prepare(schema)
-        self._prepared[id(schema)] = (schema, prepared)
+        self._register(id(schema), schema, prepared)
         return prepared
+
+    def _touch(self, key: int) -> None:
+        """Move ``key``'s entry to the recently-used end."""
+        self._prepared[key] = self._prepared.pop(key)
+
+    def _register(
+        self, key: int, schema: Schema, prepared: PreparedSchema
+    ) -> None:
+        self._prepared[key] = (schema, prepared)
+        self._live_prep_ids.add(id(prepared))
+        limit = self.pipeline.config.max_prepared_schemas
+        while limit and len(self._prepared) > limit:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        """Drop the least-recently-matched prepared schema.
+
+        Its cached lsim tables go with it: their keys embed the
+        evicted object's id(), which a future PreparedSchema could
+        legitimately reuse once this reference is dropped.
+        """
+        victim_key = next(iter(self._prepared))
+        _, prepared = self._prepared.pop(victim_key)
+        prep_id = id(prepared)
+        self._live_prep_ids.discard(prep_id)
+        stale = [
+            pair for pair in self._lsim_cache
+            if prep_id in pair
+        ]
+        for pair in stale:
+            del self._lsim_cache[pair]
+        self._counters["prepared_evictions"] += 1
+        self._counters["lsim_evictions"] += len(stale)
 
     def _cached_lsim(
         self, prep_s: PreparedSchema, prep_t: PreparedSchema
@@ -149,8 +194,17 @@ class MatchSession:
             initial_mapping=initial_mapping,
             lsim_table=lsim_table,
         )
-        if fresh and not initial_mapping and result.lsim_table is not None:
-            # Only a hint-free table is pristine enough to cache.
+        if (
+            fresh
+            and not initial_mapping
+            and result.lsim_table is not None
+            and id(prep_s) in self._live_prep_ids
+            and id(prep_t) in self._live_prep_ids
+        ):
+            # Only a hint-free table is pristine enough to cache, and
+            # only while both prepared schemas are still registered
+            # (an LRU eviction between prepare() and here would leave
+            # a table keyed by a reusable id).
             self._lsim_cache[(id(prep_s), id(prep_t))] = (
                 result.lsim_table.copy()
             )

@@ -1,0 +1,47 @@
+"""Persistent, searchable schema repository (the paper's Section 2
+deployment shape made durable).
+
+Three layers over the existing engine:
+
+* :mod:`repro.repository.artifacts` — versioned (de)serialization of
+  :class:`~repro.pipeline.prepared.PreparedSchema` tiers; restored
+  schemas match freshly-prepared ones bit-identically.
+* :mod:`repro.repository.index` — an inverted vocabulary-token index
+  with a TF-IDF overlap scorer that prunes a corpus to a candidate
+  set without running TreeMatch.
+* :mod:`repro.repository.store` — :class:`SchemaRepository`:
+  ``ingest`` / ``load`` / ``search(query, k, candidates=C)`` plus the
+  persistent cross-process name-similarity cache.
+
+CLI: ``repro index <paths> --repo DIR`` and ``repro search <schema>
+--repo DIR -k N``.
+"""
+
+from repro.repository.artifacts import (
+    FORMAT_VERSION,
+    config_fingerprint,
+    prepared_from_dict,
+    prepared_to_dict,
+    schema_fingerprint,
+)
+from repro.repository.index import VocabularyIndex, token_profile
+from repro.repository.store import (
+    RankedMatch,
+    RepositorySearchResult,
+    SchemaRepository,
+    match_score,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "RankedMatch",
+    "RepositorySearchResult",
+    "SchemaRepository",
+    "VocabularyIndex",
+    "config_fingerprint",
+    "match_score",
+    "prepared_from_dict",
+    "prepared_to_dict",
+    "schema_fingerprint",
+    "token_profile",
+]

@@ -1,0 +1,727 @@
+"""The persistent schema repository: ingest once, search forever.
+
+Cupid frames Match as a service over a *repository* of schemas
+(Section 2), but an in-process :class:`~repro.pipeline.session.
+MatchSession` forgets everything at exit. :class:`SchemaRepository`
+makes the session's cache tiers durable:
+
+* **ingest(schema)** prepares the schema eagerly and serializes every
+  persistent tier (:mod:`repro.repository.artifacts`) under a
+  content-addressed id — the cold-start cost is paid once per schema
+  *ever*, not once per process;
+* a **vocabulary index** (:mod:`repro.repository.index`) ranks the
+  corpus against a query without matching it;
+* **search(query, k, candidates=C)** runs the full pipeline only on
+  the top-C candidates and returns ranked results with pruning stats;
+* a **persistent similarity cache** stores the linguistic memo's
+  token/element tiers between processes, keyed by thesaurus + config
+  fingerprints, amortizing the cold-token cost of the category scan.
+
+Everything restored is bit-identical to freshly-prepared state, so a
+search against a reopened repository returns exactly the results the
+in-memory path produces (``tests/test_repository.py`` asserts both).
+
+Directory layout (all JSON, human-diffable)::
+
+    <root>/repository.json    manifest: versions, config, fingerprints,
+                              schema catalog
+    <root>/schemas/<id>.json  one artifact file per ingested schema
+    <root>/index.json         vocabulary index profiles
+    <root>/simcache.json      persistent name-similarity cache
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.config import CupidConfig
+from repro.exceptions import RepositoryError
+from repro.linguistic.lexicon import builtin_thesaurus
+from repro.linguistic.thesaurus import Thesaurus
+from repro.model.schema import Schema
+from repro.pipeline.prepared import PreparedSchema
+from repro.pipeline.result import CupidResult
+from repro.pipeline.session import MatchSession
+from repro.repository.artifacts import (
+    FORMAT_VERSION,
+    SEMANTIC_CONFIG_FIELDS,
+    canonical_category_key,
+    canonical_schema_dict,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    prepared_from_dict,
+    prepared_to_dict,
+    schema_fingerprint,
+)
+from repro.repository.index import VocabularyIndex, token_profile
+
+MANIFEST_FILE = "repository.json"
+INDEX_FILE = "index.json"
+SIMCACHE_FILE = "simcache.json"
+SCHEMAS_DIR = "schemas"
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def _slug(name: str) -> str:
+    slug = _SLUG_RE.sub("-", name.lower()).strip("-")
+    return slug[:40] or "schema"
+
+
+def match_score(result: CupidResult) -> float:
+    """One number ranking a query/candidate match: the root pair's
+    wsim.
+
+    The roots are always compared (never pruned), and their weighted
+    similarity is Cupid's own aggregate of how much of the two trees
+    links strongly — the natural "how similar are these schemas"
+    readout. Falls back to the mean leaf-mapping similarity for
+    pipelines without a TreeMatch result (adapted baselines).
+    """
+    tm = result.treematch_result
+    if tm is not None:
+        return tm.wsim_of(tm.source_tree.root, tm.target_tree.root)
+    elements = list(result.leaf_mapping)
+    if not elements:
+        return 0.0
+    return sum(e.similarity for e in elements) / len(elements)
+
+
+@dataclass
+class RankedMatch:
+    """One search hit: a corpus schema with its full match result."""
+
+    schema_id: str
+    schema_name: str
+    score: float
+    result: CupidResult
+
+
+@dataclass
+class RepositorySearchResult:
+    """Ranked top-k matches plus per-stage search statistics."""
+
+    query_name: str
+    k: int
+    matches: List[RankedMatch]
+    #: Full index ranking ``(schema_id, candidate score)`` — what the
+    #: pruning decision was based on.
+    candidate_scores: List[Tuple[str, float]] = field(default_factory=list)
+    #: corpus_size / candidates_considered / candidates_pruned /
+    #: time_index_ms / time_match_ms ...
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+class SchemaRepository:
+    """A searchable on-disk corpus of prepared schemas.
+
+    >>> repo = SchemaRepository(path)          # create or reopen
+    >>> repo.ingest(schema)                    # pay cold start once
+    >>> hits = repo.search(query, k=3, candidates=16)
+    >>> repo.save()                            # flush manifest+caches
+
+    Construction opens an existing repository (validating format
+    version, config, and thesaurus fingerprints) or initializes an
+    empty one. ``config``/``thesaurus`` follow the session defaults;
+    when reopening, the persisted config is used unless an explicitly
+    passed one matches the stored semantic fingerprint. The repository
+    works as a context manager (``with SchemaRepository(p) as repo:``)
+    and flushes on exit.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        config: Optional[CupidConfig] = None,
+        thesaurus: Optional[Thesaurus] = None,
+        must_exist: bool = False,
+    ) -> None:
+        self.path = os.path.abspath(path)
+        self.thesaurus = (
+            thesaurus if thesaurus is not None else builtin_thesaurus()
+        )
+        manifest_path = os.path.join(self.path, MANIFEST_FILE)
+        exists = os.path.exists(manifest_path)
+        if must_exist and not exists:
+            raise RepositoryError(
+                f"no schema repository at {self.path!r} "
+                f"(missing {MANIFEST_FILE})"
+            )
+        self._counters: Dict[str, int] = {
+            "ingests": 0,
+            "ingest_duplicates": 0,
+            "artifact_loads": 0,
+            "searches": 0,
+            "search_candidates_matched": 0,
+            "search_candidates_pruned": 0,
+            "simcache_preloaded_entries": 0,
+            "simcache_discarded": 0,
+            "simcache_write_failures": 0,
+            "index_rebuilds": 0,
+        }
+        self._rebuild_index_pending = False
+        if exists:
+            self._open_existing(manifest_path, config)
+        else:
+            self._initialize(config)
+        self.session = MatchSession(
+            thesaurus=self.thesaurus, config=self.config
+        )
+        #: schema_id -> restored/ingested PreparedSchema, bounded by
+        #: the same LRU limit the session honors.
+        self._loaded: Dict[str, PreparedSchema] = {}
+        self._dirty = not exists
+        self._load_simcache()
+        if self._rebuild_index_pending:
+            self._rebuild_index()
+
+    # ------------------------------------------------------------------
+    # Open / create
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        config: Optional[CupidConfig] = None,
+        thesaurus: Optional[Thesaurus] = None,
+    ) -> "SchemaRepository":
+        """Open an existing repository (raises if ``path`` has none)."""
+        return cls(path, config=config, thesaurus=thesaurus, must_exist=True)
+
+    @staticmethod
+    def _default_config() -> CupidConfig:
+        """This process's defaults with the repository store policy.
+
+        Repository search is the workload ``store="auto"`` exists for:
+        query sizes are unknown and most candidate pairs are
+        dissimilar, where lazily-tiled planes stay virtual.
+        """
+        return CupidConfig().replace(store="auto")
+
+    def _initialize(self, config: Optional[CupidConfig]) -> None:
+        if config is None:
+            config = self._default_config()
+        config.validate()
+        self.config = config
+        self._schemas: Dict[str, Dict[str, Any]] = {}
+        self._index = VocabularyIndex()
+        os.makedirs(os.path.join(self.path, SCHEMAS_DIR), exist_ok=True)
+
+    def _open_existing(
+        self, manifest_path: str, config: Optional[CupidConfig]
+    ) -> None:
+        manifest = _read_json(manifest_path, "repository manifest")
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise RepositoryError(
+                f"repository format version {version!r} is not supported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            stored_config = config_from_dict(manifest["config"])
+            stored_thesaurus_fp = manifest["thesaurus_fingerprint"]
+            self._schemas = dict(manifest["schemas"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise RepositoryError(
+                f"repository manifest is corrupt: {exc!r}"
+            ) from exc
+        if self.thesaurus.fingerprint() != stored_thesaurus_fp:
+            raise RepositoryError(
+                "thesaurus mismatch: this repository's artifacts were "
+                "prepared under different linguistic knowledge (open it "
+                "with the thesaurus it was created with)"
+            )
+        if config is not None:
+            if config_fingerprint(config) != config_fingerprint(
+                stored_config
+            ):
+                raise RepositoryError(
+                    "config mismatch: the passed config's result-"
+                    "affecting parameters differ from the ones this "
+                    "repository's artifacts were prepared under"
+                )
+            self.config = config
+        else:
+            # Restore only the result-affecting fields. Runtime knobs
+            # (engine, backend, block size, cache bounds) come from
+            # this process's defaults: pinning e.g. a stdlib backend
+            # recorded at create time would silently slow every later
+            # open on a numpy machine. The store keeps the repository
+            # default ("auto") via _default_config().
+            self.config = self._default_config().replace(**{
+                name: getattr(stored_config, name)
+                for name in SEMANTIC_CONFIG_FIELDS
+            })
+        index_path = os.path.join(self.path, INDEX_FILE)
+        if os.path.exists(index_path):
+            self._index = VocabularyIndex.from_dict(
+                _read_json(index_path, "repository index")
+            )
+        else:
+            self._index = VocabularyIndex()
+        if self._index.indexed_ids() != set(self._schemas):
+            # A missing or stale index (crash between the index and
+            # manifest writes): searching through it would silently
+            # drop or over-rank schemas, so rebuild from the artifact
+            # files — they are the source of truth.
+            self._index = VocabularyIndex()
+            if self._schemas:
+                self._rebuild_index_pending = True
+
+    def _disown_foreign(
+        self, schema: Union[Schema, PreparedSchema]
+    ) -> Union[Schema, PreparedSchema]:
+        """Strip a ``PreparedSchema`` built by someone else's matcher.
+
+        Foreign artifacts (different thesaurus/config) would slip past
+        every fingerprint guard: ingest would persist them, search
+        would build a query token profile missing the expansions the
+        corpus was indexed under. Falling back to the raw schema makes
+        both paths re-prepare under this repository's components.
+        """
+        if isinstance(schema, PreparedSchema) and not schema.prepared_by(
+            self.session.pipeline.linguistic
+        ):
+            return schema.schema
+        return schema
+
+    def _rebuild_index(self) -> None:
+        """Recreate the vocabulary index from the artifact files.
+
+        The artifacts are the source of truth; the index is a derived
+        view, so losing ``index.json`` (crash between the manifest and
+        index writes) is recoverable rather than fatal. Loads every
+        artifact once — the one open path that is not lazy, taken only
+        in this degraded state.
+        """
+        for schema_id in self._schemas:
+            self._index.add(
+                schema_id, token_profile(self.load(schema_id).linguistic)
+            )
+        self._counters["index_rebuilds"] += 1
+        self._rebuild_index_pending = False
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(self, schema: Union[Schema, PreparedSchema]) -> str:
+        """Add ``schema`` to the corpus; returns its repository id.
+
+        Preparation is forced eagerly and every persistent tier is
+        serialized to ``schemas/<id>.json``. Ids are content-addressed
+        (canonical schema hash), so re-ingesting an identical schema is
+        a cheap no-op returning the existing id — the duplicate check
+        runs on the raw schema, before any preparation.
+        """
+        schema = self._disown_foreign(schema)
+        raw = schema.schema if isinstance(schema, PreparedSchema) else schema
+        canonical = canonical_schema_dict(raw)
+        fingerprint = schema_fingerprint(canonical)
+        schema_id = f"{_slug(raw.name)}-{fingerprint[:12]}"
+        if schema_id in self._schemas:
+            self._counters["ingest_duplicates"] += 1
+            return schema_id
+        prepared = self.session.prepare(schema)
+        payload = prepared_to_dict(prepared, canonical=canonical)
+        artifact_path = self._artifact_path(schema_id)
+        _write_json(artifact_path, payload)
+        self._schemas[schema_id] = {
+            "name": prepared.schema.name,
+            "file": f"{SCHEMAS_DIR}/{schema_id}.json",
+            "elements": len(prepared.schema.elements),
+            "leaves": len(prepared.leaf_layout.leaves),
+        }
+        self._index.add(schema_id, token_profile(prepared.linguistic))
+        self._cache_loaded(schema_id, prepared)
+        self._counters["ingests"] += 1
+        self._dirty = True
+        return schema_id
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def schema_ids(self) -> List[str]:
+        """Ingested ids, sorted (the corpus catalog)."""
+        return sorted(self._schemas)
+
+    def describe(self, schema_id: str) -> Dict[str, Any]:
+        """Catalog metadata for one schema id."""
+        meta = self._schemas.get(schema_id)
+        if meta is None:
+            raise RepositoryError(
+                f"repository has no schema {schema_id!r}"
+            )
+        return dict(meta)
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def __contains__(self, schema_id: str) -> bool:
+        return schema_id in self._schemas
+
+    def load(self, schema_id: str) -> PreparedSchema:
+        """The restored :class:`PreparedSchema` for ``schema_id``.
+
+        Reads the artifact file on first use (lazily — opening a
+        repository loads no schema bytes at all) and caches the
+        restored object for the repository's lifetime, subject to the
+        session's LRU bound.
+        """
+        prepared = self._loaded.get(schema_id)
+        if prepared is not None:
+            # LRU refresh mirrors the session's policy.
+            self._loaded[schema_id] = self._loaded.pop(schema_id)
+            return prepared
+        if schema_id not in self._schemas:
+            raise RepositoryError(
+                f"repository has no schema {schema_id!r}"
+            )
+        payload = _read_json(
+            self._artifact_path(schema_id), f"artifact {schema_id!r}"
+        )
+        prepared = prepared_from_dict(
+            payload, self.session.pipeline.linguistic, self.config
+        )
+        self._counters["artifact_loads"] += 1
+        self._cache_loaded(schema_id, prepared)
+        return prepared
+
+    def _cache_loaded(
+        self, schema_id: str, prepared: PreparedSchema
+    ) -> None:
+        self._loaded[schema_id] = prepared
+        limit = self.config.max_prepared_schemas
+        while limit and len(self._loaded) > limit:
+            victim = next(iter(self._loaded))
+            if victim == schema_id:
+                break
+            del self._loaded[victim]
+
+    def _artifact_path(self, schema_id: str) -> str:
+        return os.path.join(self.path, SCHEMAS_DIR, f"{schema_id}.json")
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: Union[Schema, PreparedSchema],
+        k: int = 5,
+        candidates: Optional[int] = None,
+    ) -> RepositorySearchResult:
+        """Top-k most similar corpus schemas for ``query``.
+
+        The vocabulary index ranks the whole corpus cheaply; the full
+        Cupid pipeline then runs only against the top ``candidates``
+        schemas (``None`` = all of them — the brute-force baseline the
+        benchmark's recall is measured against). Results are ranked by
+        :func:`match_score` and carry their complete
+        :class:`CupidResult`, so callers can inspect every mapping.
+        """
+        if k < 1:
+            raise RepositoryError(f"search k must be >= 1 (got {k})")
+        if candidates is not None and candidates < 1:
+            raise RepositoryError(
+                f"search candidates must be >= 1 (got {candidates})"
+            )
+        prep_q = self.session.prepare(self._disown_foreign(query))
+        index_start = time.perf_counter()
+        ranking = self._index.score(
+            token_profile(prep_q.linguistic), self.thesaurus
+        )
+        index_elapsed = time.perf_counter() - index_start
+        shortlist = [sid for sid, _ in ranking]
+        if candidates is not None:
+            shortlist = shortlist[:candidates]
+
+        match_start = time.perf_counter()
+        matches = [
+            RankedMatch(
+                schema_id=sid,
+                schema_name=self._schemas[sid]["name"],
+                score=0.0,
+                result=self.session.match(prep_q, self.load(sid)),
+            )
+            for sid in shortlist
+        ]
+        for match in matches:
+            match.score = match_score(match.result)
+        match_elapsed = time.perf_counter() - match_start
+        matches.sort(key=lambda m: (-m.score, m.schema_id))
+
+        corpus = len(self._schemas)
+        self._counters["searches"] += 1
+        self._counters["search_candidates_matched"] += len(shortlist)
+        self._counters["search_candidates_pruned"] += (
+            corpus - len(shortlist)
+        )
+        return RepositorySearchResult(
+            query_name=prep_q.schema.name,
+            k=k,
+            matches=matches[:k],
+            candidate_scores=ranking,
+            stats={
+                "corpus_size": corpus,
+                "candidates_considered": len(shortlist),
+                "candidates_pruned": corpus - len(shortlist),
+                "time_index_ms": round(index_elapsed * 1000.0, 3),
+                "time_match_ms": round(match_elapsed * 1000.0, 3),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify(self, schema_id: str) -> None:
+        """Check ``schema_id``'s artifacts against a fresh preparation.
+
+        Restores the schema from its artifact *file* (never the
+        in-memory cache — what is verified is what a future process
+        will see), re-prepares it from scratch, and compares every
+        persisted tier (normalized names, category tables, vocabulary,
+        leaf order). Raises :class:`RepositoryError` on any drift —
+        the invariant behind the repository's bit-parity contract.
+        """
+        if schema_id not in self._schemas:
+            raise RepositoryError(
+                f"repository has no schema {schema_id!r}"
+            )
+        payload = _read_json(
+            self._artifact_path(schema_id), f"artifact {schema_id!r}"
+        )
+        restored = prepared_from_dict(
+            payload, self.session.pipeline.linguistic, self.config
+        )
+        matcher = self.session.pipeline.linguistic
+        fresh = matcher.prepare(restored.schema)
+        stored = restored.linguistic
+
+        fresh_names = {
+            eid: name for eid, name in fresh.normalized.items()
+        }
+        if fresh_names != dict(stored.normalized):
+            raise RepositoryError(
+                f"{schema_id!r}: restored normalized names differ from "
+                "a fresh preparation"
+            )
+        # Fresh category keys embed this process's element ids; map
+        # them to the canonical form artifacts persist.
+        canonical_of = {
+            element.element_id: f"n{i}"
+            for i, element in enumerate(restored.schema.elements)
+        }
+        fresh_keys = [
+            canonical_category_key(key, canonical_of)
+            for key in fresh.categories.keys()
+        ]
+        if fresh_keys != list(stored.categories.keys()):
+            raise RepositoryError(
+                f"{schema_id!r}: restored category order differs from "
+                "a fresh preparation"
+            )
+        for key, fresh_cat in zip(fresh_keys, fresh.categories.values()):
+            stored_cat = stored.categories[key]
+            if (
+                fresh_cat.keywords != stored_cat.keywords
+                or fresh_cat.source != stored_cat.source
+                or [m.element_id for m in fresh_cat.members]
+                != [m.element_id for m in stored_cat.members]
+            ):
+                raise RepositoryError(
+                    f"{schema_id!r}: restored category {key!r} differs "
+                    "from a fresh preparation"
+                )
+        if stored.vocabulary is not None:
+            from repro.linguistic.kernel import SchemaVocabulary
+
+            rebuilt = SchemaVocabulary(fresh)
+            vocabulary = stored.vocabulary
+            if (
+                [n.raw for n in rebuilt.names]
+                != [n.raw for n in vocabulary.names]
+                or rebuilt.class_is_dtype != vocabulary.class_is_dtype
+                or rebuilt.class_texts != vocabulary.class_texts
+                or rebuilt.class_profiles != vocabulary.class_profiles
+                or rebuilt.profile_names != vocabulary.profile_names
+                or rebuilt.profile_members != vocabulary.profile_members
+                or rebuilt.profile_of != vocabulary.profile_of
+            ):
+                raise RepositoryError(
+                    f"{schema_id!r}: restored vocabulary differs from "
+                    "a fresh factoring"
+                )
+        leaf_order = [
+            canonical_of[leaf.element.element_id]
+            for leaf in restored.leaf_layout.leaves
+        ]
+        if leaf_order != payload["artifacts"]["leaf_order"]:
+            raise RepositoryError(
+                f"{schema_id!r}: rebuilt leaf layout order differs from "
+                "the ingested one"
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self) -> None:
+        """Flush the manifest, index, and similarity cache to disk."""
+        if self._dirty:
+            _write_json(
+                os.path.join(self.path, MANIFEST_FILE),
+                {
+                    "format_version": FORMAT_VERSION,
+                    "config": config_to_dict(self.config),
+                    "config_fingerprint": config_fingerprint(self.config),
+                    "thesaurus_fingerprint": self.thesaurus.fingerprint(),
+                    "schemas": self._schemas,
+                },
+            )
+            _write_json(
+                os.path.join(self.path, INDEX_FILE), self._index.to_dict()
+            )
+            self._dirty = False
+        self._save_simcache()
+
+    def close(self) -> None:
+        """Alias for :meth:`save` (the context-manager exit hook)."""
+        self.save()
+
+    def __enter__(self) -> "SchemaRepository":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Flush even when unwinding an exception: every ingest leaves
+        # the in-memory catalog consistent with the artifact files
+        # already on disk, so persisting it can only *reduce* the loss
+        # (e.g. a CLI piped into `head` dying of BrokenPipeError after
+        # a successful bulk ingest). Save errors must not mask the
+        # original exception, though.
+        try:
+            self.save()
+        except Exception:
+            if exc_type is None:
+                raise
+
+    def _memo_computed_entries(self) -> int:
+        """How many similarity entries this process computed itself.
+
+        Every memo miss computes (and stores) exactly one token or
+        element entry; preloaded entries arrive without misses. Used to
+        skip rewriting ``simcache.json`` when a session added nothing.
+        """
+        memo = self.session.pipeline.linguistic.memo
+        if memo is None:
+            return 0
+        return memo.token_misses + memo.element_misses
+
+    def _load_simcache(self) -> None:
+        self._simcache_baseline = self._memo_computed_entries()
+        memo = self.session.pipeline.linguistic.memo
+        path = os.path.join(self.path, SIMCACHE_FILE)
+        if memo is None or not os.path.exists(path):
+            return
+        try:
+            data = _read_json(path, "similarity cache")
+        except RepositoryError:
+            # A torn cache is a cache miss, not a broken repository.
+            self._counters["simcache_discarded"] += 1
+            return
+        if (
+            data.get("format_version") != FORMAT_VERSION
+            or data.get("thesaurus_fingerprint")
+            != self.thesaurus.fingerprint()
+            or data.get("config_fingerprint")
+            != config_fingerprint(self.config)
+        ):
+            # Entries computed under other knowledge would poison
+            # bit-parity; a stale cache is silently dropped.
+            self._counters["simcache_discarded"] += 1
+            return
+        self._counters["simcache_preloaded_entries"] += memo.preload_cache(
+            data.get("caches", {})
+        )
+
+    def _save_simcache(self) -> None:
+        memo = self.session.pipeline.linguistic.memo
+        if memo is None:
+            return
+        if self._memo_computed_entries() == self._simcache_baseline:
+            # Nothing new computed since the preload (e.g. a fully
+            # cache-warm search): the file on disk is already current.
+            return
+        try:
+            _write_json(
+                os.path.join(self.path, SIMCACHE_FILE),
+                {
+                    "format_version": FORMAT_VERSION,
+                    "thesaurus_fingerprint": self.thesaurus.fingerprint(),
+                    "config_fingerprint": config_fingerprint(self.config),
+                    "caches": memo.export_cache(),
+                },
+            )
+        except OSError:
+            # The simcache is a pure optimization: failing to persist
+            # it (read-only mount, missing permissions) must not fail
+            # an otherwise-successful read-only command. Manifest and
+            # index writes still raise — those ARE the data.
+            self._counters["simcache_write_failures"] += 1
+            return
+        self._simcache_baseline = self._memo_computed_entries()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Repository counters merged with the session's cache tiers."""
+        info: Dict[str, Any] = dict(self._counters)
+        info["repository_schemas"] = len(self._schemas)
+        info["repository_loaded"] = len(self._loaded)
+        info["index_tokens"] = self._index.n_tokens
+        info["index_postings"] = self._index.n_postings
+        info.update(self.session.cache_info())
+        return info
+
+
+# ----------------------------------------------------------------------
+# JSON helpers (atomic writes, uniform corruption errors)
+# ----------------------------------------------------------------------
+
+def _read_json(path: str, what: str) -> Any:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError as exc:
+        raise RepositoryError(f"{what} missing: {path}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise RepositoryError(
+            f"{what} at {path} is unreadable or corrupt: {exc}"
+        ) from exc
+
+
+def _write_json(path: str, payload: Any) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)

@@ -177,9 +177,31 @@ class TreeMatch:
         target_layout=None,
     ) -> SimilarityStore:
         if self.config.engine == "dense":
+            store = self.config.store
+            if store == "auto":
+                # Pick per pair by leaf count: flat's up-front planes
+                # win on small schemas, the blocked store's lazy tiles
+                # win once a side crosses the threshold (and dominate
+                # on dissimilar repository-search pairs, whose planes
+                # stay virtual). Prepared layouts carry the counts for
+                # free; without them the roots' cached leaf tuples do.
+                n_s = (
+                    len(source_layout.leaves)
+                    if source_layout is not None
+                    else len(source_tree.root.leaves())
+                )
+                n_t = (
+                    len(target_layout.leaves)
+                    if target_layout is not None
+                    else len(target_tree.root.leaves())
+                )
+                threshold = self.config.auto_store_leaf_threshold
+                store = (
+                    "blocked" if max(n_s, n_t) >= threshold else "flat"
+                )
             store_cls = (
                 BlockedSimilarityStore
-                if self.config.store == "blocked"
+                if store == "blocked"
                 else DenseSimilarityStore
             )
             return store_cls(

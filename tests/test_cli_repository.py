@@ -1,0 +1,157 @@
+"""CLI tests for ``repro index`` and ``repro search``."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+_ORDERS = """
+CREATE TABLE Orders (
+  OrderID int PRIMARY KEY,
+  Quantity int,
+  UnitPrice money,
+  City varchar(30)
+);
+"""
+
+_PURCHASES = """
+CREATE TABLE Purchases (
+  PurchaseID int PRIMARY KEY,
+  Qty int,
+  UnitCost money,
+  Town varchar(30)
+);
+"""
+
+_SHIPMENTS = """
+CREATE TABLE Shipments (
+  ShipmentID int PRIMARY KEY,
+  Carrier varchar(40),
+  Weight decimal(8,2)
+);
+"""
+
+_QUERY = """
+CREATE TABLE Sales (
+  SaleID int PRIMARY KEY,
+  Quantity int,
+  Price money,
+  City varchar(30)
+);
+"""
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    (corpus / "orders.sql").write_text(_ORDERS)
+    (corpus / "purchases.sql").write_text(_PURCHASES)
+    (corpus / "shipments.sql").write_text(_SHIPMENTS)
+    query = tmp_path / "query.sql"
+    query.write_text(_QUERY)
+    return str(corpus), str(query), str(tmp_path / "repo")
+
+
+class TestIndexCommand:
+    def test_index_directory(self, corpus_dir, capsys):
+        corpus, _query, repo = corpus_dir
+        assert main(["index", corpus, "--repo", repo]) == 0
+        out = capsys.readouterr().out
+        assert "3 file(s) ingested" in out
+        assert os.path.exists(os.path.join(repo, "repository.json"))
+        assert len(os.listdir(os.path.join(repo, "schemas"))) == 3
+
+    def test_index_is_incremental(self, corpus_dir, capsys):
+        corpus, _query, repo = corpus_dir
+        main(["index", os.path.join(corpus, "orders.sql"), "--repo", repo])
+        main(["index", corpus, "--repo", repo])
+        out = capsys.readouterr().out
+        assert "repository now holds 3 schema(s)" in out
+
+    def test_index_no_schemas_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["index", str(empty), "--repo", str(tmp_path / "r")])
+        assert code == 1
+        assert "no schema files" in capsys.readouterr().err
+
+    def test_index_non_schema_json_fails_cleanly(
+        self, corpus_dir, capsys
+    ):
+        """A directory with stray JSON (a mapping export, a config)
+        must produce a one-line error naming the file, not a
+        KeyError traceback."""
+        corpus, _query, repo = corpus_dir
+        stray = os.path.join(corpus, "notaschema.json")
+        with open(stray, "w") as handle:
+            handle.write('{"matches": []}')
+        assert main(["index", corpus, "--repo", repo]) == 1
+        err = capsys.readouterr().err
+        assert "notaschema.json" in err
+        assert "not a serialized schema" in err
+
+    def test_index_stats(self, corpus_dir, capsys):
+        corpus, _query, repo = corpus_dir
+        main(["index", corpus, "--repo", repo, "--stats"])
+        err = capsys.readouterr().err
+        assert "repository cache" in err
+        assert "index_tokens" in err
+
+
+class TestSearchCommand:
+    def test_search_text(self, corpus_dir, capsys):
+        corpus, query, repo = corpus_dir
+        main(["index", corpus, "--repo", repo])
+        capsys.readouterr()
+        assert main(
+            ["search", query, "--repo", repo, "-k", "2",
+             "--candidates", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 schemas, 2 matched, 1 pruned" in out
+        # The kindred purchase-order schema outranks shipments.
+        first = out.splitlines()[1]
+        assert first.startswith("1. ") and "orders" in first
+
+    def test_search_json(self, corpus_dir, capsys):
+        corpus, query, repo = corpus_dir
+        main(["index", corpus, "--repo", repo])
+        capsys.readouterr()
+        assert main(
+            ["search", query, "--repo", repo, "-k", "1",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # load_schema names .sql schemas after the file basename.
+        assert payload["query_schema"] == "query"
+        assert payload["stats"]["corpus_size"] == 3
+        best = payload["matches"][0]
+        assert best["schema_id"].startswith("orders-")
+        assert best["score"] > 0
+        assert best["elements"]
+        assert payload["repository"]["searches"] == 1
+
+    def test_search_missing_repo_errors(self, corpus_dir, capsys):
+        _corpus, query, repo = corpus_dir
+        assert main(["search", query, "--repo", repo]) == 1
+        assert "no schema repository" in capsys.readouterr().err
+
+    def test_search_min_similarity_and_one_to_one(
+        self, corpus_dir, capsys
+    ):
+        corpus, query, repo = corpus_dir
+        main(["index", corpus, "--repo", repo])
+        capsys.readouterr()
+        main(
+            ["search", query, "--repo", repo, "-k", "1", "--one-to-one",
+             "--min-similarity", "0.99", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        # Sales vs Orders under a 0.99 floor: only near-perfect pairs.
+        for element in payload["matches"][0]["elements"]:
+            assert element["similarity"] >= 0.99

@@ -84,10 +84,15 @@ class TestValidation:
         with pytest.raises(ConfigError):
             CupidConfig(leaf_prune_depth=-1).validate()
 
-    def test_dense_engine_is_default(self):
+    def test_dense_engine_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_STDLIB", raising=False)
         config = CupidConfig()
         assert config.engine == "dense"
         assert config.dense_backend == "auto"
+
+    def test_force_stdlib_env_overrides_backend_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_STDLIB", "1")
+        assert CupidConfig().dense_backend == "stdlib"
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigError):
@@ -112,6 +117,20 @@ class TestValidation:
 
     def test_blocked_store_accepted(self):
         CupidConfig(store="blocked", block_size=32).validate()
+
+    def test_auto_store_accepted(self):
+        CupidConfig(store="auto").validate()
+
+    def test_auto_store_threshold_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            CupidConfig(auto_store_leaf_threshold=0).validate()
+        CupidConfig(store="auto", auto_store_leaf_threshold=1).validate()
+
+    def test_max_prepared_schemas_non_negative(self):
+        with pytest.raises(ConfigError):
+            CupidConfig(max_prepared_schemas=-1).validate()
+        CupidConfig(max_prepared_schemas=0).validate()  # 0 = unbounded
+        CupidConfig(max_prepared_schemas=4).validate()
 
     def test_token_weights_must_sum_to_one(self):
         weights = {t: 0.0 for t in TokenType}

@@ -130,3 +130,28 @@ class TestPaperExperimentThesaurus:
     def test_no_extra_synonyms(self):
         thesaurus = paper_experiment_thesaurus()
         assert thesaurus.relatedness("client", "customer") is None
+
+
+class TestRelatedTerms:
+    def test_symmetric_and_sorted(self, thesaurus):
+        related = thesaurus.related_terms("invoice")
+        assert ("bill", related[0][1]) in related or related
+        strengths = [s for _, s in related]
+        assert strengths == sorted(strengths, reverse=True)
+        # Symmetric: every hop is walkable backwards.
+        for term, strength in related:
+            assert (("invoice", strength)
+                    in thesaurus.related_terms(term))
+
+    def test_unknown_term_empty(self, thesaurus):
+        assert thesaurus.related_terms("zzznope") == []
+
+    def test_cache_invalidated_on_mutation(self, thesaurus):
+        before = thesaurus.related_terms("gadget")
+        assert before == []
+        thesaurus.add_synonym("gadget", "widget", 0.8)
+        assert ("widget", 0.8) in thesaurus.related_terms("gadget")
+
+    def test_returned_list_is_a_copy(self, thesaurus):
+        thesaurus.related_terms("invoice").clear()
+        assert thesaurus.related_terms("invoice")

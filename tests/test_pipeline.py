@@ -142,6 +142,13 @@ class TestVariants:
         assert result.leaf_mapping.is_one_to_one()
 
     def test_mapping_hungarian(self, schemas):
+        pytest.importorskip(
+            "scipy.optimize",
+            reason="hungarian extraction needs scipy",
+            # A scipy that cannot import (e.g. numpy missing) is as
+            # absent as no scipy at all.
+            exc_type=ImportError,
+        )
         source, target = schemas
         result = MatchPipeline.default().with_variant(
             "mapping", "hungarian"

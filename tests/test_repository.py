@@ -1,0 +1,550 @@
+"""Schema repository: artifact round-trips, search parity, corruption.
+
+The repository's contract is bit-parity: a schema ingested, persisted,
+and restored in a (simulated) new process must drive the pipeline to
+exactly the results a freshly-prepared schema produces — same lsim,
+same wsim, same mappings, same search ranking. The corruption tests
+hold the other half of the contract: anything structurally wrong on
+disk surfaces as :class:`RepositoryError` with a readable message,
+never as pickle/JSON shrapnel or silently different results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import CupidConfig, MatchSession, SchemaRepository
+from repro.datasets.figure2 import figure2_po, figure2_purchase_order
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.datasets.rdb_star import rdb_schema, star_schema
+from repro.exceptions import RepositoryError
+from repro.repository import (
+    FORMAT_VERSION,
+    VocabularyIndex,
+    prepared_from_dict,
+    prepared_to_dict,
+    token_profile,
+)
+from repro.repository.store import match_score
+
+
+def _mapping_signature(result):
+    leaf = sorted(
+        (e.source_path, e.target_path, e.similarity)
+        for e in result.leaf_mapping
+    )
+    nonleaf = sorted(
+        (e.source_path, e.target_path, e.similarity)
+        for e in result.nonleaf_mapping
+    )
+    return leaf, nonleaf
+
+
+def _search_signature(search):
+    return [
+        (m.schema_id, m.score, _mapping_signature(m.result))
+        for m in search
+    ]
+
+
+def _corpus(n=6, size=18, seed=3):
+    generator = SchemaGenerator(seed=seed)
+    return [
+        generator.generate(
+            name=f"corpus{i}", n_leaves=size, name_repetition=0.5
+        )
+        for i in range(n)
+    ]
+
+
+def _query_for(schema, seed=97):
+    perturbed, _ = SchemaGenerator(seed=seed).perturb(
+        schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+    )
+    return perturbed
+
+
+class TestIngestAndLoad:
+    def test_ingest_is_content_addressed_and_idempotent(self, tmp_path):
+        repo = SchemaRepository(str(tmp_path / "repo"))
+        schema = figure2_po()
+        first = repo.ingest(schema)
+        again = repo.ingest(schema)
+        assert first == again
+        assert len(repo) == 1
+        assert repo.cache_info()["ingest_duplicates"] == 1
+
+    def test_duplicate_ingest_skips_preparation(self, tmp_path):
+        """The duplicate check must run before any expensive work: a
+        second ingest of an equal (but distinct) schema object costs a
+        canonical-dict hash, not a full preparation."""
+        repo = SchemaRepository(str(tmp_path / "repo"))
+        repo.ingest(figure2_po())
+        misses_before = repo.cache_info()["prepare_misses"]
+        assert repo.ingest(figure2_po()) in repo
+        assert repo.cache_info()["prepare_misses"] == misses_before
+
+    def test_missing_index_rebuilds_from_artifacts(self, tmp_path):
+        """Losing index.json (crash between the manifest and index
+        writes) must not turn search into silent empty results — the
+        index is a derived view, rebuilt from the artifacts."""
+        corpus = _corpus(4)
+        query = _query_for(corpus[1], seed=29)
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            for schema in corpus:
+                repo.ingest(schema)
+            intact = repo.search(query, k=2)
+        os.remove(os.path.join(path, "index.json"))
+        healed = SchemaRepository.open(path)
+        assert healed.cache_info()["index_rebuilds"] == 1
+        rebuilt = healed.search(query, k=2)
+        assert _search_signature(rebuilt) == _search_signature(intact)
+        # The healed index is persisted again on save.
+        healed.save()
+        assert os.path.exists(os.path.join(path, "index.json"))
+
+    def test_foreign_prepared_schema_is_reprepared(self, tmp_path):
+        """A PreparedSchema built under a different thesaurus must not
+        smuggle foreign artifacts past the fingerprint guards — ingest
+        re-prepares it under the repository's own components."""
+        from repro import empty_thesaurus
+
+        repo = SchemaRepository(str(tmp_path / "repo"))
+        foreign = MatchSession(thesaurus=empty_thesaurus()).prepare(
+            figure2_po()
+        )
+        foreign.build_all()
+        schema_id = repo.ingest(foreign)
+        repo.verify(schema_id)  # would raise on foreign artifacts
+
+    def test_foreign_prepared_query_is_reprepared(self, tmp_path):
+        """search() applies the same foreign-PreparedSchema guard as
+        ingest: a query prepared under another thesaurus would build a
+        token profile missing the corpus's expansions and silently
+        prune the true matches."""
+        from repro import empty_thesaurus
+
+        corpus = _corpus(4)
+        query = _query_for(corpus[2], seed=53)
+        repo = SchemaRepository(str(tmp_path / "repo"))
+        for schema in corpus:
+            repo.ingest(schema)
+        native = repo.search(query, k=2, candidates=2)
+        foreign_prep = MatchSession(thesaurus=empty_thesaurus()).prepare(
+            query
+        )
+        via_foreign = repo.search(foreign_prep, k=2, candidates=2)
+        assert _search_signature(via_foreign) == _search_signature(native)
+
+    def test_build_all_skips_vocabulary_when_kernel_inapplicable(self):
+        config = CupidConfig().replace(use_descriptions=True)
+        prepared = MatchSession(config=config).prepare(figure2_po())
+        prepared.build_all()
+        # Descriptions make profile broadcast unsound, so no match
+        # would ever read a vocabulary — building one wastes ingest
+        # CPU and bloats every artifact.
+        assert prepared.vocabulary is None
+        kernel_on = MatchSession().prepare(figure2_po())
+        kernel_on.build_all()
+        assert kernel_on.vocabulary is not None
+
+    def test_stale_index_membership_triggers_rebuild(self, tmp_path):
+        """A torn save can leave index.json present but out of step
+        with the manifest; membership mismatch must trigger the same
+        rebuild as a missing index, or brute-force search silently
+        drops the unindexed schemas."""
+        corpus = _corpus(3)
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            ids = [repo.ingest(s) for s in corpus]
+        index_path = os.path.join(path, "index.json")
+        with open(index_path) as handle:
+            index_data = json.load(handle)
+        del index_data["profiles"][ids[1]]  # simulate the stale file
+        with open(index_path, "w") as handle:
+            json.dump(index_data, handle)
+        healed = SchemaRepository.open(path)
+        assert healed.cache_info()["index_rebuilds"] == 1
+        query = _query_for(corpus[1], seed=67)
+        brute = healed.search(query, k=3)
+        assert ids[1] in {m.schema_id for m in brute}
+
+    def test_reopen_does_not_pin_runtime_knobs(self, tmp_path):
+        """Runtime fields (backend, engine, block size) must come from
+        the opening process, not the manifest — a repository created
+        under REPRO_FORCE_STDLIB would otherwise pin every later
+        numpy-capable open to the scalar fallback. Result-affecting
+        fields ARE restored."""
+        path = str(tmp_path / "repo")
+        created = SchemaRepository(
+            path,
+            config=CupidConfig().replace(
+                store="auto", dense_backend="stdlib", thns=0.6
+            ),
+        )
+        created.ingest(figure2_po())
+        created.save()
+        reopened = SchemaRepository.open(path)
+        assert reopened.config.dense_backend == CupidConfig().dense_backend
+        assert reopened.config.store == "auto"
+        assert reopened.config.thns == 0.6  # semantic field restored
+
+    def test_catalog_metadata(self, tmp_path):
+        repo = SchemaRepository(str(tmp_path / "repo"))
+        schema_id = repo.ingest(figure2_po())
+        meta = repo.describe(schema_id)
+        assert meta["name"] == figure2_po().name
+        assert meta["elements"] > 0 and meta["leaves"] > 0
+        with pytest.raises(RepositoryError, match="no schema"):
+            repo.describe("nope")
+        with pytest.raises(RepositoryError, match="no schema"):
+            repo.load("nope")
+
+    def test_reopen_is_lazy(self, tmp_path):
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            ids = [repo.ingest(s) for s in _corpus(3)]
+        reopened = SchemaRepository.open(path)
+        assert reopened.cache_info()["artifact_loads"] == 0
+        reopened.load(ids[0])
+        assert reopened.cache_info()["artifact_loads"] == 1
+
+    def test_verify_restored_artifacts(self, tmp_path):
+        """Every persisted tier must match a from-scratch preparation —
+        including on the DAG-shaped rdb/star schemas (join views,
+        shared types) and the duplicate-heavy generated ones."""
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            ids = [
+                repo.ingest(s)
+                for s in [
+                    figure2_po(),
+                    figure2_purchase_order(),
+                    rdb_schema(),
+                    star_schema(),
+                    *_corpus(2),
+                ]
+            ]
+        reopened = SchemaRepository.open(path)
+        for schema_id in ids:
+            reopened.verify(schema_id)
+
+
+class TestRoundTripParity:
+    def test_restored_matching_is_bit_identical(self, tmp_path):
+        """ingest → close → reopen → search == in-memory matching."""
+        corpus = _corpus()
+        query = _query_for(corpus[2])
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            for schema in corpus:
+                repo.ingest(schema)
+            live = repo.search(query, k=4)
+
+        # A fresh process: nothing in memory but the artifact files.
+        reopened = SchemaRepository.open(path)
+        restored = reopened.search(query, k=4)
+        assert _search_signature(restored) == _search_signature(live)
+
+        # And the in-memory oracle: a plain session over the original
+        # schema objects, same config, no persistence anywhere.
+        session = MatchSession(config=reopened.config)
+        by_name = {}
+        for schema in corpus:
+            result = session.match(query, schema)
+            by_name[schema.name] = (
+                match_score(result), _mapping_signature(result)
+            )
+        for match in restored:
+            score, signature = by_name[match.schema_name]
+            assert match.score == score
+            assert _mapping_signature(match.result) == signature
+
+    def test_prepared_round_trip_direct(self):
+        """dict → PreparedSchema → dict is a fixed point."""
+        session = MatchSession()
+        prepared = session.prepare(figure2_purchase_order())
+        payload = prepared_to_dict(prepared)
+        restored = prepared_from_dict(
+            payload, session.pipeline.linguistic, session.pipeline.config
+        )
+        assert prepared_to_dict(restored) == payload
+
+    def test_pruned_search_subset_of_brute_force(self, tmp_path):
+        corpus = _corpus(8)
+        query = _query_for(corpus[5], seed=41)
+        with SchemaRepository(str(tmp_path / "repo")) as repo:
+            for schema in corpus:
+                repo.ingest(schema)
+            brute = repo.search(query, k=3)
+            pruned = repo.search(query, k=3, candidates=4)
+        assert brute.stats["candidates_pruned"] == 0
+        assert pruned.stats["candidates_considered"] == 4
+        assert pruned.stats["candidates_pruned"] == len(corpus) - 4
+        # The true best match survives pruning and scores identically.
+        assert pruned.matches[0].schema_id == brute.matches[0].schema_id
+        assert pruned.matches[0].score == brute.matches[0].score
+
+
+class TestCorruption:
+    def _repo_with_one(self, tmp_path):
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            schema_id = repo.ingest(figure2_po())
+        return path, schema_id
+
+    def test_truncated_artifact(self, tmp_path):
+        path, schema_id = self._repo_with_one(tmp_path)
+        artifact = os.path.join(path, "schemas", f"{schema_id}.json")
+        with open(artifact, "w") as handle:
+            handle.write('{"format_version": 1, "schema"')
+        repo = SchemaRepository.open(path)
+        with pytest.raises(RepositoryError, match="corrupt"):
+            repo.load(schema_id)
+
+    def test_artifact_version_mismatch(self, tmp_path):
+        path, schema_id = self._repo_with_one(tmp_path)
+        artifact = os.path.join(path, "schemas", f"{schema_id}.json")
+        with open(artifact) as handle:
+            payload = json.load(handle)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with open(artifact, "w") as handle:
+            json.dump(payload, handle)
+        repo = SchemaRepository.open(path)
+        with pytest.raises(RepositoryError, match="version"):
+            repo.load(schema_id)
+
+    def test_structurally_broken_artifact(self, tmp_path):
+        path, schema_id = self._repo_with_one(tmp_path)
+        artifact = os.path.join(path, "schemas", f"{schema_id}.json")
+        with open(artifact) as handle:
+            payload = json.load(handle)
+        del payload["artifacts"]["categories"]
+        with open(artifact, "w") as handle:
+            json.dump(payload, handle)
+        repo = SchemaRepository.open(path)
+        with pytest.raises(RepositoryError, match="corrupt"):
+            repo.load(schema_id)
+
+    def test_missing_artifact_file(self, tmp_path):
+        path, schema_id = self._repo_with_one(tmp_path)
+        os.remove(os.path.join(path, "schemas", f"{schema_id}.json"))
+        repo = SchemaRepository.open(path)
+        with pytest.raises(RepositoryError, match="missing"):
+            repo.load(schema_id)
+
+    def test_corrupt_manifest(self, tmp_path):
+        path, _ = self._repo_with_one(tmp_path)
+        with open(os.path.join(path, "repository.json"), "w") as handle:
+            handle.write("not json {")
+        with pytest.raises(RepositoryError, match="corrupt"):
+            SchemaRepository.open(path)
+
+    def test_manifest_version_mismatch(self, tmp_path):
+        path, _ = self._repo_with_one(tmp_path)
+        manifest_path = os.path.join(path, "repository.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = FORMAT_VERSION + 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(RepositoryError, match="version"):
+            SchemaRepository.open(path)
+
+    def test_missing_repository(self, tmp_path):
+        with pytest.raises(RepositoryError, match="no schema repository"):
+            SchemaRepository.open(str(tmp_path / "nowhere"))
+
+    def test_config_mismatch(self, tmp_path):
+        path, _ = self._repo_with_one(tmp_path)
+        other = CupidConfig().replace(thns=0.7)
+        with pytest.raises(RepositoryError, match="config mismatch"):
+            SchemaRepository.open(path, config=other)
+        # Runtime-only differences are fine: engine/store/backend are
+        # parity-guaranteed not to change results.
+        runtime_only = SchemaRepository.open(
+            path, config=CupidConfig().replace(store="blocked")
+        )
+        assert runtime_only.config.store == "blocked"
+
+    def test_thesaurus_mismatch(self, tmp_path):
+        from repro import empty_thesaurus
+
+        path, _ = self._repo_with_one(tmp_path)
+        with pytest.raises(RepositoryError, match="thesaurus mismatch"):
+            SchemaRepository.open(path, thesaurus=empty_thesaurus())
+
+
+class TestVocabularyIndex:
+    def test_profile_counts_distinct_names(self):
+        session = MatchSession()
+        prepared = session.prepare(
+            SchemaGenerator(seed=5).generate(
+                n_leaves=20, name_repetition=0.8
+            )
+        )
+        profile = token_profile(prepared.linguistic)
+        distinct = {
+            n.raw for n in prepared.linguistic.normalized.values()
+        }
+        assert profile
+        # No token can be counted more often than there are distinct
+        # names (multiplicity of repeated elements must not leak in).
+        assert max(profile.values()) <= len(distinct)
+
+    def test_family_ranks_first(self, tmp_path):
+        corpus = _corpus(8)
+        query = _query_for(corpus[4], seed=13)
+        with SchemaRepository(str(tmp_path / "repo")) as repo:
+            ids = {repo.ingest(s): s.name for s in corpus}
+            search = repo.search(query, k=1, candidates=2)
+        ranking = search.candidate_scores
+        assert ids[ranking[0][0]] == corpus[4].name
+
+    def test_synset_expansion_reaches_synonyms(self):
+        from repro import builtin_thesaurus
+
+        index = VocabularyIndex()
+        index.add("inv", {"invoice": 1, "total": 1})
+        index.add("other", {"shipment": 1, "city": 1})
+        ranked = index.score({"bill": 1}, builtin_thesaurus())
+        assert ranked[0][0] == "inv"
+        assert ranked[0][1] > 0.0
+
+    def test_index_round_trip(self):
+        index = VocabularyIndex()
+        index.add("a", {"order": 2, "city": 1})
+        index.add("b", {"city": 3})
+        restored = VocabularyIndex.from_dict(index.to_dict())
+        assert restored.to_dict() == index.to_dict()
+        assert restored.score({"city": 1}) == index.score({"city": 1})
+
+    def test_index_version_mismatch(self):
+        with pytest.raises(RepositoryError, match="version"):
+            VocabularyIndex.from_dict({"index_version": 99, "profiles": {}})
+
+
+class TestSimilarityCachePersistence:
+    def test_simcache_round_trip_preserves_results(self, tmp_path):
+        corpus = _corpus(4)
+        query = _query_for(corpus[1], seed=23)
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            for schema in corpus:
+                repo.ingest(schema)
+            cold = repo.search(query, k=3)
+
+        # Second process: the memo starts preloaded from simcache.json.
+        warm_repo = SchemaRepository.open(path)
+        preloaded = warm_repo.cache_info()["simcache_preloaded_entries"]
+        assert preloaded > 0
+        warm = warm_repo.search(query, k=3)
+        assert _search_signature(warm) == _search_signature(cold)
+
+    def test_warm_save_skips_simcache_rewrite(self, tmp_path):
+        """A session that computed no new similarities must not touch
+        simcache.json — read-only search stays read-only."""
+        corpus = _corpus(3)
+        query = _query_for(corpus[0], seed=31)
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            for schema in corpus:
+                repo.ingest(schema)
+            repo.search(query, k=2)
+        simcache_path = os.path.join(path, "simcache.json")
+        before = os.stat(simcache_path).st_mtime_ns
+        with SchemaRepository.open(path) as warm:
+            warm.search(query, k=2)  # every similarity preloaded
+        assert os.stat(simcache_path).st_mtime_ns == before
+
+    def test_simcache_write_failure_is_not_fatal(
+        self, tmp_path, monkeypatch
+    ):
+        """Persisting the simcache is an optimization; an unwritable
+        repository directory must not fail a successful search."""
+        import repro.repository.store as store_module
+
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            repo.ingest(figure2_po())
+
+        repo = SchemaRepository.open(path)
+        search = repo.search(figure2_purchase_order(), k=1)
+        assert len(search) == 1
+        real_write = store_module._write_json
+
+        def failing_write(write_path, payload):
+            if write_path.endswith("simcache.json"):
+                raise OSError(30, "Read-only file system", write_path)
+            real_write(write_path, payload)
+
+        monkeypatch.setattr(store_module, "_write_json", failing_write)
+        repo.save()  # must not raise
+        assert repo.cache_info()["simcache_write_failures"] == 1
+
+    def test_stale_simcache_discarded(self, tmp_path):
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            repo.ingest(figure2_po())
+            repo.search(figure2_purchase_order(), k=1)
+        simcache_path = os.path.join(path, "simcache.json")
+        with open(simcache_path) as handle:
+            data = json.load(handle)
+        data["thesaurus_fingerprint"] = "different"
+        with open(simcache_path, "w") as handle:
+            json.dump(data, handle)
+        repo = SchemaRepository.open(path)
+        info = repo.cache_info()
+        assert info["simcache_preloaded_entries"] == 0
+        assert info["simcache_discarded"] == 1
+
+
+class TestStoreAuto:
+    def test_auto_resolves_by_leaf_count(self):
+        from repro.structure.blocked import BlockedSimilarityStore
+        from repro.structure.dense import DenseSimilarityStore
+
+        source = figure2_po()
+        target = figure2_purchase_order()
+        small = MatchSession(
+            config=CupidConfig().replace(store="auto")
+        ).match(source, target)
+        assert not isinstance(
+            small.treematch_result.sims, BlockedSimilarityStore
+        )
+        assert isinstance(
+            small.treematch_result.sims, DenseSimilarityStore
+        )
+        large = MatchSession(
+            config=CupidConfig().replace(
+                store="auto", auto_store_leaf_threshold=1
+            )
+        ).match(source, target)
+        assert isinstance(
+            large.treematch_result.sims, BlockedSimilarityStore
+        )
+
+    def test_auto_parity_with_flat(self):
+        source = _corpus(1, size=24)[0]
+        target = _query_for(source, seed=71)
+        flat = MatchSession(
+            config=CupidConfig().replace(store="flat")
+        ).match(source, target)
+        auto = MatchSession(
+            config=CupidConfig().replace(
+                store="auto", auto_store_leaf_threshold=1
+            )
+        ).match(source, target)
+        assert _mapping_signature(auto) == _mapping_signature(flat)
+
+
+class TestForceStdlibEnv:
+    def test_env_flips_default_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_STDLIB", "1")
+        assert CupidConfig().dense_backend == "stdlib"
+        monkeypatch.delenv("REPRO_FORCE_STDLIB")
+        assert CupidConfig().dense_backend == "auto"

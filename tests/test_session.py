@@ -290,3 +290,61 @@ class TestSessionConfiguration:
             _mapping_signature(result.leaf_mapping)
         )
         assert session.cache_info()["lsim_hits"] == 1
+
+
+class TestSessionLru:
+    """config.max_prepared_schemas bounds the session's cache tiers.
+
+    Eviction is least-recently-matched first and must be a pure memory
+    policy: results stay bit-identical to an unbounded session, only
+    hit rates (and the eviction counters) change.
+    """
+
+    def test_evicts_least_recently_matched(self):
+        source, targets = _batch_workload(n_targets=4)
+        session = MatchSession(
+            config=CupidConfig().replace(max_prepared_schemas=2)
+        )
+        session.match_many(source, targets)
+        info = session.cache_info()
+        assert info["prepared_schemas"] <= 2
+        # source + 4 targets passed through a 2-slot cache.
+        assert info["prepared_evictions"] >= 3
+        # Evicted prepared schemas take their cached lsim pairs along.
+        assert info["cached_lsim_pairs"] <= 2
+
+    def test_bounded_results_identical_to_unbounded(self):
+        source, targets = _batch_workload(n_targets=4)
+        bounded = MatchSession(
+            config=CupidConfig().replace(max_prepared_schemas=1)
+        )
+        unbounded = MatchSession()
+        for b, u in zip(
+            bounded.match_many(source, targets),
+            unbounded.match_many(source, targets),
+        ):
+            assert_identical(b, u)
+        assert bounded.cache_info()["prepared_evictions"] > 0
+        assert unbounded.cache_info()["prepared_evictions"] == 0
+
+    def test_recently_matched_survive(self):
+        source, targets = _batch_workload(n_targets=3)
+        session = MatchSession(
+            config=CupidConfig().replace(max_prepared_schemas=2)
+        )
+        session.match(source, targets[0])
+        before = session.cache_info()["prepare_misses"]
+        # source was refreshed by the match; matching it again must
+        # hit the cache even though targets rotated through.
+        session.match(source, targets[1])
+        session.match(source, targets[2])
+        assert session.cache_info()["prepare_misses"] == before + 2
+
+    def test_rematch_after_eviction_still_correct(self):
+        source, targets = _batch_workload(n_targets=3)
+        session = MatchSession(
+            config=CupidConfig().replace(max_prepared_schemas=1)
+        )
+        results = session.match_many(source, targets)
+        again = session.rematch(results[0])
+        assert_identical(again, results[0])
