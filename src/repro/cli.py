@@ -129,14 +129,21 @@ def _add_match_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--store", choices=("flat", "blocked", "auto"), default=None,
-        help="dense-engine similarity store (default: flat; blocked "
-             "allocates tiles lazily and bounds peak memory by the "
-             "live tiles — for very large schemas; auto picks per "
-             "pair by leaf count)",
+        help="dense-engine similarity store (default: auto — picks "
+             "per pair by leaf count; flat is fastest for small "
+             "pairs, blocked allocates tiles lazily and bounds peak "
+             "memory by the live tiles for very large schemas)",
     )
     parser.add_argument(
         "--block-size", type=int, default=None, metavar="N",
         help="tile edge length for --store blocked (default: auto)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for tile-sharded TreeMatch scans "
+             "(default: 1 = in-process; 0 = one per CPU core; pairs "
+             "below the parallel leaf threshold stay serial either "
+             "way; results are bit-identical at any setting)",
     )
     parser.add_argument(
         "--pipeline", default=None, metavar="STAGE=VARIANT[,...]",
@@ -260,6 +267,8 @@ def _config_from_args(
         config = config.replace(store=args.store)
     if args.block_size is not None:
         config = config.replace(block_size=args.block_size)
+    if getattr(args, "workers", None) is not None:
+        config = config.replace(workers=args.workers)
     return config
 
 

@@ -425,6 +425,7 @@ def compute_factored_lsim(
     profile_pairs = 0
     element_pairs = 0
     distinct_pairs = 0
+    batched_pairs = 0
 
     if scale_np is not None:
         rows_nz, cols_nz = _np.nonzero(scale_np)
@@ -449,10 +450,23 @@ def compute_factored_lsim(
             # name pairs actually needing an ns computation.
             unique_keys = _np.unique(vp_s[rows_nz] * v_t + vp_t[cols_nz])
             distinct_pairs = int(unique_keys.size)
-            for key in unique_keys.tolist():
-                flat_ns[key] = memo.element_name_similarity(
-                    names_s[key // v_t], names_t[key % v_t]
+            key_list = unique_keys.tolist()
+            if categorizer.config.linguistic_batch_ns:
+                ns_values = memo.element_name_similarity_batch(
+                    [
+                        (names_s[key // v_t], names_t[key % v_t])
+                        for key in key_list
+                    ],
+                    use_numpy=True,
                 )
+                batched_pairs = len(key_list)
+                for key, ns in zip(key_list, ns_values):
+                    flat_ns[key] = ns
+            else:
+                for key in key_list:
+                    flat_ns[key] = memo.element_name_similarity(
+                        names_s[key // v_t], names_t[key % v_t]
+                    )
             values_np = _np.frombuffer(
                 values, dtype=_np.float64
             ).reshape(p_s, p_t)
@@ -467,6 +481,29 @@ def compute_factored_lsim(
         profile_names_t = target_vocab.profile_names
         members_s = source_vocab.profile_members
         members_t = target_vocab.profile_members
+        if categorizer.config.linguistic_batch_ns:
+            # Pre-resolve the distinct name pairs the nonzero scale
+            # cells will need with one batched memo call (flat-array
+            # fallback inside the memo); the fill loop below then
+            # always hits this cache. ns is pure per pair, so
+            # resolution order cannot change any value.
+            ordered: Dict[int, None] = {}
+            for r in range(p_s):
+                v_base = source_vocab.profile_names[r] * v_t
+                base = r * p_t
+                for c in range(p_t):
+                    if scale[base + c] != 0.0:
+                        ordered.setdefault(v_base + profile_names_t[c])
+            key_list = list(ordered)
+            ns_values = memo.element_name_similarity_batch(
+                [
+                    (names_s[key // v_t], names_t[key % v_t])
+                    for key in key_list
+                ],
+                use_numpy=False,
+            )
+            ns_cache = dict(zip(key_list, ns_values))
+            batched_pairs = len(key_list)
         for r in range(p_s):
             v1 = source_vocab.profile_names[r]
             v_base = v1 * v_t
@@ -503,6 +540,10 @@ def compute_factored_lsim(
         "kernel_profile_pairs": profile_pairs,
         "kernel_element_pairs": element_pairs,
         "kernel_distinct_name_pairs": distinct_pairs,
+        # Distinct name pairs resolved through the memo's batched ns
+        # entry point (0 when linguistic_batch_ns is off or the
+        # backend skipped the kernel's vector paths entirely).
+        "kernel_ns_batched_pairs": batched_pairs,
         # Fraction of the reference path's per-element-pair ns lookups
         # the kernel answered from its distinct-name result.
         "kernel_hit_rate": (

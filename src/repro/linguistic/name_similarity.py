@@ -13,12 +13,24 @@ Three layers, bottom-up:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from array import array
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import CupidConfig
 from repro.linguistic.normalizer import NormalizedName
 from repro.linguistic.thesaurus import Thesaurus
 from repro.linguistic.tokens import Token, TokenType
+
+try:  # optional acceleration, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_FORCE_STDLIB
+    _np = None
+
+
+#: Below this many name pairs, :meth:`NameSimilarityMemo.
+#: element_name_similarity_batch` routes through the scalar method —
+#: batch setup (index building, bucketing) costs more than it saves.
+_BATCH_MIN_PAIRS = 16
 
 
 def _common_prefix_len(a: str, b: str) -> int:
@@ -367,6 +379,285 @@ class NameSimilarityMemo:
         value = 0.0 if denominator == 0.0 else numerator / denominator
         self._element[key] = value
         return value
+
+    # ------------------------------------------------------------------
+    # Batched ns over a distinct-name cross product
+    # ------------------------------------------------------------------
+
+    def element_name_similarity_batch(
+        self,
+        pairs: Sequence[Tuple[NormalizedName, NormalizedName]],
+        use_numpy: bool = True,
+    ) -> List[float]:
+        """``ns(m1, m2)`` for many name pairs in one call.
+
+        The distinct-name kernel hands over its whole cross product of
+        uncovered name pairs at once. All the batch's setup is
+        per-*name* and per-*token*, never per-pair:
+
+        1. the distinct names on each side get compact ids and one
+           token-id list per weight slot (token texts are interned into
+           a per-side index as they are first seen);
+        2. every distinct token text pair is resolved exactly once into
+           a flat ``array('d')`` similarity matrix, through the token
+           cache (hits and misses counted per matrix cell);
+        3. under numpy the per-slot ``ns`` values are computed for the
+           whole distinct-name cross product at once — token-id gathers
+           grouped by token-count shape, vectorized row/col maxes, and
+           the weighted means assembled as elementwise matrix
+           arithmetic in the scalar code's slot order. The stdlib
+           fallback loops pair by pair but reads the flat matrix by
+           pre-scaled integer index instead of re-probing string-keyed
+           caches.
+
+        Every float expression replicates
+        :meth:`element_name_similarity` in the scalar accumulation
+        order (maxima summed left to right with elementwise adds; the
+        slot loop adds exact zeros where the scalar code skips), so
+        results are **bit-identical** to the scalar path — the parity
+        tests assert exact equality. Results land in the element cache
+        exactly as scalar calls would. Batches below
+        :data:`_BATCH_MIN_PAIRS` fall back to the scalar method
+        (per-pair overhead beats batch setup there).
+        """
+        if len(pairs) < _BATCH_MIN_PAIRS:
+            return [
+                self.element_name_similarity(n1, n2) for n1, n2 in pairs
+            ]
+        results: List[float] = [0.0] * len(pairs)
+        todo: List[Tuple[int, Tuple[str, str], NormalizedName,
+                         NormalizedName]] = []
+        for idx, (n1, n2) in enumerate(pairs):
+            key = (n1.raw, n2.raw)
+            value = self._element.get(key)
+            if value is not None:
+                self.element_hits += 1
+                results[idx] = value
+            else:
+                todo.append((idx, key, n1, n2))
+        if not todo:
+            return results
+        self.element_misses += len(todo)
+        # Compact per-side name ids (cross products repeat each name
+        # many times; everything expensive hangs off the distinct set).
+        names1: Dict[str, int] = {}
+        names2: Dict[str, int] = {}
+        reps_n1: List[NormalizedName] = []
+        reps_n2: List[NormalizedName] = []
+        for _idx, _key, n1, n2 in todo:
+            if n1.raw not in names1:
+                names1[n1.raw] = len(reps_n1)
+                reps_n1.append(n1)
+            if n2.raw not in names2:
+                names2[n2.raw] = len(reps_n2)
+                reps_n2.append(n2)
+        index1: Dict[str, int] = {}
+        index2: Dict[str, int] = {}
+        reps1: List[Token] = []
+        reps2: List[Token] = []
+        slots1 = [self._slot_ids(n, index1, reps1) for n in reps_n1]
+        slots2 = [self._slot_ids(n, index2, reps2) for n in reps_n2]
+        sims, width = self._token_matrix(reps1, reps2)
+        element = self._element
+        if use_numpy and _np is not None:
+            table = self._cross_ns_np(slots1, slots2, sims, width)
+            for idx, key, n1, n2 in todo:
+                value = table[names1[n1.raw]][names2[n2.raw]]
+                element[key] = value
+                results[idx] = value
+            return results
+        # stdlib fallback: per-pair slot loop in the scalar iteration
+        # order, reading the flat matrix by pre-scaled integer index.
+        bases1 = [
+            [
+                None if ids is None else [i * width for i in ids]
+                for ids in per_slot
+            ]
+            for per_slot in slots1
+        ]
+        weight_entries = self._weight_entries
+        for idx, key, n1, n2 in todo:
+            per_slot1 = bases1[names1[n1.raw]]
+            per_slot2 = slots2[names2[n2.raw]]
+            numerator = 0.0
+            denominator = 0.0
+            for slot, (_token_type, weight) in enumerate(weight_entries):
+                row_bases = per_slot1[slot]
+                cols = per_slot2[slot]
+                count = (
+                    (len(row_bases) if row_bases else 0)
+                    + (len(cols) if cols else 0)
+                )
+                if count == 0 or weight == 0.0:
+                    continue
+                denominator += weight * count
+                if row_bases and cols:
+                    forward = 0.0
+                    col_max: List[float] = []
+                    first = True
+                    for base in row_bases:
+                        best: Optional[float] = None
+                        for k, col in enumerate(cols):
+                            value = sims[base + col]
+                            if first:
+                                col_max.append(value)
+                            elif value > col_max[k]:
+                                col_max[k] = value
+                            if best is None or value > best:
+                                best = value
+                        first = False
+                        forward += best
+                    backward = 0.0
+                    for value in col_max:
+                        backward += value
+                    per_type = (forward + backward) / count
+                    numerator += weight * per_type * count
+            value = 0.0 if denominator == 0.0 else numerator / denominator
+            element[key] = value
+            results[idx] = value
+        return results
+
+    def _slot_ids(
+        self,
+        name: NormalizedName,
+        index: Dict[str, int],
+        reps: List[Token],
+    ) -> List[Optional[List[int]]]:
+        """The name's per-slot token-id lists under ``index`` (interning
+        unseen texts, with ``reps`` keeping one representative token per
+        text for similarity computation). Slot-aligned with
+        :attr:`_weight_entries`; ``None`` marks an empty bucket."""
+        out: List[Optional[List[int]]] = []
+        for bucket in self._type_buckets(name):
+            if not bucket:
+                out.append(None)
+                continue
+            ids = []
+            for token in bucket:
+                tid = index.get(token.text)
+                if tid is None:
+                    tid = index[token.text] = len(reps)
+                    reps.append(token)
+                ids.append(tid)
+            out.append(ids)
+        return out
+
+    def _token_matrix(
+        self, reps1: List[Token], reps2: List[Token]
+    ) -> Tuple[array, int]:
+        """Flat row-major similarity matrix over the distinct token
+        cross product, resolved through the token cache (each cell
+        counted once as a hit or miss)."""
+        width = len(reps2)
+        sims = array("d", bytes(8 * len(reps1) * width))
+        cache = self._token
+        for i, a in enumerate(reps1):
+            row = cache.get(a.text)
+            if row is None:
+                row = cache[a.text] = {}
+            base = i * width
+            for j, b in enumerate(reps2):
+                value = row.get(b.text)
+                if value is None:
+                    self.token_misses += 1
+                    value = token_similarity(
+                        a, b, self.thesaurus, self.config
+                    )
+                    row[b.text] = value
+                else:
+                    self.token_hits += 1
+                sims[base + j] = value
+        return sims, width
+
+    #: Gather-block budget for :meth:`_cross_ns_np` — chunk the
+    #: ``(k1, k2, r, c)`` blocks so no temporary exceeds ~32 MB.
+    _CROSS_BLOCK_CELLS = 1 << 22
+
+    def _cross_ns_np(
+        self,
+        slots1: List[List[Optional[List[int]]]],
+        slots2: List[List[Optional[List[int]]]],
+        sims: array,
+        width: int,
+    ) -> List[List[float]]:
+        """The full ``ns`` table over the distinct-name cross product.
+
+        Per weight slot, names are grouped by token count so each group
+        pair gathers a rectangular ``(k1, k2, r, c)`` block from the
+        token matrix; row/col maxima are summed left to right with
+        elementwise adds, and the weighted-mean accumulation adds exact
+        zeros where the scalar slot loop skips — every rounding step
+        matches :meth:`element_name_similarity`.
+        """
+        v1 = len(slots1)
+        v2 = len(slots2)
+        numerator = _np.zeros((v1, v2))
+        denominator = _np.zeros((v1, v2))
+        sims_np = None
+        if len(sims):
+            sims_np = _np.frombuffer(sims, dtype=_np.float64)
+            sims_np = sims_np.reshape(-1, width)
+        cnt1 = _np.empty(v1)
+        cnt2 = _np.empty(v2)
+        for slot, (_token_type, weight) in enumerate(self._weight_entries):
+            if weight == 0.0:
+                continue
+            by_r: Dict[int, List[int]] = {}
+            for nid, per_slot in enumerate(slots1):
+                ids = per_slot[slot]
+                cnt1[nid] = len(ids) if ids else 0
+                if ids:
+                    by_r.setdefault(len(ids), []).append(nid)
+            by_c: Dict[int, List[int]] = {}
+            for nid, per_slot in enumerate(slots2):
+                ids = per_slot[slot]
+                cnt2[nid] = len(ids) if ids else 0
+                if ids:
+                    by_c.setdefault(len(ids), []).append(nid)
+            count = cnt1[:, None] + cnt2[None, :]
+            if not count.any():
+                continue
+            ns = _np.zeros((v1, v2))
+            for r, nids1 in by_r.items():
+                a1 = _np.asarray(
+                    [slots1[n][slot] for n in nids1], dtype=_np.intp
+                )
+                rows = _np.asarray(nids1, dtype=_np.intp)[:, None]
+                for c, nids2 in by_c.items():
+                    a2 = _np.asarray(
+                        [slots2[n][slot] for n in nids2], dtype=_np.intp
+                    )
+                    cols = _np.asarray(nids2, dtype=_np.intp)[None, :]
+                    step = max(
+                        1,
+                        self._CROSS_BLOCK_CELLS // max(1, len(nids2) * r * c),
+                    )
+                    for lo in range(0, len(nids1), step):
+                        hi = lo + step
+                        block = sims_np[
+                            a1[lo:hi, None, :, None], a2[None, :, None, :]
+                        ]
+                        row_max = block.max(axis=3)
+                        col_max = block.max(axis=2)
+                        forward = row_max[..., 0].copy()
+                        for k in range(1, r):
+                            forward += row_max[..., k]
+                        backward = col_max[..., 0].copy()
+                        for k in range(1, c):
+                            backward += col_max[..., k]
+                        ns[rows[lo:hi], cols] = (
+                            (forward + backward) / (r + c)
+                        )
+            # Elementwise replication of the scalar slot loop: slots the
+            # scalar code skips contribute exact 0.0 terms here (count
+            # is 0 there, and ns is 0 wherever a side has no tokens).
+            denominator += weight * count
+            numerator += weight * ns * count
+        table = _np.zeros((v1, v2))
+        _np.divide(
+            numerator, denominator, out=table, where=denominator > 0.0
+        )
+        return table.tolist()
 
     # ------------------------------------------------------------------
     # Persistence (the repository's cross-process memo tier)

@@ -27,6 +27,7 @@ everything cached is a pure function of (schema, thesaurus, config).
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import CupidConfig
@@ -55,6 +56,7 @@ class MatchSession:
         config: Optional[CupidConfig] = None,
         compat: Optional[TypeCompatibilityTable] = None,
         pipeline: Optional[MatchPipeline] = None,
+        simcache_path: Optional[str] = None,
     ) -> None:
         if pipeline is None:
             pipeline = MatchPipeline.default(
@@ -82,6 +84,9 @@ class MatchSession:
             "lsim_misses": 0,
             "prepared_evictions": 0,
             "lsim_evictions": 0,
+            "simcache_preloaded_entries": 0,
+            "simcache_discarded": 0,
+            "simcache_write_failures": 0,
         }
         # Tile occupancy accumulated over the session's blocked-store
         # matches (each match owns one store; the session sums them so
@@ -95,6 +100,26 @@ class MatchSession:
             "store_overlay_cells": 0,
             "store_bytes": 0,
         }
+        # Parallel-shard counters summed over the session's matches
+        # (all zero while config.workers <= 1).
+        self._parallel_counters = {
+            "parallel_matches": 0,
+            "parallel_scan_ops": 0,
+            "parallel_scale_ops": 0,
+            "parallel_shards_dispatched": 0,
+            "parallel_ops_forwarded": 0,
+            "parallel_stamp_merges": 0,
+        }
+        # The repository's persistent memo tier, available to
+        # standalone sessions: a JSON dump of the token-pair and
+        # element-name caches, preloaded at construction and written
+        # back by save_simcache() / the context-manager exit. The path
+        # comes from the argument or config.simcache_path ("" = off).
+        path = simcache_path or self.pipeline.config.simcache_path
+        self._simcache_path = os.path.abspath(path) if path else ""
+        self._simcache_baseline = 0
+        if self._simcache_path:
+            self._load_simcache()
 
     # ------------------------------------------------------------------
     # Caching
@@ -218,6 +243,19 @@ class MatchSession:
         from repro.structure.blocked import BlockedSimilarityStore
 
         sims = tm.sims
+        describe = getattr(sims, "describe", None)
+        facts = describe() if describe is not None else {}
+        if facts.get("parallel_workers", 0):
+            parallel = self._parallel_counters
+            parallel["parallel_matches"] += 1
+            for key in (
+                "parallel_scan_ops",
+                "parallel_scale_ops",
+                "parallel_shards_dispatched",
+                "parallel_ops_forwarded",
+                "parallel_stamp_merges",
+            ):
+                parallel[key] += facts.get(key, 0)
         if not isinstance(sims, BlockedSimilarityStore):
             return
         counters = self._store_counters
@@ -259,12 +297,128 @@ class MatchSession:
         )
 
     # ------------------------------------------------------------------
+    # Persistent similarity cache (the repository tier, standalone)
+    # ------------------------------------------------------------------
+
+    def _memo_computed_entries(self) -> int:
+        """Similarity entries this process computed itself (each memo
+        miss computes exactly one token or element entry; preloaded
+        entries arrive without misses). Gates the save: an unchanged
+        count means the file on disk is already current."""
+        memo = self.pipeline.linguistic.memo
+        if memo is None:
+            return 0
+        return memo.token_misses + memo.element_misses
+
+    def _load_simcache(self) -> None:
+        """Preload the memo from ``simcache_path`` if it matches.
+
+        Same format and same safety rules as the repository's
+        ``simcache.json``: a torn file is a cache miss, and a dump
+        written under a different thesaurus or config fingerprint is
+        silently dropped — entries computed under other knowledge
+        would poison bit-parity. The memo tiers are keyed by token
+        texts and raw names, not by prepared-schema identity, so LRU
+        eviction of prepared schemas never invalidates them.
+        """
+        from repro.repository.artifacts import (
+            FORMAT_VERSION,
+            config_fingerprint,
+        )
+        from repro.repository.store import _read_json
+
+        self._simcache_baseline = self._memo_computed_entries()
+        memo = self.pipeline.linguistic.memo
+        if memo is None or not os.path.exists(self._simcache_path):
+            return
+        try:
+            data = _read_json(self._simcache_path, "similarity cache")
+        except Exception:
+            self._counters["simcache_discarded"] += 1
+            return
+        if (
+            data.get("format_version") != FORMAT_VERSION
+            or data.get("thesaurus_fingerprint")
+            != self.pipeline.thesaurus.fingerprint()
+            or data.get("config_fingerprint")
+            != config_fingerprint(self.pipeline.config)
+        ):
+            self._counters["simcache_discarded"] += 1
+            return
+        self._counters["simcache_preloaded_entries"] += memo.preload_cache(
+            data.get("caches", {})
+        )
+
+    def save_simcache(self) -> None:
+        """Write the memo's persistable tiers back to ``simcache_path``.
+
+        No-op when no path is configured or nothing new was computed
+        since the preload. Write failures (read-only mount, missing
+        permissions) are counted, not raised — the simcache is a pure
+        optimization.
+        """
+        if not self._simcache_path:
+            return
+        from repro.repository.artifacts import (
+            FORMAT_VERSION,
+            config_fingerprint,
+        )
+        from repro.repository.store import _write_json
+
+        memo = self.pipeline.linguistic.memo
+        if memo is None:
+            return
+        if self._memo_computed_entries() == self._simcache_baseline:
+            return
+        try:
+            _write_json(
+                self._simcache_path,
+                {
+                    "format_version": FORMAT_VERSION,
+                    "thesaurus_fingerprint": (
+                        self.pipeline.thesaurus.fingerprint()
+                    ),
+                    "config_fingerprint": config_fingerprint(
+                        self.pipeline.config
+                    ),
+                    "caches": memo.export_cache(),
+                },
+            )
+        except OSError:
+            self._counters["simcache_write_failures"] += 1
+            return
+        self._simcache_baseline = self._memo_computed_entries()
+
+    def __enter__(self) -> "MatchSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Flush even when unwinding an exception — the memo is always
+        # internally consistent — but never mask the original error.
+        try:
+            self.save_simcache()
+        except Exception:
+            if exc_type is None:
+                raise
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def cache_info(self) -> Dict[str, int]:
         """Session cache counters (also in CLI ``match-many --stats``)."""
         info = dict(self._counters)
+        if not self._simcache_path:
+            # A session without its own simcache reports no simcache
+            # counters — callers that layer their own persistent memo
+            # tier on top (the repository) merge this dict over their
+            # counters, and structurally-zero entries would mask them.
+            for key in (
+                "simcache_preloaded_entries",
+                "simcache_discarded",
+                "simcache_write_failures",
+            ):
+                del info[key]
         info["prepared_schemas"] = len(self._prepared)
         info["cached_lsim_pairs"] = len(self._lsim_cache)
         # The vocabulary tier: distinct-name factorings the kernel has
@@ -279,6 +433,8 @@ class MatchSession:
         info["vocabulary_tables"] = vocabularies
         info["vocabulary_distinct_names"] = distinct_names
         # Blocked-store tile occupancy, summed over the session's
-        # matches (all zero while config.store == "flat").
+        # matches (all zero while no match used the blocked store).
         info.update(self._store_counters)
+        # Tile-shard dispatch counters (all zero while workers <= 1).
+        info.update(self._parallel_counters)
         return info

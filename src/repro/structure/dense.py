@@ -38,6 +38,7 @@ dict-based bookkeeping, which is exact by construction.
 
 from __future__ import annotations
 
+import weakref
 from array import array
 from typing import Dict, List, Optional, Tuple
 
@@ -46,6 +47,13 @@ from repro.exceptions import ConfigError
 from repro.linguistic.kernel import FactoredLsimTable
 from repro.linguistic.matcher import LsimTable
 from repro.model.datatypes import TypeCompatibilityTable
+from repro.structure.parallel import (
+    FLAT_STRIPE_ALIGN,
+    ShardContext,
+    effective_workers,
+    min_parallel_cells,
+    stripe_plan,
+)
 from repro.structure.similarity import SimilarityStore
 from repro.tree.schema_tree import SchemaTree, SchemaTreeNode
 
@@ -57,6 +65,39 @@ except ImportError:  # pragma: no cover - exercised via dense_backend="stdlib"
 
 def numpy_available() -> bool:
     return _np is not None
+
+
+#: Shared-memory segments whose close() was deferred: the store's
+#: finalizer runs while the plane views are still being deallocated,
+#: so the mapping can't close yet. Swept on the next allocation and at
+#: interpreter exit, when the exports are long gone.
+_PENDING_SHM_CLOSE: List = []
+
+
+def _sweep_pending_shm() -> None:
+    remaining = []
+    for shm in _PENDING_SHM_CLOSE:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - still exported
+            remaining.append(shm)
+    _PENDING_SHM_CLOSE[:] = remaining
+
+
+def _release_shared_planes(shm, view) -> None:
+    """Finalizer for shared flat planes: free the segment name first
+    (unlink works regardless of live buffer exports), then close the
+    local mapping — deferred to the sweep list when plane views being
+    deallocated alongside the store still export the buffer."""
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover
+        pass
+    try:
+        view.release()
+        shm.close()
+    except BufferError:
+        _PENDING_SHM_CLOSE.append(shm)
 
 
 def resolve_backend(requested: str) -> str:
@@ -247,6 +288,15 @@ class DenseSimilarityStore(SimilarityStore):
         self._row_seq: List[int] = [0] * self._n_s
         self._col_seq: List[int] = [0] * self._n_t
 
+        # Tile-sharded parallel execution (repro.structure.parallel):
+        # resolved once per store — workers > 1 only when the config
+        # asks for it AND the plane reaches the leaf threshold. The
+        # store-specific _build_matrices attaches the shard context.
+        self._shards: Optional[ShardContext] = None
+        self._parallel_workers = effective_workers(
+            config, max(self._n_s, self._n_t)
+        )
+
         self._build_matrices(lsim_table)
 
     # ------------------------------------------------------------------
@@ -256,8 +306,16 @@ class DenseSimilarityStore(SimilarityStore):
     def _build_matrices(self, lsim_table: LsimTable) -> None:
         n_s, n_t = self._n_s, self._n_t
         size = n_s * n_t
-        ssim_flat = array("d", bytes(8 * size))
-        lsim_flat = array("d", bytes(8 * size))
+        planes = (
+            self._alloc_shared_planes(size)
+            if self._parallel_workers > 1 and size
+            else None
+        )
+        if planes is not None:
+            ssim_flat, lsim_flat, wsim_flat = planes
+        else:
+            ssim_flat = array("d", bytes(8 * size))
+            lsim_flat = array("d", bytes(8 * size))
 
         # Initial leaf ssim = the shared leaf_base_ssim expression,
         # computed once per distinct (type, key-ness) combination
@@ -294,7 +352,8 @@ class DenseSimilarityStore(SimilarityStore):
             ):
                 lsim_flat[i * n_t + j] = value
 
-        wsim_flat = array("d", bytes(8 * size))
+        if planes is None:
+            wsim_flat = array("d", bytes(8 * size))
         self._S = ssim_flat
         self._L = lsim_flat
         self._W = wsim_flat
@@ -368,6 +427,69 @@ class DenseSimilarityStore(SimilarityStore):
                 value = values[p_base + q]
                 if value != 0.0:
                     lsim_flat[base + j] = value
+
+    # ------------------------------------------------------------------
+    # Parallel plumbing (repro.structure.parallel)
+    # ------------------------------------------------------------------
+
+    def _alloc_shared_planes(self, size: int):
+        """Place the three flat planes in one shared-memory segment
+        and attach the shard context, so workers scan/scale the same
+        bytes the scalar accessors read. Returns (S, L, W) as
+        zero-filled ``memoryview('d')`` slices — drop-in for the
+        ``array('d')`` planes (same indexing, same buffer protocol)."""
+        from multiprocessing import shared_memory
+
+        _sweep_pending_shm()
+        shm = shared_memory.SharedMemory(create=True, size=3 * 8 * size)
+        view = memoryview(shm.buf).cast("d")
+        planes = (
+            view[0:size],
+            view[size:2 * size],
+            view[2 * size:3 * size],
+        )
+        weakref.finalize(self, _release_shared_planes, shm, view)
+        shards = ShardContext(
+            self._parallel_workers,
+            stripe_plan(self._n_s, FLAT_STRIPE_ALIGN, self._parallel_workers),
+            min_parallel_cells(self._config),
+            self._use_numpy,
+        )
+        shards.attach_flat(
+            shm.name, self._n_s, self._n_t, self._wl, self._om, self.backend
+        )
+        shards.register_finalizer(self)
+        self._shards = shards
+        return planes
+
+    def _fraction_from_bits(
+        self, s_entry, t_entry, s_has, t_has, discount: bool
+    ) -> float:
+        """Strong-link fraction from merged per-row/per-column link
+        bits — the same integer counting both serial paths perform, so
+        the sharded scan's result is exact."""
+        s_required = s_entry.required
+        t_required = t_entry.required
+        s_linked = 0
+        s_total = 0
+        for k, flag in enumerate(s_has):
+            if flag:
+                s_linked += 1
+                s_total += 1
+            elif s_required[k] or not discount:
+                s_total += 1
+        t_linked = 0
+        t_total = 0
+        for k, flag in enumerate(t_has):
+            if flag:
+                t_linked += 1
+                t_total += 1
+            elif t_required[k] or not discount:
+                t_total += 1
+        denominator = s_total + t_total
+        if denominator == 0:
+            return 0.0
+        return (s_linked + t_linked) / denominator
 
     # ------------------------------------------------------------------
     # Scalar accessors (leaf-pair fast path, inherited fallback)
@@ -500,6 +622,26 @@ class DenseSimilarityStore(SimilarityStore):
         if t_entry is None:
             return None
         cells = len(s_entry.ids) * len(t_entry.ids)
+
+        shards = self._shards
+        if (
+            shards is not None
+            and cells >= shards.min_cells
+            and s_entry.lo is not None
+            and t_entry.lo is not None
+        ):
+            # Workers scale their stripes in place on the shared
+            # planes; the merged crossing bits are stamped exactly once
+            # here (the barrier), reproducing the serial stamp sequence.
+            any_crossed, row_bits, col_bits = shards.scale(
+                s_entry.lo, s_entry.hi, t_entry.lo, t_entry.hi,
+                factor, self._thaccept,
+            )
+            if any_crossed:
+                self._mark_crossed(
+                    s_entry, t_entry, list(row_bits), list(col_bits)
+                )
+            return cells
 
         if self._use_numpy and cells >= self._VECTOR_MIN_CELLS:
             threshold = self._thaccept
@@ -679,6 +821,20 @@ class DenseSimilarityStore(SimilarityStore):
         if not s_ids or not t_ids:
             return 0.0
 
+        shards = self._shards
+        if (
+            shards is not None
+            and len(s_ids) * len(t_ids) >= shards.min_cells
+            and s_entry.lo is not None
+            and t_entry.lo is not None
+        ):
+            row_bits, col_bits = shards.scan(
+                s_entry.lo, s_entry.hi, t_entry.lo, t_entry.hi, thaccept
+            )
+            return self._fraction_from_bits(
+                s_entry, t_entry, row_bits, col_bits, discount
+            )
+
         if self._use_numpy and len(s_ids) * len(t_ids) >= self._VECTOR_MIN_CELLS:
             if s_entry.lo is not None and t_entry.lo is not None:
                 sub = self._Wnp[s_entry.lo:s_entry.hi, t_entry.lo:t_entry.hi]
@@ -767,10 +923,13 @@ class DenseSimilarityStore(SimilarityStore):
 
     def describe(self) -> Dict[str, object]:
         """Engine/backend facts for ``--stats`` dumps."""
-        return {
+        facts = {
             "store": "flat",
             "backend": self.backend,
             "matrix_shape": (self._n_s, self._n_t),
             "leaf_cells": self._n_s * self._n_t,
             "store_bytes": self.store_bytes(),
         }
+        if self._shards is not None:
+            facts.update(self._shards.counters)
+        return facts

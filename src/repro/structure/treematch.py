@@ -16,6 +16,18 @@ before their roots are, giving the mutually recursive flavor the paper
 describes. Node pairs with very different subtree leaf counts are
 skipped ("say within a factor of 2"), which both prunes work and avoids
 dragging down leaf similarities with hopeless comparisons.
+
+Parallel invariant: when the store shards a strong-link scan or a
+cinc/cdec block multiply across worker processes
+(:mod:`repro.structure.parallel`), every such operation is a
+**barrier** — the store blocks until all shards return and merges
+their threshold-crossing row/col bits into the dirty stamps *before*
+this loop observes any result. TreeMatch therefore never sees a
+partially applied operation, the visit-sequence numbers recorded per
+non-leaf pair keep their serial meaning, and the incremental
+:meth:`TreeMatch.recompute_wsim` skip logic stays exact under any
+worker count (the fuzz suite's ``workers=2`` variants hold this
+bit-identically).
 """
 
 from __future__ import annotations

@@ -6,9 +6,13 @@ incremental recompute, and the blocked tile store — whose pairwise
 interactions no hand-picked test can cover. This suite generates
 seeded random schema pairs across the axes that select those paths
 (size × name repetition × tree/DAG shape × leaf_prune_depth ×
-store × block size × kernel on/off × backend × threshold band) and
-asserts **bit-identical** lsim tables, wsim maps, and leaf/non-leaf
-mappings against the reference engine on every one.
+store × block size × kernel on/off × backend × threshold band ×
+worker count) and asserts **bit-identical** lsim tables, wsim maps,
+and leaf/non-leaf mappings against the reference engine on every one.
+The ``workers`` variants force the tile-sharded parallel layer onto
+every plane (``parallel_leaf_threshold=1``), so shard dispatch, op
+forwarding, and crossing-stamp reconciliation are all under the same
+bit-identity oracle as the serial paths.
 
 Tier-1 runs :data:`N_TIER1_PAIRS` schema pairs under the fixed
 :data:`FUZZ_SEED` (each pair checks :data:`VARIANTS_PER_PAIR` dense
@@ -42,10 +46,10 @@ pytestmark = pytest.mark.fuzz
 FUZZ_SEED = 20260728
 
 #: Schema pairs checked in tier-1 (each pair runs VARIANTS_PER_PAIR
-#: dense-vs-reference comparisons: 48 × 5 = 240 cases ≥ the 200-case
+#: dense-vs-reference comparisons: 48 × 7 = 336 cases ≥ the 200-case
 #: floor).
 N_TIER1_PAIRS = 48
-VARIANTS_PER_PAIR = 5
+VARIANTS_PER_PAIR = 7
 
 #: Full-sweep pair count (REPRO_FUZZ_FULL=1).
 N_FULL_PAIRS = 400
@@ -166,6 +170,21 @@ def _variants(params: dict):
             {"store": "blocked", "block_size": params["small_block_size"]},
         ),
         ("flat no-kernel", {"store": "flat", "linguistic_kernel": False}),
+        # Worker variants force the sharded layer onto every plane
+        # regardless of size, so tiny fuzz pairs still cross the
+        # process boundary (dispatch, merge, stamp reconciliation).
+        (
+            "flat workers=2",
+            {"store": "flat", "workers": 2, "parallel_leaf_threshold": 1},
+        ),
+        (
+            "blocked workers=2",
+            {
+                "store": "blocked",
+                "workers": 2,
+                "parallel_leaf_threshold": 1,
+            },
+        ),
     ]
     if params["extra_backend_stdlib"]:
         variants.append(

@@ -208,6 +208,83 @@ class TestFactoredLsimTable:
         assert 0.0 <= stats["kernel_hit_rate"] <= 1.0
 
 
+class TestBatchedNs:
+    """The memo's batched ns entry point vs the scalar path.
+
+    The kernel resolves its distinct-name cross product through
+    ``NameSimilarityMemo.element_name_similarity_batch``; every value
+    must be bit-identical to per-pair ``element_name_similarity``
+    calls on both the vectorized and the flat-array resolution paths.
+    """
+
+    @pytest.fixture
+    def wide_pair(self):
+        from repro.datasets.generator import (
+            PerturbationConfig,
+            SchemaGenerator,
+        )
+
+        generator = SchemaGenerator(seed=77)
+        schema = generator.generate(
+            n_leaves=60, max_depth=3, name_repetition=0.4
+        )
+        other, _ = generator.perturb(
+            schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+        )
+        return schema, other
+
+    def _table(self, thesaurus, wide_pair, **overrides):
+        config = CupidConfig(engine="dense", **overrides)
+        return LinguisticMatcher(thesaurus, config).compute(*wide_pair)
+
+    def test_batched_matches_scalar(self, thesaurus, wide_pair):
+        batched = self._table(thesaurus, wide_pair)
+        scalar = self._table(
+            thesaurus, wide_pair, linguistic_batch_ns=False
+        )
+        assert sorted(batched.items()) == sorted(scalar.items())
+        assert batched.kernel_stats["kernel_ns_batched_pairs"] > 0
+        assert scalar.kernel_stats["kernel_ns_batched_pairs"] == 0
+
+    def test_batched_matches_scalar_stdlib(self, thesaurus, wide_pair):
+        batched = self._table(
+            thesaurus, wide_pair, dense_backend="stdlib"
+        )
+        scalar = self._table(
+            thesaurus,
+            wide_pair,
+            dense_backend="stdlib",
+            linguistic_batch_ns=False,
+        )
+        assert sorted(batched.items()) == sorted(scalar.items())
+        assert batched.kernel_stats["kernel_ns_batched_pairs"] > 0
+
+    def test_backends_agree_batched(self, thesaurus, wide_pair):
+        vectorized = self._table(thesaurus, wide_pair)
+        flat = self._table(thesaurus, wide_pair, dense_backend="stdlib")
+        assert sorted(vectorized.items()) == sorted(flat.items())
+
+    def test_small_batch_routes_scalar(
+        self, thesaurus, normalizer, config
+    ):
+        """Below the batch floor the entry point defers to the scalar
+        method — same results, no batch setup."""
+        from repro.linguistic.name_similarity import NameSimilarityMemo
+
+        names = [
+            normalizer.normalize(text)
+            for text in ("CustomerName", "ClientName", "OrderDate")
+        ]
+        memo = NameSimilarityMemo(thesaurus, config)
+        pairs = [(names[0], names[1]), (names[0], names[2])]
+        batched = memo.element_name_similarity_batch(pairs)
+        fresh = NameSimilarityMemo(thesaurus, config)
+        scalar = [
+            fresh.element_name_similarity(n1, n2) for n1, n2 in pairs
+        ]
+        assert batched == scalar
+
+
 class TestLinguisticMatcher:
     def test_identical_leaf_names_get_full_lsim(self, thesaurus, tiny_pair):
         source, target = tiny_pair

@@ -1,0 +1,255 @@
+"""Tests for the tile-sharded parallel TreeMatch layer.
+
+The fuzz suite (``test_fuzz_parity.py``) is the bit-identity oracle —
+its ``workers=2`` variants force every fuzz case's plane through the
+shards. This file covers the layer's own mechanics: stripe
+partitioning, worker resolution, crossing-stamp reconciliation
+counters, crash handling (a dead worker must surface as a named
+:class:`~repro.exceptions.ParallelError`, never a silent serial
+fallback, and must not poison later matches), the serial threshold for
+small planes, and the pickling support multiprocessing contexts rely
+on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import CupidMatcher, MatchSession
+from repro.config import CupidConfig
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.exceptions import ParallelError
+from repro.structure import parallel
+from repro.structure.parallel import (
+    effective_workers,
+    get_pool,
+    min_parallel_cells,
+    stripe_plan,
+)
+
+
+def _pair(n_leaves=48, seed=29):
+    generator = SchemaGenerator(seed=seed)
+    schema = generator.generate(n_leaves=n_leaves, max_depth=3)
+    other, _ = generator.perturb(
+        schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+    )
+    return schema, other
+
+
+def _signatures(result):
+    source_paths = {
+        n.node_id: n.path() for n in result.source_tree.nodes()
+    }
+    target_paths = {
+        n.node_id: n.path() for n in result.target_tree.nodes()
+    }
+    wsim = sorted(
+        (source_paths[s], target_paths[t], value)
+        for (s, t), value in result.treematch_result.wsim.items()
+    )
+    leaf = sorted(
+        (e.source_path, e.target_path, e.similarity)
+        for e in result.leaf_mapping
+    )
+    return wsim, leaf
+
+
+def _match(schema, other, **overrides):
+    config = CupidConfig(engine="dense", **overrides)
+    return CupidMatcher(config=config).match(schema, other)
+
+
+class TestStripePlan:
+    def test_covers_and_partitions(self):
+        for n_rows, align, workers in (
+            (100, 8, 3),
+            (1, 64, 4),
+            (64, 64, 2),
+            (65, 64, 2),
+            (1000, 16, 7),
+        ):
+            stripes = stripe_plan(n_rows, align, workers)
+            assert len(stripes) == workers
+            cursor = 0
+            for r0, r1 in stripes:
+                assert r0 == cursor  # contiguous, ascending, disjoint
+                assert r0 <= r1 <= n_rows
+                cursor = r1
+            assert cursor == n_rows  # full cover
+
+    def test_aligned_to_tile_rows(self):
+        for r0, r1 in stripe_plan(1000, 16, 7):
+            assert r0 % 16 == 0
+            assert r1 % 16 == 0 or r1 == 1000
+
+    def test_empty_plane(self):
+        assert stripe_plan(0, 64, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_fewer_tile_rows_than_workers(self):
+        # 2 tile rows, 4 workers: trailing workers get empty stripes.
+        stripes = stripe_plan(128, 64, 4)
+        assert stripes[0] == (0, 64)
+        assert stripes[1] == (64, 128)
+        assert stripes[2] == (128, 128)
+        assert stripes[3] == (128, 128)
+
+
+class TestEffectiveWorkers:
+    def test_serial_default(self):
+        config = CupidConfig(workers=1)
+        assert effective_workers(config, 10_000) == 1
+
+    def test_threshold_keeps_small_planes_serial(self):
+        config = CupidConfig(workers=4, parallel_leaf_threshold=256)
+        assert effective_workers(config, 255) == 1
+        assert effective_workers(config, 256) == 4
+
+    def test_auto_expands_to_cpu_count(self):
+        config = CupidConfig(workers=0, parallel_leaf_threshold=1)
+        assert effective_workers(config, 1000) >= 1
+
+    def test_min_cells_tracks_threshold(self):
+        assert min_parallel_cells(
+            CupidConfig(parallel_leaf_threshold=1)
+        ) == 1
+        assert min_parallel_cells(
+            CupidConfig(parallel_leaf_threshold=100)
+        ) == 10_000
+        # Capped: a huge threshold must not disable dispatch entirely
+        # on planes the store already decided to shard.
+        assert min_parallel_cells(
+            CupidConfig(parallel_leaf_threshold=10_000)
+        ) == 262_144
+
+
+class TestShardedParity:
+    """Spot parity checks with engaged-counter assertions (the broad
+    sweep lives in the fuzz suite)."""
+
+    @pytest.mark.parametrize("store", ["flat", "blocked"])
+    def test_bit_identical_and_engaged(self, store):
+        schema, other = _pair()
+        serial = _match(schema, other, store=store)
+        sharded = _match(
+            schema,
+            other,
+            store=store,
+            workers=2,
+            parallel_leaf_threshold=1,
+        )
+        assert _signatures(serial) == _signatures(sharded)
+        facts = sharded.treematch_result.sims.describe()
+        assert facts["parallel_workers"] == 2
+        assert facts["parallel_scan_ops"] > 0
+        assert facts["parallel_shards_dispatched"] > 0
+        if store == "flat":
+            assert facts["parallel_scale_ops"] > 0
+        else:
+            assert facts["parallel_ops_forwarded"] > 0
+
+    def test_stamp_reconciliation_counted(self):
+        """Context scaling crosses the strong-link threshold somewhere
+        on a perturbed pair; the shards must report those crossings
+        back and the store must stamp them (the dirty-set recompute
+        correctness hinges on this — parity above proves it exact,
+        this proves the parallel path is the one doing it)."""
+        schema, other = _pair()
+        sharded = _match(
+            schema,
+            other,
+            store="flat",
+            workers=2,
+            parallel_leaf_threshold=1,
+        )
+        facts = sharded.treematch_result.sims.describe()
+        assert facts["parallel_stamp_merges"] > 0
+
+    def test_session_accumulates_parallel_counters(self):
+        schema, other = _pair(n_leaves=32)
+        session = MatchSession(
+            config=CupidConfig(
+                engine="dense",
+                store="flat",
+                workers=2,
+                parallel_leaf_threshold=1,
+            )
+        )
+        session.match(schema, other)
+        info = session.cache_info()
+        assert info["parallel_matches"] == 1
+        assert info["parallel_scan_ops"] > 0
+
+
+class TestSerialThreshold:
+    def test_small_plane_stays_in_process(self):
+        schema, other = _pair(n_leaves=16)
+        # Pinned (not defaulted) threshold so the CI worker matrix's
+        # REPRO_FORCE_PARALLEL_THRESHOLD=1 override can't flip it: 256
+        # far exceeds 16 leaves, so no shard context and no worker
+        # pool involvement.
+        result = _match(
+            schema, other, store="flat", workers=4,
+            parallel_leaf_threshold=256,
+        )
+        facts = result.treematch_result.sims.describe()
+        assert "parallel_workers" not in facts
+
+
+class TestCrashHandling:
+    def test_dead_worker_raises_named_error_then_recovers(self):
+        schema, other = _pair(n_leaves=40)
+        overrides = {
+            "store": "flat",
+            "workers": 2,
+            "parallel_leaf_threshold": 1,
+        }
+        # Warm the pool, then crash one worker via the test hook.
+        pool = get_pool(2)
+        pool.post(0, ("die",))
+        pool._procs[0].join(timeout=10)
+        assert not pool._procs[0].is_alive()
+        with pytest.raises(ParallelError):
+            _match(schema, other, **overrides)
+        # The broken pool was dropped from the registry; the next
+        # match spawns a fresh pool and is exact again.
+        assert parallel._POOLS.get(2) is not pool
+        recovered = _match(schema, other, **overrides)
+        serial = _match(schema, other, store="flat")
+        assert _signatures(recovered) == _signatures(serial)
+
+    def test_posting_to_dead_pool_raises(self):
+        pool = get_pool(3)
+        pool.shutdown()
+        with pytest.raises(ParallelError):
+            pool.post(0, ("ping",))
+
+
+class TestPickling:
+    """Config and PreparedSchema must survive pickling — spawn-context
+    multiprocessing ships both to child processes."""
+
+    def test_config_roundtrip(self):
+        config = CupidConfig(
+            store="blocked", workers=3, parallel_leaf_threshold=7
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_prepared_schema_roundtrip(self):
+        schema, other = _pair(n_leaves=24)
+        config = CupidConfig(engine="dense")
+        session = MatchSession(config=config)
+        prepared = session.prepare(schema).build_all()
+        clone = pickle.loads(pickle.dumps(prepared))
+        # The expensive linguistic tier travels; tree and layout are
+        # dropped and rebuild deterministically on demand.
+        info = clone.cache_info()
+        assert info["linguistic_built"] is True
+        assert info["tree_built"] is False
+        assert info["leaf_layout_built"] is False
+        baseline = session.match(schema, other)
+        replayed = MatchSession(config=config).match(clone, other)
+        assert _signatures(baseline) == _signatures(replayed)
