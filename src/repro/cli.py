@@ -38,6 +38,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import CupidConfig
@@ -54,6 +55,7 @@ from repro.mapping.mapping import Mapping
 from repro.model.schema import Schema
 from repro.pipeline import CupidResult, MatchPipeline, MatchSession
 from repro.repository import SchemaRepository
+from repro.serving.metrics import search_latency_schema
 from repro.tree.construction import construct_schema_tree
 
 #: Extensions ``load_schema`` understands (also what ``index`` picks
@@ -242,6 +244,43 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--stats", action="store_true",
         help="dump search + repository cache counters to stderr",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the HTTP/JSON match daemon over a repository "
+             "(endpoints: /search /match /ingest /health /stats)",
+    )
+    serve.add_argument(
+        "--repo", required=True, metavar="DIR",
+        help="repository directory (created if absent)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks an ephemeral port (default: 8765)",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=None, metavar="N",
+        help="session-pool width; 0 = one per CPU core "
+             "(default: config.serving_sessions)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="max admitted-but-unfinished requests before 503 "
+             "(default: config.serving_queue_depth)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="default per-request deadline in seconds; 0 disables "
+             "(default: config.serving_timeout_s)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log each HTTP request to stderr",
     )
 
     show = commands.add_parser(
@@ -446,9 +485,11 @@ def _command_index(args: argparse.Namespace) -> int:
 def _command_search(args: argparse.Namespace) -> int:
     query = load_schema(args.schema)
     with SchemaRepository.open(args.repo) as repo:
+        start = time.perf_counter()
         search = repo.search(
             query, k=args.k, candidates=args.candidates
         )
+        elapsed = time.perf_counter() - start
         if args.format == "json":
             matches = []
             for match in search:
@@ -467,6 +508,9 @@ def _command_search(args: argparse.Namespace) -> int:
                     "query_schema": search.query_name,
                     "matches": matches,
                     "stats": search.stats,
+                    "latency_ms": search_latency_schema(
+                        search.stats, elapsed
+                    ),
                     "repository": repo.cache_info(),
                 },
                 indent=2,
@@ -491,6 +535,40 @@ def _command_search(args: argparse.Namespace) -> int:
         if args.stats:
             _print_stats(search.stats, "search stats")
             _print_stats(repo.cache_info(), "repository cache")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so plain match/search invocations never pay for
+    # the serving stack.
+    from repro.serving import MatchService
+    from repro.serving.http import serve as run_daemon
+
+    repo = SchemaRepository(args.repo)
+    service = MatchService(
+        repo,
+        sessions=args.sessions,
+        queue_depth=args.queue_depth,
+        timeout_s=args.timeout,
+    )
+
+    def announce(server) -> None:
+        health = service.health()
+        print(
+            f"serving {args.repo} on http://{args.host}:{server.port} "
+            f"({health['schemas']} schemas, {health['sessions']} "
+            f"sessions, queue depth {health['queue_depth']})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    run_daemon(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        ready=announce,
+    )
     return 0
 
 
@@ -525,6 +603,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_index(args)
         if args.command == "search":
             return _command_search(args)
+        if args.command == "serve":
+            return _command_serve(args)
         return _command_show(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -249,6 +249,34 @@ class CupidConfig:
     #: that have no repository. Empty (the default) disables it.
     simcache_path: str = ""
 
+    #: Number of index segments a repository accumulates before a
+    #: flush auto-compacts them into one (0 = never auto-compact;
+    #: ``SchemaRepository.compact()`` stays available). Each ingest
+    #: batch appends one segment, so this bounds both the open-time
+    #: replay length and the manifest size.
+    segment_compaction_threshold: int = 8
+
+    #: Session-pool width of a :class:`repro.serving.MatchService`:
+    #: how many :class:`~repro.pipeline.session.MatchSession` workers
+    #: execute requests concurrently (0 = one per CPU core). Each
+    #: worker holds its own prepared/lsim LRU tiers (bounded by
+    #: :attr:`max_prepared_schemas`); all of them share one linguistic
+    #: memo and the repository's persistent simcache.
+    serving_sessions: int = 4
+
+    #: Upper bound on requests admitted but not yet finished by a
+    #: :class:`~repro.serving.MatchService` (running + queued). Beyond
+    #: it the service raises
+    #: :class:`~repro.exceptions.ServiceOverloadedError` immediately —
+    #: backpressure instead of unbounded queueing.
+    serving_queue_depth: int = 64
+
+    #: Default per-request deadline, in seconds, for MatchService
+    #: requests (0 = no deadline). Individual requests can override it;
+    #: exceeding it raises
+    #: :class:`~repro.exceptions.RequestTimeoutError`.
+    serving_timeout_s: float = 30.0
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if the parameters are inconsistent."""
         for name in ("thns", "thhigh", "thlow", "thaccept"):
@@ -324,6 +352,27 @@ class CupidConfig:
             raise ConfigError(
                 f"max_prepared_schemas ({self.max_prepared_schemas}) "
                 "must be >= 0 (0 = unbounded)"
+            )
+        if self.segment_compaction_threshold < 0:
+            raise ConfigError(
+                f"segment_compaction_threshold "
+                f"({self.segment_compaction_threshold}) must be >= 0 "
+                "(0 = never auto-compact)"
+            )
+        if self.serving_sessions < 0:
+            raise ConfigError(
+                f"serving_sessions ({self.serving_sessions}) must be "
+                ">= 0 (0 = one per CPU core)"
+            )
+        if self.serving_queue_depth < 1:
+            raise ConfigError(
+                f"serving_queue_depth ({self.serving_queue_depth}) "
+                "must be >= 1"
+            )
+        if self.serving_timeout_s < 0:
+            raise ConfigError(
+                f"serving_timeout_s ({self.serving_timeout_s}) must be "
+                ">= 0 (0 = no deadline)"
             )
         total = sum(self.token_type_weights.values())
         if abs(total - 1.0) > 1e-9:

@@ -94,3 +94,51 @@ class RepositoryError(ReproError):
     version, or opening a repository under a config/thesaurus that
     does not match the one its artifacts were prepared with.
     """
+
+
+class SegmentError(RepositoryError):
+    """Raised when an index segment file cannot be trusted: a missing
+    file named by the manifest, a checksum mismatch, or a structurally
+    broken payload. The repository treats any of these as a signal to
+    fall back to the artifact re-scan — segments are a derived view,
+    never the source of truth.
+    """
+
+
+class ServingError(ReproError):
+    """Base class for the serving subsystem's request-level failures.
+
+    Every error a :class:`repro.serving.MatchService` request can
+    surface derives from this, so a front end (the HTTP daemon, an
+    embedding application) can map the taxonomy to its own status
+    codes without string-matching messages.
+    """
+
+
+class ServiceClosedError(ServingError):
+    """Raised when a request reaches a service that has been closed
+    (or is draining for shutdown)."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Raised when the service's bounded request queue is full.
+
+    Backpressure, not buffering: a saturated pool rejects new work
+    immediately so callers can shed load or retry elsewhere instead of
+    stacking unbounded latency.
+    """
+
+
+class RequestTimeoutError(ServingError):
+    """Raised when a request exceeds its deadline.
+
+    The deadline is cooperative: long operations (candidate matching
+    inside a search) check it between units of work, so a timed-out
+    request also stops consuming a pool session promptly.
+    """
+
+
+class BadRequestError(ServingError):
+    """Raised for malformed service requests: unparseable JSON bodies,
+    missing required fields, unknown schema formats, or out-of-range
+    parameters. Maps to HTTP 400 in the daemon."""

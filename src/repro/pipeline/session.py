@@ -28,6 +28,7 @@ everything cached is a pure function of (schema, thesaurus, config).
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import CupidConfig
@@ -120,6 +121,17 @@ class MatchSession:
         self._simcache_baseline = 0
         if self._simcache_path:
             self._load_simcache()
+        # Guards the prepared/lsim tiers and every counter dict, so the
+        # session is safe to share across threads (the serving pool's
+        # workers, a concurrent ``match_many``). Held only for cache
+        # bookkeeping — pipeline.run() and prepare()'s heavy lifting
+        # execute outside it, so matches on distinct pairs overlap.
+        # The linguistic memo is intentionally *not* behind this lock:
+        # its entries are pure values keyed by token/name texts, so a
+        # racing recompute stores an identical result (wasted work,
+        # never a wrong one), and serializing it would serialize the
+        # whole linguistic phase across the pool.
+        self._tier_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Caching
@@ -132,24 +144,36 @@ class MatchSession:
         with its raw schema hit the same artifact).
         """
         if isinstance(schema, PreparedSchema):
-            registered = self._prepared.get(id(schema.schema))
-            if registered is not None:
-                # The session's own artifact wins: while registered,
-                # its id() — the lsim-cache key — cannot be reused by
-                # a new object.
+            with self._tier_lock:
+                registered = self._prepared.get(id(schema.schema))
+                if registered is not None:
+                    # The session's own artifact wins: while
+                    # registered, its id() — the lsim-cache key —
+                    # cannot be reused by a new object.
+                    self._counters["prepare_hits"] += 1
+                    self._touch(id(schema.schema))
+                    return registered[1]
+                self._register(id(schema.schema), schema.schema, schema)
+                return schema
+        with self._tier_lock:
+            entry = self._prepared.get(id(schema))
+            if entry is not None:
                 self._counters["prepare_hits"] += 1
-                self._touch(id(schema.schema))
-                return registered[1]
-            self._register(id(schema.schema), schema.schema, schema)
-            return schema
-        entry = self._prepared.get(id(schema))
-        if entry is not None:
-            self._counters["prepare_hits"] += 1
-            self._touch(id(schema))
-            return entry[1]
-        self._counters["prepare_misses"] += 1
+                self._touch(id(schema))
+                return entry[1]
+        # Preparation runs outside the lock — it is the expensive part
+        # and a pure function of the schema, so two threads racing on
+        # the same schema compute identical artifacts and the first to
+        # register wins.
         prepared = self.pipeline.prepare(schema)
-        self._register(id(schema), schema, prepared)
+        with self._tier_lock:
+            entry = self._prepared.get(id(schema))
+            if entry is not None:
+                self._counters["prepare_hits"] += 1
+                self._touch(id(schema))
+                return entry[1]
+            self._counters["prepare_misses"] += 1
+            self._register(id(schema), schema, prepared)
         return prepared
 
     def _touch(self, key: int) -> None:
@@ -188,12 +212,13 @@ class MatchSession:
     def _cached_lsim(
         self, prep_s: PreparedSchema, prep_t: PreparedSchema
     ) -> Optional[LsimTable]:
-        cached = self._lsim_cache.get((id(prep_s), id(prep_t)))
-        if cached is None:
-            return None
-        self._counters["lsim_hits"] += 1
-        # Hand out a copy: initial-mapping hints mutate the table.
-        return cached.copy()
+        with self._tier_lock:
+            cached = self._lsim_cache.get((id(prep_s), id(prep_t)))
+            if cached is None:
+                return None
+            self._counters["lsim_hits"] += 1
+            # Hand out a copy: initial-mapping hints mutate the table.
+            return cached.copy()
 
     # ------------------------------------------------------------------
     # Matching
@@ -208,32 +233,35 @@ class MatchSession:
         """Match with every applicable session cache engaged."""
         prep_s = self.prepare(source)
         prep_t = self.prepare(target)
-        self._counters["matches"] += 1
+        with self._tier_lock:
+            self._counters["matches"] += 1
         lsim_table = self._cached_lsim(prep_s, prep_t)
         fresh = lsim_table is None
         if fresh:
-            self._counters["lsim_misses"] += 1
+            with self._tier_lock:
+                self._counters["lsim_misses"] += 1
         result = self.pipeline.run(
             prep_s,
             prep_t,
             initial_mapping=initial_mapping,
             lsim_table=lsim_table,
         )
-        if (
-            fresh
-            and not initial_mapping
-            and result.lsim_table is not None
-            and id(prep_s) in self._live_prep_ids
-            and id(prep_t) in self._live_prep_ids
-        ):
-            # Only a hint-free table is pristine enough to cache, and
-            # only while both prepared schemas are still registered
-            # (an LRU eviction between prepare() and here would leave
-            # a table keyed by a reusable id).
-            self._lsim_cache[(id(prep_s), id(prep_t))] = (
-                result.lsim_table.copy()
-            )
-        self._accumulate_store_stats(result)
+        with self._tier_lock:
+            if (
+                fresh
+                and not initial_mapping
+                and result.lsim_table is not None
+                and id(prep_s) in self._live_prep_ids
+                and id(prep_t) in self._live_prep_ids
+            ):
+                # Only a hint-free table is pristine enough to cache,
+                # and only while both prepared schemas are still
+                # registered (an LRU eviction between prepare() and
+                # here would leave a table keyed by a reusable id).
+                self._lsim_cache[(id(prep_s), id(prep_t))] = (
+                    result.lsim_table.copy()
+                )
+            self._accumulate_store_stats(result)
         return result
 
     def _accumulate_store_stats(self, result: CupidResult) -> None:
@@ -407,6 +435,10 @@ class MatchSession:
 
     def cache_info(self) -> Dict[str, int]:
         """Session cache counters (also in CLI ``match-many --stats``)."""
+        with self._tier_lock:
+            return self._cache_info_locked()
+
+    def _cache_info_locked(self) -> Dict[str, int]:
         info = dict(self._counters)
         if not self._simcache_path:
             # A session without its own simcache reports no simcache

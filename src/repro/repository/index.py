@@ -110,6 +110,11 @@ class VocabularyIndex:
         """The set of schema ids currently carrying postings."""
         return set(self._profiles)
 
+    def profile_items(self):
+        """``(schema_id, profile)`` pairs in sorted id order — the live
+        contents a compacted segment persists."""
+        return sorted(self._profiles.items())
+
     @property
     def n_tokens(self) -> int:
         return len(self._postings)

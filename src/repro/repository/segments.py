@@ -1,0 +1,235 @@
+"""Append-only index segments — incremental persistence for the
+vocabulary index.
+
+PR 5 persisted the whole :class:`~repro.repository.index.
+VocabularyIndex` as one ``index.json`` rewritten on every save: a
+10⁵-schema corpus would rewrite megabytes to ingest one schema, and
+two writers would clobber each other's work wholesale. This module
+replaces that with the structure every serving-grade index uses
+(an LSM-style log of immutable runs):
+
+* each ingest **batch** appends one immutable segment file
+  (``index/seg-<n>.json``) holding only the profiles added (and ids
+  removed) by that batch — ingest cost is proportional to the batch,
+  not the corpus;
+* the repository manifest records the segment sequence with a
+  **sha256 checksum per file**; opening a repository replays the
+  segments in order instead of re-scanning artifact files, and any
+  mismatch (missing file, torn write, checksum drift) raises
+  :class:`~repro.exceptions.SegmentError` so the caller falls back to
+  the artifact re-scan — segments are a derived view, never the
+  source of truth;
+* **compaction** folds the whole sequence into a single segment
+  carrying the live profiles, dropping superseded adds and tombstoned
+  ids. Compacting an already-compacted sequence is a no-op on the
+  index contents (idempotent by construction — the output is a pure
+  function of the live profiles).
+
+Segment payloads are canonical JSON (sorted keys, fixed separators),
+so a segment's checksum is reproducible from its logical contents and
+two processes writing the same batch produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.exceptions import SegmentError
+from repro.repository.index import VocabularyIndex
+
+#: Version stamp of the segment file layout; readers reject others.
+SEGMENT_VERSION = 1
+
+#: Subdirectory (under the repository root) holding segment files.
+SEGMENTS_DIR = "index"
+
+
+def segment_file_name(segment_id: int) -> str:
+    return f"seg-{segment_id:08d}.json"
+
+
+@dataclass
+class IndexSegment:
+    """One immutable batch of index mutations.
+
+    ``profiles`` maps schema ids added (or re-indexed) by the batch to
+    their token profiles; ``removed`` lists ids tombstoned by it.
+    Replay order is: apply removals, then adds — a segment that
+    re-indexes an id it also tombstones ends with the new profile.
+    """
+
+    segment_id: int
+    profiles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    removed: List[str] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.profiles and not self.removed
+
+    def apply_to(self, index: VocabularyIndex) -> None:
+        for schema_id in self.removed:
+            index.remove(schema_id)
+        for schema_id, profile in self.profiles.items():
+            index.add(schema_id, profile)
+
+
+def _canonical_payload(segment: IndexSegment) -> bytes:
+    payload = {
+        "segment_version": SEGMENT_VERSION,
+        "segment_id": segment.segment_id,
+        "profiles": {
+            schema_id: dict(profile)
+            for schema_id, profile in sorted(segment.profiles.items())
+        },
+        "removed": sorted(segment.removed),
+    }
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        + "\n"
+    ).encode("utf-8")
+
+
+def write_segment(root: str, segment: IndexSegment) -> Dict[str, Any]:
+    """Write ``segment`` under ``root`` and return its manifest entry.
+
+    The entry (``file``/``checksum``/``schemas``/``removed``) is what
+    the repository manifest records; :func:`read_segment` verifies the
+    checksum against the bytes on disk. Writes are atomic (tmp file +
+    rename), matching the repository's other JSON writes.
+    """
+    blob = _canonical_payload(segment)
+    directory = os.path.join(root, SEGMENTS_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, segment_file_name(segment.segment_id))
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp_path, path)
+    return {
+        "file": f"{SEGMENTS_DIR}/{segment_file_name(segment.segment_id)}",
+        "checksum": hashlib.sha256(blob).hexdigest(),
+        "schemas": len(segment.profiles),
+        "removed": len(segment.removed),
+    }
+
+
+def read_segment(root: str, entry: Dict[str, Any]) -> IndexSegment:
+    """Load and verify the segment named by a manifest ``entry``.
+
+    Raises :class:`SegmentError` on a missing file, checksum mismatch,
+    unsupported version, or structurally broken payload — the signals
+    that tell the repository to rebuild from artifacts instead.
+    """
+    rel = entry.get("file")
+    if not isinstance(rel, str) or not rel:
+        raise SegmentError(f"segment manifest entry is malformed: {entry!r}")
+    path = os.path.join(root, rel)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise SegmentError(f"segment file missing: {path} ({exc})") from exc
+    checksum = hashlib.sha256(blob).hexdigest()
+    if checksum != entry.get("checksum"):
+        raise SegmentError(
+            f"segment checksum mismatch for {path}: manifest says "
+            f"{entry.get('checksum')!r}, file hashes to {checksum!r}"
+        )
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SegmentError(f"segment {path} is corrupt: {exc}") from exc
+    if payload.get("segment_version") != SEGMENT_VERSION:
+        raise SegmentError(
+            f"segment version {payload.get('segment_version')!r} is not "
+            f"supported (this build reads version {SEGMENT_VERSION})"
+        )
+    try:
+        return IndexSegment(
+            segment_id=int(payload["segment_id"]),
+            profiles={
+                str(schema_id): {str(t): int(c) for t, c in profile.items()}
+                for schema_id, profile in payload["profiles"].items()
+            },
+            removed=[str(schema_id) for schema_id in payload["removed"]],
+        )
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise SegmentError(f"segment {path} is corrupt: {exc!r}") from exc
+
+
+def load_index_from_segments(
+    root: str, entries: Iterable[Dict[str, Any]]
+) -> VocabularyIndex:
+    """Replay a manifest's segment sequence into a fresh index.
+
+    Verifies every checksum before applying anything; raises
+    :class:`SegmentError` on the first untrustworthy segment.
+    """
+    segments = [read_segment(root, entry) for entry in entries]
+    index = VocabularyIndex()
+    for segment in segments:
+        segment.apply_to(index)
+    return index
+
+
+def next_segment_id(entries: Iterable[Dict[str, Any]]) -> int:
+    """The id for the next segment after ``entries`` (monotonic even
+    across compactions, so a stale reader can never mistake an old
+    file for a new one)."""
+    highest = -1
+    for entry in entries:
+        name = os.path.basename(str(entry.get("file", "")))
+        stem = name[len("seg-"):-len(".json")]
+        try:
+            highest = max(highest, int(stem))
+        except ValueError:
+            continue
+    return highest + 1
+
+
+def compact_segments(
+    root: str,
+    index: VocabularyIndex,
+    entries: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Fold ``entries`` into one segment holding the live profiles.
+
+    Writes the compacted segment (id = one past the current highest,
+    keeping ids monotonic) and returns the new one-entry list plus the
+    superseded files' relative paths. The *caller* deletes those after
+    persisting a manifest that no longer references them — crash-safe
+    ordering (a crash in between leaves unreferenced files, never a
+    manifest naming missing ones). The output is a pure function of
+    the index's live profiles, so compacting twice leaves the index
+    contents identical — the idempotence the tests round-trip.
+    """
+    merged = IndexSegment(
+        segment_id=next_segment_id(entries),
+        profiles={
+            schema_id: dict(profile)
+            for schema_id, profile in index.profile_items()
+        },
+    )
+    new_entry = write_segment(root, merged)
+    stale = [
+        str(entry.get("file"))
+        for entry in entries
+        if entry.get("file") and entry["file"] != new_entry["file"]
+    ]
+    return [new_entry], stale
+
+
+def remove_segment_files(root: str, stale: Iterable[str]) -> None:
+    """Delete superseded segment files (post-manifest-write cleanup).
+
+    A file already gone cannot make the sequence stale — the manifest
+    no longer references it — so missing files are ignored.
+    """
+    for rel in stale:
+        try:
+            os.remove(os.path.join(root, rel))
+        except OSError:
+            pass

@@ -24,10 +24,23 @@ in-memory path produces (``tests/test_repository.py`` asserts both).
 Directory layout (all JSON, human-diffable)::
 
     <root>/repository.json    manifest: versions, config, fingerprints,
-                              schema catalog
+                              schema catalog, index segment sequence
     <root>/schemas/<id>.json  one artifact file per ingested schema
-    <root>/index.json         vocabulary index profiles
+    <root>/index/seg-*.json   append-only index segments (one per
+                              ingest batch; compaction folds them)
     <root>/simcache.json      persistent name-similarity cache
+
+Since PR 7 the vocabulary index persists as **append-only segments**
+(:mod:`repro.repository.segments`) instead of one rewritten
+``index.json``: each flush appends a segment holding only the batch's
+profiles, opening replays the checksummed segment sequence instead of
+re-scanning artifacts, and compaction folds the sequence back to one
+file. The repository is also safe for concurrent use from multiple
+threads (the serving subsystem's shape): catalog/index mutations are
+guarded by one short-held lock, while schema preparation and candidate
+matching — the expensive parts — run outside it, optionally on a
+caller-supplied :class:`~repro.pipeline.session.MatchSession` so a
+session *pool* can search and ingest concurrently.
 """
 
 from __future__ import annotations
@@ -35,12 +48,13 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.config import CupidConfig
-from repro.exceptions import RepositoryError
+from repro.exceptions import RepositoryError, SegmentError
 from repro.linguistic.lexicon import builtin_thesaurus
 from repro.linguistic.thesaurus import Thesaurus
 from repro.model.schema import Schema
@@ -60,8 +74,18 @@ from repro.repository.artifacts import (
     schema_fingerprint,
 )
 from repro.repository.index import VocabularyIndex, token_profile
+from repro.repository.segments import (
+    IndexSegment,
+    compact_segments,
+    load_index_from_segments,
+    next_segment_id,
+    remove_segment_files,
+    write_segment,
+)
 
 MANIFEST_FILE = "repository.json"
+#: Legacy single-file index (pre-segment repositories); read-only
+#: backward compatibility — new saves always write segments.
 INDEX_FILE = "index.json"
 SIMCACHE_FILE = "simcache.json"
 SCHEMAS_DIR = "schemas"
@@ -170,7 +194,22 @@ class SchemaRepository:
             "simcache_discarded": 0,
             "simcache_write_failures": 0,
             "index_rebuilds": 0,
+            "segments_loaded": 0,
+            "segments_written": 0,
+            "segment_fallbacks": 0,
+            "segment_compactions": 0,
         }
+        # Guards the catalog, index, segment bookkeeping, counters,
+        # and the loaded-artifact cache. Held only for in-memory
+        # mutation and manifest/segment writes — preparation and
+        # matching (the expensive work) always run outside it.
+        self._lock = threading.RLock()
+        #: Manifest entries of the on-disk segment sequence, in replay
+        #: order.
+        self._segment_entries: List[Dict[str, Any]] = []
+        #: Profiles added since the last segment flush (the next
+        #: segment's contents). Keys are also live in self._index.
+        self._pending_adds: Dict[str, Dict[str, int]] = {}
         self._rebuild_index_pending = False
         if exists:
             self._open_existing(manifest_path, config)
@@ -265,19 +304,45 @@ class SchemaRepository:
                 name: getattr(stored_config, name)
                 for name in SEMANTIC_CONFIG_FIELDS
             })
-        index_path = os.path.join(self.path, INDEX_FILE)
-        if os.path.exists(index_path):
-            self._index = VocabularyIndex.from_dict(
-                _read_json(index_path, "repository index")
-            )
+        entries = manifest.get("index_segments")
+        if entries is not None:
+            # The normal open path since PR 7: replay the checksummed
+            # segment sequence — O(index size), no artifact bytes read.
+            try:
+                self._index = load_index_from_segments(self.path, entries)
+                self._segment_entries = [dict(entry) for entry in entries]
+                self._counters["segments_loaded"] += len(
+                    self._segment_entries
+                )
+            except SegmentError:
+                # A segment the manifest names is missing, torn, or
+                # fails its checksum: the artifacts are the source of
+                # truth, so fall back to the full re-scan.
+                self._counters["segment_fallbacks"] += 1
+                self._index = VocabularyIndex()
+                self._segment_entries = []
         else:
-            self._index = VocabularyIndex()
+            # Pre-segment repository: read the legacy single-file
+            # index once; the next save persists it as a segment.
+            index_path = os.path.join(self.path, INDEX_FILE)
+            if os.path.exists(index_path):
+                self._index = VocabularyIndex.from_dict(
+                    _read_json(index_path, "repository index")
+                )
+                self._pending_adds = {
+                    schema_id: dict(profile)
+                    for schema_id, profile in self._index.profile_items()
+                }
+            else:
+                self._index = VocabularyIndex()
         if self._index.indexed_ids() != set(self._schemas):
             # A missing or stale index (crash between the index and
             # manifest writes): searching through it would silently
             # drop or over-rank schemas, so rebuild from the artifact
             # files — they are the source of truth.
             self._index = VocabularyIndex()
+            self._segment_entries = []
+            self._pending_adds = {}
             if self._schemas:
                 self._rebuild_index_pending = True
 
@@ -308,9 +373,9 @@ class SchemaRepository:
         in this degraded state.
         """
         for schema_id in self._schemas:
-            self._index.add(
-                schema_id, token_profile(self.load(schema_id).linguistic)
-            )
+            profile = token_profile(self.load(schema_id).linguistic)
+            self._index.add(schema_id, profile)
+            self._pending_adds[schema_id] = profile
         self._counters["index_rebuilds"] += 1
         self._rebuild_index_pending = False
         self._dirty = True
@@ -319,7 +384,11 @@ class SchemaRepository:
     # Ingest
     # ------------------------------------------------------------------
 
-    def ingest(self, schema: Union[Schema, PreparedSchema]) -> str:
+    def ingest(
+        self,
+        schema: Union[Schema, PreparedSchema],
+        session: Optional[MatchSession] = None,
+    ) -> str:
         """Add ``schema`` to the corpus; returns its repository id.
 
         Preparation is forced eagerly and every persistent tier is
@@ -327,29 +396,50 @@ class SchemaRepository:
         (canonical schema hash), so re-ingesting an identical schema is
         a cheap no-op returning the existing id — the duplicate check
         runs on the raw schema, before any preparation.
+
+        Concurrent ingest never takes a long-held lock: preparation
+        and the artifact write happen outside the repository lock
+        (idempotent — both are pure functions of the schema), and only
+        the catalog/index registration is serialized. ``session``
+        selects which :class:`MatchSession` pays the preparation (a
+        serving pool passes its per-worker session; default is the
+        repository's own).
         """
         schema = self._disown_foreign(schema)
         raw = schema.schema if isinstance(schema, PreparedSchema) else schema
         canonical = canonical_schema_dict(raw)
         fingerprint = schema_fingerprint(canonical)
         schema_id = f"{_slug(raw.name)}-{fingerprint[:12]}"
-        if schema_id in self._schemas:
-            self._counters["ingest_duplicates"] += 1
-            return schema_id
-        prepared = self.session.prepare(schema)
+        with self._lock:
+            if schema_id in self._schemas:
+                self._counters["ingest_duplicates"] += 1
+                return schema_id
+        prepared = (session or self.session).prepare(schema)
         payload = prepared_to_dict(prepared, canonical=canonical)
         artifact_path = self._artifact_path(schema_id)
         _write_json(artifact_path, payload)
-        self._schemas[schema_id] = {
-            "name": prepared.schema.name,
-            "file": f"{SCHEMAS_DIR}/{schema_id}.json",
-            "elements": len(prepared.schema.elements),
-            "leaves": len(prepared.leaf_layout.leaves),
-        }
-        self._index.add(schema_id, token_profile(prepared.linguistic))
-        self._cache_loaded(schema_id, prepared)
-        self._counters["ingests"] += 1
-        self._dirty = True
+        profile = token_profile(prepared.linguistic)
+        with self._lock:
+            if schema_id in self._schemas:
+                # Lost a race against another ingest of the same
+                # schema; the artifact write was byte-identical.
+                self._counters["ingest_duplicates"] += 1
+                return schema_id
+            # Catalog and index are published together under the lock,
+            # so any reader snapshot sees a consistent prefix of the
+            # ingest order — never a schema that ranks but can't load
+            # (or the reverse).
+            self._schemas[schema_id] = {
+                "name": prepared.schema.name,
+                "file": f"{SCHEMAS_DIR}/{schema_id}.json",
+                "elements": len(prepared.schema.elements),
+                "leaves": len(prepared.leaf_layout.leaves),
+            }
+            self._index.add(schema_id, profile)
+            self._pending_adds[schema_id] = profile
+            self._cache_loaded(schema_id, prepared)
+            self._counters["ingests"] += 1
+            self._dirty = True
         return schema_id
 
     # ------------------------------------------------------------------
@@ -358,22 +448,26 @@ class SchemaRepository:
 
     def schema_ids(self) -> List[str]:
         """Ingested ids, sorted (the corpus catalog)."""
-        return sorted(self._schemas)
+        with self._lock:
+            return sorted(self._schemas)
 
     def describe(self, schema_id: str) -> Dict[str, Any]:
         """Catalog metadata for one schema id."""
-        meta = self._schemas.get(schema_id)
-        if meta is None:
-            raise RepositoryError(
-                f"repository has no schema {schema_id!r}"
-            )
-        return dict(meta)
+        with self._lock:
+            meta = self._schemas.get(schema_id)
+            if meta is None:
+                raise RepositoryError(
+                    f"repository has no schema {schema_id!r}"
+                )
+            return dict(meta)
 
     def __len__(self) -> int:
-        return len(self._schemas)
+        with self._lock:
+            return len(self._schemas)
 
     def __contains__(self, schema_id: str) -> bool:
-        return schema_id in self._schemas
+        with self._lock:
+            return schema_id in self._schemas
 
     def load(self, schema_id: str) -> PreparedSchema:
         """The restored :class:`PreparedSchema` for ``schema_id``.
@@ -381,25 +475,38 @@ class SchemaRepository:
         Reads the artifact file on first use (lazily — opening a
         repository loads no schema bytes at all) and caches the
         restored object for the repository's lifetime, subject to the
-        session's LRU bound.
+        session's LRU bound. Restoration runs outside the lock (two
+        racing loads restore twice and one result wins — wasted work,
+        never a torn artifact).
         """
-        prepared = self._loaded.get(schema_id)
-        if prepared is not None:
-            # LRU refresh mirrors the session's policy.
-            self._loaded[schema_id] = self._loaded.pop(schema_id)
-            return prepared
-        if schema_id not in self._schemas:
-            raise RepositoryError(
-                f"repository has no schema {schema_id!r}"
-            )
+        with self._lock:
+            prepared = self._loaded.get(schema_id)
+            if prepared is not None:
+                # LRU refresh mirrors the session's policy.
+                self._loaded[schema_id] = self._loaded.pop(schema_id)
+                return prepared
+            if schema_id not in self._schemas:
+                raise RepositoryError(
+                    f"repository has no schema {schema_id!r}"
+                )
         payload = _read_json(
             self._artifact_path(schema_id), f"artifact {schema_id!r}"
         )
+        with self._lock:
+            racing = self._loaded.get(schema_id)
+            if racing is not None:
+                return racing
         prepared = prepared_from_dict(
             payload, self.session.pipeline.linguistic, self.config
         )
-        self._counters["artifact_loads"] += 1
-        self._cache_loaded(schema_id, prepared)
+        with self._lock:
+            racing = self._loaded.get(schema_id)
+            if racing is not None:
+                # First restore published wins; every later match of
+                # this id shares its lazy tiers.
+                return racing
+            self._counters["artifact_loads"] += 1
+            self._cache_loaded(schema_id, prepared)
         return prepared
 
     def _cache_loaded(
@@ -425,6 +532,8 @@ class SchemaRepository:
         query: Union[Schema, PreparedSchema],
         k: int = 5,
         candidates: Optional[int] = None,
+        session: Optional[MatchSession] = None,
+        deadline: Optional[Any] = None,
     ) -> RepositorySearchResult:
         """Top-k most similar corpus schemas for ``query``.
 
@@ -434,6 +543,16 @@ class SchemaRepository:
         benchmark's recall is measured against). Results are ranked by
         :func:`match_score` and carry their complete
         :class:`CupidResult`, so callers can inspect every mapping.
+
+        ``session`` selects which :class:`MatchSession` executes the
+        matches (a serving pool passes its per-worker session), and
+        ``deadline`` — any object with a ``check(context)`` method
+        raising on expiry, e.g. :class:`repro.serving.Deadline` — is
+        consulted between candidate matches so a timed-out search
+        stops burning its session promptly. The ranking snapshot is
+        taken under the repository lock, so a search concurrent with
+        ingest sees a consistent prefix of the corpus: every ranked id
+        is loadable, and no half-registered schema ranks.
         """
         if k < 1:
             raise RepositoryError(f"search k must be >= 1 (got {k})")
@@ -441,37 +560,47 @@ class SchemaRepository:
             raise RepositoryError(
                 f"search candidates must be >= 1 (got {candidates})"
             )
-        prep_q = self.session.prepare(self._disown_foreign(query))
+        session = session or self.session
+        prep_q = session.prepare(self._disown_foreign(query))
         index_start = time.perf_counter()
-        ranking = self._index.score(
-            token_profile(prep_q.linguistic), self.thesaurus
-        )
+        with self._lock:
+            ranking = self._index.score(
+                token_profile(prep_q.linguistic), self.thesaurus
+            )
+            names = {sid: self._schemas[sid]["name"] for sid, _ in ranking}
+            corpus = len(self._schemas)
         index_elapsed = time.perf_counter() - index_start
         shortlist = [sid for sid, _ in ranking]
         if candidates is not None:
             shortlist = shortlist[:candidates]
 
         match_start = time.perf_counter()
-        matches = [
-            RankedMatch(
-                schema_id=sid,
-                schema_name=self._schemas[sid]["name"],
-                score=0.0,
-                result=self.session.match(prep_q, self.load(sid)),
+        matches = []
+        for position, sid in enumerate(shortlist):
+            if deadline is not None:
+                deadline.check(
+                    f"search {prep_q.schema.name!r} after {position} of "
+                    f"{len(shortlist)} candidate matches"
+                )
+            matches.append(
+                RankedMatch(
+                    schema_id=sid,
+                    schema_name=names[sid],
+                    score=0.0,
+                    result=session.match(prep_q, self.load(sid)),
+                )
             )
-            for sid in shortlist
-        ]
         for match in matches:
             match.score = match_score(match.result)
         match_elapsed = time.perf_counter() - match_start
         matches.sort(key=lambda m: (-m.score, m.schema_id))
 
-        corpus = len(self._schemas)
-        self._counters["searches"] += 1
-        self._counters["search_candidates_matched"] += len(shortlist)
-        self._counters["search_candidates_pruned"] += (
-            corpus - len(shortlist)
-        )
+        with self._lock:
+            self._counters["searches"] += 1
+            self._counters["search_candidates_matched"] += len(shortlist)
+            self._counters["search_candidates_pruned"] += (
+                corpus - len(shortlist)
+            )
         return RepositorySearchResult(
             query_name=prep_q.schema.name,
             k=k,
@@ -500,7 +629,7 @@ class SchemaRepository:
         leaf order). Raises :class:`RepositoryError` on any drift —
         the invariant behind the repository's bit-parity contract.
         """
-        if schema_id not in self._schemas:
+        if schema_id not in self:
             raise RepositoryError(
                 f"repository has no schema {schema_id!r}"
             )
@@ -582,24 +711,99 @@ class SchemaRepository:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self) -> None:
-        """Flush the manifest, index, and similarity cache to disk."""
-        if self._dirty:
-            _write_json(
-                os.path.join(self.path, MANIFEST_FILE),
-                {
-                    "format_version": FORMAT_VERSION,
-                    "config": config_to_dict(self.config),
-                    "config_fingerprint": config_fingerprint(self.config),
-                    "thesaurus_fingerprint": self.thesaurus.fingerprint(),
-                    "schemas": self._schemas,
-                },
-            )
-            _write_json(
-                os.path.join(self.path, INDEX_FILE), self._index.to_dict()
-            )
-            self._dirty = False
+    def save(self, auto_compact: bool = True) -> None:
+        """Flush the index segment, manifest, and similarity cache.
+
+        Profiles added since the last flush become **one** append-only
+        segment — the "per ingest batch" unit — and the manifest's
+        segment sequence grows by one entry. When the sequence exceeds
+        ``config.segment_compaction_threshold`` it is folded into a
+        single compacted segment first; ``auto_compact=False`` skips
+        that (the serving subsystem flushes on the request path and
+        compacts from a background thread instead).
+        """
+        stale: List[str] = []
+        with self._lock:
+            self._flush_pending_segment()
+            threshold = self.config.segment_compaction_threshold
+            if (
+                auto_compact
+                and threshold
+                and len(self._segment_entries) > threshold
+            ):
+                stale = self._compact_segments_locked()
+            if self._dirty:
+                self._write_manifest()
+                self._dirty = False
+        remove_segment_files(self.path, stale)
         self._save_simcache()
+
+    def compact(self) -> int:
+        """Fold the segment sequence into one compacted segment now.
+
+        Flushes any pending batch first, persists the new manifest,
+        then deletes the superseded files. Returns the number of live
+        segments after compaction (always 1 for a non-empty index, 0
+        for an empty one). Idempotent on the index contents — a
+        compacted repository compacts to the same profiles again.
+        """
+        with self._lock:
+            self._flush_pending_segment()
+            stale = self._compact_segments_locked()
+            self._write_manifest()
+            self._dirty = False
+            count = len(self._segment_entries)
+        remove_segment_files(self.path, stale)
+        self._save_simcache()
+        return count
+
+    def segment_count(self) -> int:
+        """Live segments plus the pending (unflushed) batch, if any."""
+        with self._lock:
+            return len(self._segment_entries) + (
+                1 if self._pending_adds else 0
+            )
+
+    def _flush_pending_segment(self) -> None:
+        """Write the pending batch as one new segment (lock held)."""
+        if not self._pending_adds:
+            return
+        segment = IndexSegment(
+            segment_id=next_segment_id(self._segment_entries),
+            profiles=self._pending_adds,
+        )
+        self._segment_entries.append(write_segment(self.path, segment))
+        self._pending_adds = {}
+        self._counters["segments_written"] += 1
+        self._dirty = True
+
+    def _compact_segments_locked(self) -> List[str]:
+        """Fold the on-disk sequence into one segment (lock held).
+
+        Returns the superseded files for post-manifest deletion.
+        """
+        if len(self._segment_entries) <= 1:
+            return []
+        self._segment_entries, stale = compact_segments(
+            self.path, self._index, self._segment_entries
+        )
+        self._counters["segment_compactions"] += 1
+        self._counters["segments_written"] += 1
+        self._dirty = True
+        return stale
+
+    def _write_manifest(self) -> None:
+        _write_json(
+            os.path.join(self.path, MANIFEST_FILE),
+            {
+                "format_version": FORMAT_VERSION,
+                "config": config_to_dict(self.config),
+                "config_fingerprint": config_fingerprint(self.config),
+                "thesaurus_fingerprint": self.thesaurus.fingerprint(),
+                "schemas": self._schemas,
+                "index_segments": self._segment_entries,
+            },
+        )
 
     def close(self) -> None:
         """Alias for :meth:`save` (the context-manager exit hook)."""
@@ -693,11 +897,14 @@ class SchemaRepository:
 
     def cache_info(self) -> Dict[str, Any]:
         """Repository counters merged with the session's cache tiers."""
-        info: Dict[str, Any] = dict(self._counters)
-        info["repository_schemas"] = len(self._schemas)
-        info["repository_loaded"] = len(self._loaded)
-        info["index_tokens"] = self._index.n_tokens
-        info["index_postings"] = self._index.n_postings
+        with self._lock:
+            info: Dict[str, Any] = dict(self._counters)
+            info["repository_schemas"] = len(self._schemas)
+            info["repository_loaded"] = len(self._loaded)
+            info["index_tokens"] = self._index.n_tokens
+            info["index_postings"] = self._index.n_postings
+            info["index_segments"] = len(self._segment_entries)
+            info["pending_index_adds"] = len(self._pending_adds)
         info.update(self.session.cache_info())
         return info
 

@@ -1,0 +1,370 @@
+"""Thin HTTP/JSON front end for :class:`~repro.serving.MatchService`.
+
+Pure stdlib (``http.server``) — no new dependency. One
+:class:`ThreadingHTTPServer` accepts connections; every request body
+is parsed on the connection thread and executed through the service's
+session pool, so the daemon inherits the service's admission control,
+deadlines, and metrics.
+
+Endpoints (all JSON)::
+
+    GET  /health          liveness + corpus size + in-flight gauge
+    GET  /stats           latency histograms (p50/p95/p99 per
+                          endpoint), session-pool cache counters,
+                          repository counters
+    POST /search          {"schema": {...} | "text": "...", "format":
+                          "sql", "k": 5, "candidates": 16,
+                          "timeout_s": 10} -> ranked matches
+    POST /match           {"source": <schema spec>, "target":
+                          <schema spec>} -> one mapping
+    POST /ingest          {"schemas": [<schema spec>, ...]} -> ids
+
+A *schema spec* is either ``{"schema": {...}}`` (the serialized
+schema-JSON format of :mod:`repro.io.json_io`) or ``{"text": "...",
+"format": "sql" | "xml" | "dtd" | "oo" | "json"}`` (source text run
+through the matching importer). Search/match responses carry a
+``latency_ms`` block with the same keys the CLI's ``repro search
+--format json`` reports, so one dashboard schema covers both.
+
+Error taxonomy → status codes: :class:`BadRequestError` → 400,
+unknown path → 404, :class:`ServiceOverloadedError` /
+:class:`ServiceClosedError` → 503, :class:`RequestTimeoutError` →
+504, :class:`RepositoryError` → 404 (unknown schema id) and other
+library errors → 400. Bodies are ``{"error": <class name>,
+"message": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import (
+    BadRequestError,
+    RepositoryError,
+    ReproError,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+)
+from repro.io.dtd import parse_dtd
+from repro.io.json_io import mapping_to_dict, schema_from_dict
+from repro.io.oo_model import parse_oo_model
+from repro.io.sql_ddl import parse_sql_ddl
+from repro.io.xml_schema import parse_xml_schema
+from repro.mapping.mapping import Mapping
+from repro.model.schema import Schema
+from repro.repository.store import match_score
+from repro.serving.metrics import search_latency_schema
+from repro.serving.service import MatchService
+
+#: Largest accepted request body; a schema far beyond this is almost
+#: certainly a client bug, and bounding it keeps a single connection
+#: from ballooning daemon memory.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_TEXT_PARSERS = {
+    "sql": lambda text, name: parse_sql_ddl(text, name),
+    "xml": lambda text, name: parse_xml_schema(text),
+    "dtd": lambda text, name: parse_dtd(text, name),
+    "oo": lambda text, name: parse_oo_model(text, name),
+    "json": lambda text, name: schema_from_dict(json.loads(text)),
+}
+
+
+def schema_from_spec(spec: Any, what: str = "schema") -> Schema:
+    """Decode a request's schema spec (see module docstring)."""
+    if not isinstance(spec, dict):
+        raise BadRequestError(
+            f"{what} must be an object with 'schema' or 'text'+'format' "
+            f"(got {type(spec).__name__})"
+        )
+    if "schema" in spec:
+        try:
+            return schema_from_dict(spec["schema"])
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise BadRequestError(
+                f"{what}.schema is not a valid serialized schema: {exc}"
+            ) from exc
+    if "text" in spec:
+        fmt = spec.get("format")
+        parser = _TEXT_PARSERS.get(fmt)
+        if parser is None:
+            raise BadRequestError(
+                f"{what}.format must be one of "
+                f"{sorted(_TEXT_PARSERS)} (got {fmt!r})"
+            )
+        name = spec.get("name") or "request-schema"
+        try:
+            return parser(spec["text"], name)
+        except ReproError as exc:
+            raise BadRequestError(f"{what} failed to parse: {exc}") from exc
+    raise BadRequestError(
+        f"{what} must carry either 'schema' (serialized) or "
+        "'text'+'format' (source text)"
+    )
+
+
+def _positive_int(body: Dict[str, Any], key: str, default=None):
+    value = body.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise BadRequestError(f"{key} must be a positive integer")
+    return value
+
+
+def _timeout(body: Dict[str, Any]) -> Optional[float]:
+    value = body.get("timeout_s")
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or value < 0:
+        raise BadRequestError("timeout_s must be a non-negative number")
+    return float(value)
+
+
+def _mapping_payload(query_name, target_name, result) -> Dict[str, Any]:
+    payload = mapping_to_dict(
+        Mapping(query_name, target_name, list(result.leaf_mapping))
+    )
+    payload["timings_ms"] = {
+        phase: round(seconds * 1000.0, 3)
+        for phase, seconds in result.timings.items()
+    }
+    return payload
+
+
+class MatchRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the owning server's MatchService."""
+
+    server: "MatchHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            if self.path == "/health":
+                self._respond(200, self.server.service.health())
+            elif self.path == "/stats":
+                self._respond(200, self.server.service.stats())
+            else:
+                self._respond(404, {
+                    "error": "NotFound",
+                    "message": f"no such endpoint: {self.path}",
+                })
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            body = self._read_body()
+            if self.path == "/search":
+                self._respond(200, self._search(body))
+            elif self.path == "/match":
+                self._respond(200, self._match(body))
+            elif self.path == "/ingest":
+                self._respond(200, self._ingest(body))
+            else:
+                self._respond(404, {
+                    "error": "NotFound",
+                    "message": f"no such endpoint: {self.path}",
+                })
+        except Exception as exc:
+            self._error(exc)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _search(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        query = schema_from_spec(body, what="search body")
+        k = _positive_int(body, "k", 5)
+        candidates = _positive_int(body, "candidates")
+        start = time.perf_counter()
+        search = self.server.service.search(
+            query, k=k, candidates=candidates, timeout=_timeout(body)
+        )
+        elapsed = time.perf_counter() - start
+        matches = []
+        for match in search:
+            payload = _mapping_payload(
+                search.query_name, match.schema_name, match.result
+            )
+            payload["schema_id"] = match.schema_id
+            payload["score"] = round(match.score, 6)
+            matches.append(payload)
+        return {
+            "query_schema": search.query_name,
+            "matches": matches,
+            "stats": search.stats,
+            "latency_ms": search_latency_schema(search.stats, elapsed),
+        }
+
+    def _match(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        if "source" not in body or "target" not in body:
+            raise BadRequestError(
+                "match body must carry 'source' and 'target' schema specs"
+            )
+        source = self._side(body["source"], "source")
+        target = self._side(body["target"], "target")
+        start = time.perf_counter()
+        result = self.server.service.match(
+            source, target, timeout=_timeout(body)
+        )
+        elapsed = time.perf_counter() - start
+        payload = _mapping_payload(
+            result.source_schema.name, result.target_schema.name, result
+        )
+        payload["score"] = round(match_score(result), 6)
+        payload["latency_ms"] = {
+            "total_ms": round(elapsed * 1000.0, 3)
+        }
+        return payload
+
+    def _side(self, spec: Any, what: str):
+        """A match side: a schema spec or {"id": <repository id>}."""
+        if isinstance(spec, dict) and "id" in spec:
+            schema_id = spec["id"]
+            if not isinstance(schema_id, str):
+                raise BadRequestError(f"{what}.id must be a string")
+            return schema_id
+        return schema_from_spec(spec, what=what)
+
+    def _ingest(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        specs = body.get("schemas")
+        if not isinstance(specs, list) or not specs:
+            raise BadRequestError(
+                "ingest body must carry a non-empty 'schemas' list"
+            )
+        schemas = [
+            schema_from_spec(spec, what=f"schemas[{i}]")
+            for i, spec in enumerate(specs)
+        ]
+        start = time.perf_counter()
+        ids = self.server.service.ingest(schemas, timeout=_timeout(body))
+        elapsed = time.perf_counter() - start
+        return {
+            "ids": ids,
+            "schemas": len(self.server.service.repository),
+            "latency_ms": {"total_ms": round(elapsed * 1000.0, 3)},
+        }
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequestError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise BadRequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequestError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return body
+
+    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _error(self, exc: Exception) -> None:
+        status = _status_for(exc)
+        try:
+            self._respond(status, {
+                "error": type(exc).__name__,
+                "message": str(exc),
+            })
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-error; nothing to salvage
+
+    def log_message(self, format: str, *args) -> None:
+        # The daemon's observability lives in /stats, not an access
+        # log; stderr chatter would swamp test output and CLI use.
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+def _status_for(exc: Exception) -> int:
+    if isinstance(exc, BadRequestError):
+        return 400
+    if isinstance(exc, RequestTimeoutError):
+        return 504
+    if isinstance(exc, (ServiceOverloadedError, ServiceClosedError)):
+        return 503
+    if isinstance(exc, ServingError):
+        return 500
+    if isinstance(exc, RepositoryError):
+        return 404
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+class MatchHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one MatchService.
+
+    ``daemon_threads`` so a hung client can never block shutdown;
+    request concurrency beyond the session pool is throttled by the
+    service's admission control, not by the socket layer.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: MatchService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, MatchRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(
+    service: MatchService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    ready=None,
+) -> None:
+    """Run the daemon until interrupted; closes the service on exit.
+
+    ``port=0`` binds an ephemeral port (printed, and reported through
+    the optional ``ready`` callback — how tests and the benchmark
+    learn the address before sending traffic).
+    """
+    server = MatchHTTPServer((host, port), service, verbose=verbose)
+    try:
+        if ready is not None:
+            ready(server)
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()

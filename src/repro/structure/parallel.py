@@ -38,7 +38,12 @@ workers axis.
 Worker processes are pooled per worker-count and reused across stores
 (fork start method where available, spawn otherwise); a worker dying
 mid-request raises :class:`~repro.exceptions.ParallelError` — the
-layer never silently degrades to serial once engaged.
+layer never silently degrades to serial once engaged. The pool is
+thread-safe for the serving subsystem's session pool: replies carry no
+correlation ids, so each pool serializes whole send-all/recv-all
+transactions under one lock (two threads interleaving on the shared
+pipes would each collect the other's replies), and pool creation is
+locked so only one thread ever forks.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from __future__ import annotations
 import atexit
 import itertools
 import os
+import threading
 import weakref
 from array import array
 from typing import Dict, List, Optional, Tuple
@@ -560,6 +566,12 @@ class WorkerPool:
         )
         self.n_workers = n_workers
         self.dead = False
+        # One transaction at a time: request() holds this across its
+        # whole send-all/recv-all cycle so replies (which carry no
+        # correlation ids) can never be claimed by the wrong thread.
+        # RLock because a gc-triggered shard finalizer may post a
+        # detach from inside the owning thread's transaction.
+        self._lock = threading.RLock()
         self._conns = []
         self._procs = []
         for _ in range(n_workers):
@@ -574,6 +586,10 @@ class WorkerPool:
 
     def post(self, worker: int, msg) -> None:
         """Send a no-reply message."""
+        with self._lock:
+            self._post_locked(worker, msg)
+
+    def _post_locked(self, worker: int, msg) -> None:
         if self.dead:
             raise ParallelError(
                 f"worker pool ({self.n_workers} workers) is dead after an "
@@ -591,28 +607,31 @@ class WorkerPool:
     def request(self, targets: List[Tuple[int, tuple]]) -> List[tuple]:
         """Send one reply-bearing message per (worker, msg) target,
         then collect replies in order. Raises ParallelError if any
-        worker dies or reports a shard failure."""
-        for worker, msg in targets:
-            self.post(worker, msg)
-        replies = []
-        for worker, msg in targets:
-            try:
-                reply = self._conns[worker].recv()
-            except (EOFError, OSError) as exc:
-                self._mark_dead()
-                raise ParallelError(
-                    f"parallel worker {worker} died during {msg[0]!r} "
-                    f"(exit code "
-                    f"{self._procs[worker].exitcode})"
-                ) from exc
-            if reply[0] != "ok":
-                self._mark_dead()
-                raise ParallelError(
-                    f"parallel worker {worker} failed during {msg[0]!r}:\n"
-                    f"{reply[1]}"
-                )
-            replies.append(reply)
-        return replies
+        worker dies or reports a shard failure. The whole transaction
+        runs under the pool lock — concurrent sessions queue here
+        rather than crossing replies on the shared pipes."""
+        with self._lock:
+            for worker, msg in targets:
+                self._post_locked(worker, msg)
+            replies = []
+            for worker, msg in targets:
+                try:
+                    reply = self._conns[worker].recv()
+                except (EOFError, OSError) as exc:
+                    self._mark_dead()
+                    raise ParallelError(
+                        f"parallel worker {worker} died during {msg[0]!r} "
+                        f"(exit code "
+                        f"{self._procs[worker].exitcode})"
+                    ) from exc
+                if reply[0] != "ok":
+                    self._mark_dead()
+                    raise ParallelError(
+                        f"parallel worker {worker} failed during "
+                        f"{msg[0]!r}:\n{reply[1]}"
+                    )
+                replies.append(reply)
+            return replies
 
     def _mark_dead(self) -> None:
         """A broken pool is never reused: pending stores error out and
@@ -621,37 +640,46 @@ class WorkerPool:
         _POOLS.pop(self.n_workers, None)
 
     def shutdown(self) -> None:
-        if self.dead:
+        with self._lock:
+            if self.dead:
+                for proc in self._procs:
+                    if proc.is_alive():  # pragma: no cover - crash cleanup
+                        proc.terminate()
+                return
+            self.dead = True
+            _POOLS.pop(self.n_workers, None)
+            for conn in self._conns:
+                try:
+                    conn.send(("exit",))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
             for proc in self._procs:
-                if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - hung worker
                     proc.terminate()
-            return
-        self.dead = True
-        _POOLS.pop(self.n_workers, None)
-        for conn in self._conns:
-            try:
-                conn.send(("exit",))
-            except (BrokenPipeError, OSError):  # pragma: no cover
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-        for conn in self._conns:
-            conn.close()
+            for conn in self._conns:
+                conn.close()
 
 
 _POOLS: Dict[int, WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
 _STORE_KEYS = itertools.count(1)
 
 
 def get_pool(n_workers: int) -> WorkerPool:
-    """The shared pool for ``n_workers``, spawning it on first use."""
-    pool = _POOLS.get(n_workers)
-    if pool is None or pool.dead:
-        pool = WorkerPool(n_workers)
-        _POOLS[n_workers] = pool
-    return pool
+    """The shared pool for ``n_workers``, spawning it on first use.
+
+    Creation is locked: two racing sessions must get the same pool,
+    and only one thread may fork (forking concurrently with another
+    thread's fork would duplicate half-set-up pipe fds into both
+    children).
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.get(n_workers)
+        if pool is None or pool.dead:
+            pool = WorkerPool(n_workers)
+            _POOLS[n_workers] = pool
+        return pool
 
 
 @atexit.register

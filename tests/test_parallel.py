@@ -150,6 +150,42 @@ class TestShardedParity:
         else:
             assert facts["parallel_ops_forwarded"] > 0
 
+    def test_concurrent_threads_share_pool_safely(self):
+        """Regression for the serving subsystem's deadlock: pool
+        replies carry no correlation ids, so two threads interleaving
+        send/recv on the shared pipes used to claim each other's
+        replies (or block forever). The transaction lock must make N
+        threads' sharded matches bit-identical to serial."""
+        import threading
+
+        schema, other = _pair(n_leaves=32, seed=83)
+        serial = _signatures(_match(schema, other, store="flat"))
+        results = [None] * 4
+        errors = []
+
+        def worker(i):
+            try:
+                results[i] = _signatures(_match(
+                    schema,
+                    other,
+                    store="flat",
+                    workers=2,
+                    parallel_leaf_threshold=1,
+                ))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "pool deadlock"
+        assert not errors
+        assert all(result == serial for result in results)
+
     def test_stamp_reconciliation_counted(self):
         """Context scaling crosses the strong-link threshold somewhere
         on a perturbed pair; the shards must report those crossings

@@ -28,6 +28,7 @@ from repro.repository import (
     prepared_to_dict,
     token_profile,
 )
+from repro.repository.segments import SEGMENTS_DIR
 from repro.repository.store import match_score
 
 
@@ -87,10 +88,10 @@ class TestIngestAndLoad:
         assert repo.ingest(figure2_po()) in repo
         assert repo.cache_info()["prepare_misses"] == misses_before
 
-    def test_missing_index_rebuilds_from_artifacts(self, tmp_path):
-        """Losing index.json (crash between the manifest and index
-        writes) must not turn search into silent empty results — the
-        index is a derived view, rebuilt from the artifacts."""
+    def test_missing_segment_rebuilds_from_artifacts(self, tmp_path):
+        """Losing an index segment (crash, manual deletion) must not
+        turn search into silent empty results — the index is a derived
+        view, rebuilt from the artifacts and re-persisted on save."""
         corpus = _corpus(4)
         query = _query_for(corpus[1], seed=29)
         path = str(tmp_path / "repo")
@@ -98,14 +99,83 @@ class TestIngestAndLoad:
             for schema in corpus:
                 repo.ingest(schema)
             intact = repo.search(query, k=2)
-        os.remove(os.path.join(path, "index.json"))
+        segment_dir = os.path.join(path, SEGMENTS_DIR)
+        victim = sorted(os.listdir(segment_dir))[0]
+        os.remove(os.path.join(segment_dir, victim))
         healed = SchemaRepository.open(path)
+        assert healed.cache_info()["segment_fallbacks"] == 1
         assert healed.cache_info()["index_rebuilds"] == 1
         rebuilt = healed.search(query, k=2)
         assert _search_signature(rebuilt) == _search_signature(intact)
-        # The healed index is persisted again on save.
+        # The healed index is persisted as a fresh segment on save.
         healed.save()
-        assert os.path.exists(os.path.join(path, "index.json"))
+        reopened = SchemaRepository.open(path)
+        assert reopened.cache_info()["index_rebuilds"] == 0
+        assert _search_signature(
+            reopened.search(query, k=2)
+        ) == _search_signature(intact)
+
+    def test_corrupted_segment_checksum_falls_back(self, tmp_path):
+        """A segment whose bytes no longer hash to the manifest's
+        checksum is torn — the open must take the artifact re-scan
+        fallback, not trust the damaged index."""
+        corpus = _corpus(3)
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            for schema in corpus:
+                repo.ingest(schema)
+        segment_dir = os.path.join(path, SEGMENTS_DIR)
+        victim = os.path.join(
+            segment_dir, sorted(os.listdir(segment_dir))[0]
+        )
+        with open(victim) as handle:
+            payload = json.load(handle)
+        first_id = sorted(payload["profiles"])[0]
+        payload["profiles"][first_id] = {}  # checksum now stale
+        with open(victim, "w") as handle:
+            json.dump(payload, handle)
+        healed = SchemaRepository.open(path)
+        assert healed.cache_info()["segment_fallbacks"] == 1
+        assert healed.cache_info()["index_rebuilds"] == 1
+        query = _query_for(corpus[0], seed=41)
+        assert len(healed.search(query, k=3)) == 3
+
+    def test_legacy_single_file_index_migrates_to_segments(
+        self, tmp_path
+    ):
+        """Pre-segment repositories carry one ``index.json``; opening
+        one must read it (no rebuild) and the next save must persist
+        the index as a segment sequence."""
+        corpus = _corpus(3)
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            for schema in corpus:
+                repo.ingest(schema)
+        # Rewrite the repository into the legacy on-disk layout.
+        manifest_path = os.path.join(path, "repository.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        del manifest["index_segments"]
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        legacy = SchemaRepository.open(path)
+        index_payload = legacy._index.to_dict()
+        with open(os.path.join(path, "index.json"), "w") as handle:
+            json.dump(index_payload, handle)
+        import shutil
+
+        shutil.rmtree(os.path.join(path, SEGMENTS_DIR))
+        migrated = SchemaRepository.open(path)
+        assert migrated.cache_info()["index_rebuilds"] == 0
+        assert migrated.cache_info()["segments_loaded"] == 0
+        migrated.save()
+        assert os.path.isdir(os.path.join(path, SEGMENTS_DIR))
+        reopened = SchemaRepository.open(path)
+        assert reopened.cache_info()["segments_loaded"] >= 1
+        query = _query_for(corpus[2], seed=59)
+        assert _search_signature(
+            reopened.search(query, k=2)
+        ) == _search_signature(migrated.search(query, k=2))
 
     def test_foreign_prepared_schema_is_reprepared(self, tmp_path):
         """A PreparedSchema built under a different thesaurus must not
@@ -153,25 +223,29 @@ class TestIngestAndLoad:
         assert kernel_on.vocabulary is not None
 
     def test_stale_index_membership_triggers_rebuild(self, tmp_path):
-        """A torn save can leave index.json present but out of step
-        with the manifest; membership mismatch must trigger the same
-        rebuild as a missing index, or brute-force search silently
-        drops the unindexed schemas."""
+        """A torn save can leave the manifest's segment list out of
+        step with its catalog; membership mismatch must trigger the
+        same rebuild as a missing segment, or search silently drops
+        the unindexed schemas."""
         corpus = _corpus(3)
         path = str(tmp_path / "repo")
         with SchemaRepository(path) as repo:
-            ids = [repo.ingest(s) for s in corpus]
-        index_path = os.path.join(path, "index.json")
-        with open(index_path) as handle:
-            index_data = json.load(handle)
-        del index_data["profiles"][ids[1]]  # simulate the stale file
-        with open(index_path, "w") as handle:
-            json.dump(index_data, handle)
+            ids = [repo.ingest(s) for s in corpus[:2]]
+            repo.save()
+            ids.append(repo.ingest(corpus[2]))
+            repo.save()
+        manifest_path = os.path.join(path, "repository.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert len(manifest["index_segments"]) == 2
+        manifest["index_segments"] = manifest["index_segments"][:1]
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
         healed = SchemaRepository.open(path)
         assert healed.cache_info()["index_rebuilds"] == 1
-        query = _query_for(corpus[1], seed=67)
+        query = _query_for(corpus[2], seed=67)
         brute = healed.search(query, k=3)
-        assert ids[1] in {m.schema_id for m in brute}
+        assert ids[2] in {m.schema_id for m in brute}
 
     def test_reopen_does_not_pin_runtime_knobs(self, tmp_path):
         """Runtime fields (backend, engine, block size) must come from

@@ -1,0 +1,481 @@
+"""Serving subsystem: session pool, deadlines, daemon, concurrency.
+
+Three layers under test. The :class:`MatchService` contract is that
+concurrency is invisible in the *results*: N threads hammering
+search/match get bit-identical answers to a serial run, and a search
+racing an ingest sees a consistent prefix of the corpus — never a torn
+index. The segment persistence contract is the acceptance criterion of
+this subsystem: a repository reopened from its index segments answers
+searches bit-identically to one whose index was rebuilt from artifact
+files. The HTTP layer is checked end to end over a real socket,
+including the error-taxonomy → status-code mapping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import SchemaRepository
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.exceptions import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.io.json_io import schema_to_dict
+from repro.pipeline.session import MatchSession
+from repro.repository.segments import SEGMENTS_DIR
+from repro.serving import (
+    Deadline,
+    LatencyHistogram,
+    MatchHTTPServer,
+    MatchService,
+)
+
+
+def _corpus(n=6, size=12, seed=5):
+    generator = SchemaGenerator(seed=seed)
+    return [
+        generator.generate(
+            name=f"serve{i}", n_leaves=size, name_repetition=0.5
+        )
+        for i in range(n)
+    ]
+
+
+def _query_for(schema, seed=71):
+    perturbed, _ = SchemaGenerator(seed=seed).perturb(
+        schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+    )
+    return perturbed
+
+
+def _mapping_signature(result):
+    return sorted(
+        (e.source_path, e.target_path, e.similarity)
+        for e in result.leaf_mapping
+    )
+
+
+def _search_signature(search):
+    return [
+        (m.schema_id, m.score, _mapping_signature(m.result))
+        for m in search
+    ]
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    repository = SchemaRepository(str(tmp_path / "repo"))
+    for schema in _corpus(5):
+        repository.ingest(schema)
+    repository.save()
+    return repository
+
+
+class TestMatchService:
+    def test_concurrent_searches_match_serial(self, repo):
+        """The pool must be invisible in the results: 8 threads of
+        searches return exactly what a direct serial search returns."""
+        query = _query_for(_corpus(5)[2])
+        serial = _search_signature(repo.search(query, k=3, candidates=4))
+        with MatchService(repo, sessions=3, queue_depth=32) as service:
+            results = [None] * 8
+            errors = []
+
+            def worker(i):
+                try:
+                    results[i] = _search_signature(
+                        service.search(query, k=3, candidates=4)
+                    )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert all(result == serial for result in results)
+            stats = service.stats()
+            assert stats["endpoints"]["search"]["count"] == 8
+            assert stats["endpoints"]["search"]["p99_ms"] > 0
+
+    def test_async_twins_return_same_results(self, repo):
+        import asyncio
+
+        query = _query_for(_corpus(5)[3])
+        with MatchService(repo, sessions=2) as service:
+            sync = _search_signature(
+                service.search(query, k=2, candidates=3)
+            )
+
+            async def drive():
+                a, b = await asyncio.gather(
+                    service.search_async(query, k=2, candidates=3),
+                    service.search_async(query, k=2, candidates=3),
+                )
+                return _search_signature(a), _search_signature(b)
+
+            got_a, got_b = asyncio.run(drive())
+            assert got_a == sync and got_b == sync
+
+    def test_match_resolves_repository_ids(self, repo):
+        ids = repo.schema_ids()
+        with MatchService(repo, sessions=1) as service:
+            by_id = service.match(ids[0], ids[1])
+            direct = service.match(
+                repo.load(ids[0]), repo.load(ids[1])
+            )
+            assert _mapping_signature(by_id) == _mapping_signature(direct)
+
+    def test_overload_rejects_instead_of_buffering(self, repo):
+        service = MatchService(repo, sessions=1, queue_depth=1)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def stall(session, deadline):
+            entered.set()
+            release.wait(timeout=30)
+            return "done"
+
+        future = service.submit("search", stall)
+        assert entered.wait(timeout=10)
+        query = _query_for(_corpus(5)[0])
+        with pytest.raises(ServiceOverloadedError):
+            service.search(query)
+        assert service.metrics.endpoint("search").snapshot()[
+            "rejected"
+        ] == 1
+        release.set()
+        assert future.result(timeout=10) == "done"
+        # Capacity freed: the same request is admitted now.
+        assert len(service.search(query, k=2, candidates=2)) == 2
+        service.close()
+
+    def test_expired_deadline_surfaces_timeout(self, repo):
+        query = _query_for(_corpus(5)[1])
+        with MatchService(repo, sessions=1) as service:
+            with pytest.raises(RequestTimeoutError):
+                service.search(query, timeout=1e-9)
+            assert service.metrics.endpoint("search").snapshot()[
+                "timeouts"
+            ] == 1
+
+    def test_closed_service_rejects(self, repo):
+        service = MatchService(repo, sessions=1)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.search(_query_for(_corpus(5)[0]))
+        service.close()  # idempotent
+
+    def test_concurrent_ingest_search_consistent_prefix(self, tmp_path):
+        """A search racing the ingest writer must see a consistent
+        prefix of the corpus: every id visible to its index ranking is
+        one of the first N ingested, for the N its snapshot caught —
+        never a schema in the catalog but not the index or vice
+        versa."""
+        schemas = _corpus(10, size=8, seed=17)
+        query = _query_for(schemas[0], seed=23)
+        repository = SchemaRepository(str(tmp_path / "repo"))
+        order = []
+        snapshots = []
+        errors = []
+        with MatchService(
+            repository, sessions=2, queue_depth=32
+        ) as service:
+            service.ingest(schemas[0])
+            order.append(repository.schema_ids()[0])
+            done = threading.Event()
+
+            def reader():
+                while not done.is_set():
+                    try:
+                        search = service.search(query, k=2, candidates=2)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+                    snapshots.append(
+                        sorted(sid for sid, _ in search.candidate_scores)
+                    )
+
+            threads = [
+                threading.Thread(target=reader) for _ in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for schema in schemas[1:]:
+                before = set(repository.schema_ids())
+                service.ingest(schema)
+                (new_id,) = set(repository.schema_ids()) - before
+                order.append(new_id)
+            done.set()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert snapshots, "readers never completed a search"
+        valid_prefixes = {
+            tuple(sorted(order[:n])): n
+            for n in range(1, len(order) + 1)
+        }
+        for snapshot in snapshots:
+            assert tuple(snapshot) in valid_prefixes, (
+                f"torn read: {snapshot} is not a prefix of the ingest "
+                f"order {order}"
+            )
+
+    def test_background_compaction_folds_segments(self, tmp_path):
+        repository = SchemaRepository(
+            str(tmp_path / "repo"),
+        )
+        repository.config = repository.config.replace(
+            segment_compaction_threshold=2
+        )
+        schemas = _corpus(6, size=6, seed=31)
+        with MatchService(repository, sessions=1) as service:
+            for schema in schemas:
+                service.ingest(schema)
+        # close() joins the compactor: the sequence must have folded
+        # below the pre-compaction segment-per-batch count.
+        reopened = SchemaRepository.open(str(tmp_path / "repo"))
+        assert reopened.segment_count() < len(schemas)
+        assert len(reopened) == len(schemas)
+
+
+class TestSegmentParity:
+    def test_reopen_from_segments_is_bit_identical_to_rebuild(
+        self, tmp_path
+    ):
+        """Acceptance criterion: segments are a pure cache. A reopen
+        that replays them answers searches bit-identically to a reopen
+        that rebuilt the index from artifact files."""
+        schemas = _corpus(6, size=10, seed=43)
+        queries = [_query_for(s, seed=47 + i) for i, s in
+                   enumerate(schemas[:3])]
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repository:
+            for i, schema in enumerate(schemas):
+                repository.ingest(schema)
+                if i % 2 == 1:
+                    repository.save()  # several segments on disk
+        from_segments = SchemaRepository.open(path)
+        assert from_segments.cache_info()["segments_loaded"] >= 2
+        assert from_segments.cache_info()["index_rebuilds"] == 0
+        segment_sigs = [
+            _search_signature(from_segments.search(q, k=3, candidates=4))
+            for q in queries
+        ]
+        # Destroy every segment: the next open must rebuild the index
+        # from the artifact files, the source of truth.
+        segment_dir = os.path.join(path, SEGMENTS_DIR)
+        for name in os.listdir(segment_dir):
+            os.remove(os.path.join(segment_dir, name))
+        rebuilt = SchemaRepository.open(path)
+        assert rebuilt.cache_info()["index_rebuilds"] == 1
+        rebuilt_sigs = [
+            _search_signature(rebuilt.search(q, k=3, candidates=4))
+            for q in queries
+        ]
+        assert segment_sigs == rebuilt_sigs
+
+    def test_compaction_is_idempotent_and_preserves_results(
+        self, tmp_path
+    ):
+        schemas = _corpus(6, size=8, seed=53)
+        query = _query_for(schemas[4], seed=59)
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repository:
+            for schema in schemas:
+                repository.ingest(schema)
+                repository.save(auto_compact=False)
+            before = _search_signature(
+                repository.search(query, k=3, candidates=4)
+            )
+            assert repository.segment_count() == len(schemas)
+            assert repository.compact() == 1
+            files_once = sorted(
+                os.listdir(os.path.join(path, SEGMENTS_DIR))
+            )
+            assert len(files_once) == 1
+            assert repository.compact() == 1  # idempotent
+            assert sorted(
+                os.listdir(os.path.join(path, SEGMENTS_DIR))
+            ) == files_once
+        reopened = SchemaRepository.open(path)
+        assert reopened.cache_info()["index_rebuilds"] == 0
+        assert _search_signature(
+            reopened.search(query, k=3, candidates=4)
+        ) == before
+
+
+class TestSessionThreadSafety:
+    def test_threaded_match_many_is_bit_identical(self):
+        """Regression: the session's LRU tiers race under threads.
+        Eight threads matching the same pairs must agree with a serial
+        session bit for bit, and the tier bookkeeping must stay sane
+        (no lost updates in the counters)."""
+        schemas = _corpus(4, size=10, seed=61)
+        pairs = [
+            (a, b) for a in schemas for b in schemas if a is not b
+        ]
+        serial = MatchSession()
+        expected = {
+            (a.name, b.name): _mapping_signature(serial.match(a, b))
+            for a, b in pairs
+        }
+        session = MatchSession()
+        errors = []
+
+        def worker():
+            try:
+                for a, b in pairs:
+                    got = _mapping_signature(session.match(a, b))
+                    assert got == expected[(a.name, b.name)]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = session.cache_info()
+        assert info["matches"] == 8 * len(pairs)
+        # Every prepare is either a hit or a miss — a lost update
+        # under racing threads breaks this invariant.
+        assert (
+            info["prepare_hits"] + info["prepare_misses"]
+            == 2 * 8 * len(pairs)
+        )
+
+
+class TestMetrics:
+    def test_histogram_percentiles_bound_resolution(self):
+        histogram = LatencyHistogram()
+        for ms in range(1, 101):
+            histogram.record(ms / 1000.0)
+        snap = histogram.snapshot()
+        assert snap["count"] == 100
+        # Log buckets guarantee ≤ ~12% relative error.
+        assert abs(snap["p50_ms"] - 50) / 50 < 0.13
+        assert abs(snap["p99_ms"] - 99) / 99 < 0.13
+        assert snap["min_ms"] <= snap["p50_ms"] <= snap["max_ms"]
+
+    def test_empty_histogram_snapshot(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p99_ms"] == 0.0
+
+    def test_deadline_expiry_names_context(self):
+        deadline = Deadline(1e-9)
+        with pytest.raises(RequestTimeoutError, match="candidate 3"):
+            deadline.check("candidate 3")
+        Deadline.unbounded().check("never raises")
+
+
+class TestHTTPDaemon:
+    @pytest.fixture()
+    def server(self, repo):
+        service = MatchService(repo, sessions=2, queue_depth=16)
+        httpd = MatchHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        thread.start()
+        yield httpd
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+
+    def _request(self, server, path, body=None):
+        data = (
+            json.dumps(body).encode("utf-8")
+            if body is not None
+            else None
+        )
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())
+
+    def test_smoke_cycle(self, server):
+        health = self._request(server, "/health")
+        assert health["status"] == "ok"
+        assert health["schemas"] == 5
+
+        extra = _corpus(7, seed=5)[5:]
+        ingested = self._request(server, "/ingest", {
+            "schemas": [{"schema": schema_to_dict(s)} for s in extra],
+        })
+        assert len(ingested["ids"]) == 2
+        assert ingested["schemas"] == 7
+        assert ingested["latency_ms"]["total_ms"] > 0
+
+        query = _query_for(_corpus(5)[1])
+        search = self._request(server, "/search", {
+            "schema": schema_to_dict(query), "k": 2, "candidates": 3,
+        })
+        assert len(search["matches"]) == 2
+        assert set(search["latency_ms"]) == {
+            "total_ms", "index_ms", "match_ms",
+        }
+
+        match = self._request(server, "/match", {
+            "source": {"id": ingested["ids"][0]},
+            "target": {"id": ingested["ids"][1]},
+        })
+        assert "score" in match and "elements" in match
+
+        stats = self._request(server, "/stats")
+        assert stats["endpoints"]["search"]["count"] == 1
+        assert stats["endpoints"]["ingest"]["count"] == 1
+        assert stats["health"]["schemas"] == 7
+        assert stats["session_pool"]["matches"] >= 3
+
+    def test_text_formats_parse_on_the_wire(self, server):
+        search = self._request(server, "/search", {
+            "text": "CREATE TABLE po (id INT, total FLOAT);",
+            "format": "sql",
+            "k": 1,
+        })
+        assert search["query_schema"] == "request-schema"
+        assert len(search["matches"]) == 1
+
+    def _status_of(self, server, path, body):
+        try:
+            self._request(server, path, body)
+        except urllib.error.HTTPError as error:
+            payload = json.loads(error.read())
+            return error.code, payload["error"]
+        pytest.fail(f"{path} unexpectedly succeeded")
+
+    def test_error_taxonomy_maps_to_status_codes(self, server):
+        assert self._status_of(server, "/search", {"k": 2}) == (
+            400, "BadRequestError",
+        )
+        assert self._status_of(server, "/nope", {}) == (
+            404, "NotFound",
+        )
+        assert self._status_of(server, "/match", {
+            "source": {"id": "missing-id"},
+            "target": {"id": "missing-id"},
+        }) == (404, "RepositoryError")
+        assert self._status_of(server, "/search", {
+            "text": "CREATE TABLE x (a INT);",
+            "format": "sql",
+            "timeout_s": 1e-9,
+        }) == (504, "RequestTimeoutError")
