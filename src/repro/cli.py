@@ -283,6 +283,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="log each HTTP request to stderr",
     )
 
+    verify = commands.add_parser(
+        "verify",
+        help="audit a repository's on-disk integrity (segment "
+             "checksums, artifact fingerprints); non-zero exit on "
+             "any problem",
+    )
+    verify.add_argument(
+        "--repo", required=True, metavar="DIR",
+        help="repository directory to audit",
+    )
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="segment/artifact presence audit only; skip the "
+             "per-schema fingerprint re-verification",
+    )
+
     show = commands.add_parser(
         "show", help="print a schema file as its expanded schema tree"
     )
@@ -535,7 +551,37 @@ def _command_search(args: argparse.Namespace) -> int:
         if args.stats:
             _print_stats(search.stats, "search stats")
             _print_stats(repo.cache_info(), "repository cache")
+            _print_stats(repo.recovery_info(), "recovery")
     return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    # Deliberately no context manager: verify is a pure audit and must
+    # not rewrite (and thereby silently heal) the layout it inspects.
+    problems: List[str] = []
+    repo = SchemaRepository.open(args.repo)
+    problems.extend(repo.audit_segments())
+    checked = 0
+    if not args.quick:
+        for schema_id in repo.schema_ids():
+            try:
+                repo.verify(schema_id)
+            except ReproError as exc:
+                problems.append(f"artifact {schema_id}: {exc}")
+            checked += 1
+    recovery = repo.recovery_info()
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    mode = "quick (segments + presence)" if args.quick else "full"
+    print(
+        f"# verify {args.repo}: {mode} audit, {checked} artifact(s) "
+        f"re-verified, {len(problems)} problem(s)"
+    )
+    for key in ("segment_fallbacks", "recovered_ingests",
+                "rolled_back_ingests", "pending_intents"):
+        if recovery.get(key):
+            print(f"#   {key}: {recovery[key]}")
+    return 1 if problems else 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -605,6 +651,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_search(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "verify":
+            return _command_verify(args)
         return _command_show(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -277,6 +277,21 @@ class CupidConfig:
     #: :class:`~repro.exceptions.RequestTimeoutError`.
     serving_timeout_s: float = 30.0
 
+    #: Base delay, in seconds, of the serving subsystem's supervised
+    #: compaction retries: a failed background compaction (e.g. disk
+    #: full) is retried after ``base * 2**(failures-1)`` seconds,
+    #: capped at 30 s. ``0`` disables the retries — a failed
+    #: compaction then simply waits for the next ingest to re-trigger
+    #: it.
+    serving_compaction_backoff_s: float = 0.5
+
+    #: Base of the jittered ``Retry-After`` header the HTTP daemon
+    #: attaches to 503 responses (overload / dead worker pool): the
+    #: advertised delay is uniform in [base, 2*base] seconds so a
+    #: fleet of backing-off clients doesn't reconverge in lockstep.
+    #: ``0`` omits the header.
+    serving_retry_after_s: float = 1.0
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if the parameters are inconsistent."""
         for name in ("thns", "thhigh", "thlow", "thaccept"):
@@ -373,6 +388,17 @@ class CupidConfig:
             raise ConfigError(
                 f"serving_timeout_s ({self.serving_timeout_s}) must be "
                 ">= 0 (0 = no deadline)"
+            )
+        if self.serving_compaction_backoff_s < 0:
+            raise ConfigError(
+                f"serving_compaction_backoff_s "
+                f"({self.serving_compaction_backoff_s}) must be >= 0 "
+                "(0 = no compaction retries)"
+            )
+        if self.serving_retry_after_s < 0:
+            raise ConfigError(
+                f"serving_retry_after_s ({self.serving_retry_after_s}) "
+                "must be >= 0 (0 = no Retry-After header)"
             )
         total = sum(self.token_type_weights.values())
         if abs(total - 1.0) > 1e-9:

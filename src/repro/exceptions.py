@@ -96,6 +96,18 @@ class RepositoryError(ReproError):
     """
 
 
+class RepositoryReadOnlyError(RepositoryError):
+    """Raised when a durable repository write fails (disk full,
+    read-only mount) and the repository degrades to read-only service.
+
+    Search and load keep working — they touch no repository file — but
+    ingest and compaction surface this error until a later durable
+    write succeeds. The flag is not sticky: every write re-probes the
+    disk, so clearing the condition clears the degradation. Maps to
+    HTTP 507 (Insufficient Storage) in the daemon.
+    """
+
+
 class SegmentError(RepositoryError):
     """Raised when an index segment file cannot be trusted: a missing
     file named by the manifest, a checksum mismatch, or a structurally

@@ -40,6 +40,7 @@ import json
 from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, List, Tuple
 
+from repro import faults
 from repro.config import CupidConfig
 from repro.exceptions import RepositoryError
 from repro.io.json_io import schema_from_dict_with_ids, schema_to_dict
@@ -220,6 +221,7 @@ def prepared_to_dict(
     accepts a precomputed :func:`canonical_schema_dict` of the same
     schema (the ingest path builds it early for the duplicate check).
     """
+    faults.check("artifact.serialize")
     prepared.build_all()
     linguistic = prepared.linguistic
     if canonical is None:
@@ -312,6 +314,7 @@ def prepared_from_dict(
     layout stay lazy. Raises :class:`RepositoryError` on a version
     mismatch or a structurally broken payload.
     """
+    faults.check("artifact.restore")
     if not isinstance(data, dict):
         raise RepositoryError(
             f"artifact payload is {type(data).__name__}, expected an object"

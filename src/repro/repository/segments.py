@@ -38,7 +38,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Tuple
 
+from repro import faults
 from repro.exceptions import SegmentError
+from repro.repository.durability import atomic_write_bytes
 from repro.repository.index import VocabularyIndex
 
 #: Version stamp of the segment file layout; readers reject others.
@@ -97,17 +99,15 @@ def write_segment(root: str, segment: IndexSegment) -> Dict[str, Any]:
 
     The entry (``file``/``checksum``/``schemas``/``removed``) is what
     the repository manifest records; :func:`read_segment` verifies the
-    checksum against the bytes on disk. Writes are atomic (tmp file +
-    rename), matching the repository's other JSON writes.
+    checksum against the bytes on disk. Writes go through the shared
+    crash-safe path (tmp file → fsync → rename → dir fsync), fault
+    site ``segment.write``.
     """
     blob = _canonical_payload(segment)
     directory = os.path.join(root, SEGMENTS_DIR)
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, segment_file_name(segment.segment_id))
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(blob)
-    os.replace(tmp_path, path)
+    atomic_write_bytes(path, blob, site="segment.write")
     return {
         "file": f"{SEGMENTS_DIR}/{segment_file_name(segment.segment_id)}",
         "checksum": hashlib.sha256(blob).hexdigest(),
@@ -128,6 +128,10 @@ def read_segment(root: str, entry: Dict[str, Any]) -> IndexSegment:
         raise SegmentError(f"segment manifest entry is malformed: {entry!r}")
     path = os.path.join(root, rel)
     try:
+        # The injected OSError lands in this handler on purpose: a
+        # faulted read must look exactly like a missing file — the
+        # signal for the artifact re-scan fallback.
+        faults.check("segment.read")
         with open(path, "rb") as handle:
             blob = handle.read()
     except OSError as exc:

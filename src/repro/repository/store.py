@@ -29,6 +29,9 @@ Directory layout (all JSON, human-diffable)::
     <root>/index/seg-*.json   append-only index segments (one per
                               ingest batch; compaction folds them)
     <root>/simcache.json      persistent name-similarity cache
+    <root>/ingest.intent.json write-ahead ingest intents (present only
+                              between an ingest and its manifest
+                              publish; resolved on reopen)
 
 Since PR 7 the vocabulary index persists as **append-only segments**
 (:mod:`repro.repository.segments`) instead of one rewritten
@@ -54,7 +57,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.config import CupidConfig
-from repro.exceptions import RepositoryError, SegmentError
+from repro.exceptions import (
+    RepositoryError,
+    RepositoryReadOnlyError,
+    SegmentError,
+)
 from repro.linguistic.lexicon import builtin_thesaurus
 from repro.linguistic.thesaurus import Thesaurus
 from repro.model.schema import Schema
@@ -73,22 +80,31 @@ from repro.repository.artifacts import (
     prepared_to_dict,
     schema_fingerprint,
 )
+from repro.repository.durability import atomic_write_json
 from repro.repository.index import VocabularyIndex, token_profile
 from repro.repository.segments import (
     IndexSegment,
     compact_segments,
     load_index_from_segments,
     next_segment_id,
+    read_segment,
     remove_segment_files,
     write_segment,
 )
 
 MANIFEST_FILE = "repository.json"
 #: Legacy single-file index (pre-segment repositories); read-only
-#: backward compatibility — new saves always write segments.
+#: backward compatibility — new saves always write segments, and the
+#: first post-migration manifest write deletes the stale file.
 INDEX_FILE = "index.json"
 SIMCACHE_FILE = "simcache.json"
 SCHEMAS_DIR = "schemas"
+#: Write-ahead record of ingests whose artifacts may be on disk but
+#: whose manifest publication has not happened yet. Reopening a
+#: repository resolves every entry: completed (artifact verifies
+#: against its content-addressed id) or rolled back — a crash between
+#: the artifact write and the manifest publish is never half-visible.
+INTENT_FILE = "ingest.intent.json"
 
 _SLUG_RE = re.compile(r"[^a-z0-9]+")
 
@@ -198,6 +214,9 @@ class SchemaRepository:
             "segments_written": 0,
             "segment_fallbacks": 0,
             "segment_compactions": 0,
+            "recovered_ingests": 0,
+            "rolled_back_ingests": 0,
+            "write_failures": 0,
         }
         # Guards the catalog, index, segment bookkeeping, counters,
         # and the loaded-artifact cache. Held only for in-memory
@@ -211,6 +230,15 @@ class SchemaRepository:
         #: segment's contents). Keys are also live in self._index.
         self._pending_adds: Dict[str, Dict[str, int]] = {}
         self._rebuild_index_pending = False
+        #: Unpublished ingest intents (mirrored in INTENT_FILE), keyed
+        #: by schema id; entries drop out once a manifest write makes
+        #: their ingest durable.
+        self._intent: Dict[str, Dict[str, Any]] = {}
+        #: Why the repository is read-only, or None. Set on any failed
+        #: durable write, cleared by the next successful one — the
+        #: degradation re-probes the disk instead of latching.
+        self._read_only_reason: Optional[str] = None
+        self._dirty = False
         if exists:
             self._open_existing(manifest_path, config)
         else:
@@ -221,7 +249,9 @@ class SchemaRepository:
         #: schema_id -> restored/ingested PreparedSchema, bounded by
         #: the same LRU limit the session honors.
         self._loaded: Dict[str, PreparedSchema] = {}
-        self._dirty = not exists
+        # Intent recovery marks the repository dirty so the recovered
+        # (or rolled-back) state reaches the manifest on the next save.
+        self._dirty = self._dirty or not exists
         self._load_simcache()
         if self._rebuild_index_pending:
             self._rebuild_index()
@@ -321,6 +351,12 @@ class SchemaRepository:
                 self._counters["segment_fallbacks"] += 1
                 self._index = VocabularyIndex()
                 self._segment_entries = []
+            if os.path.exists(os.path.join(self.path, INDEX_FILE)):
+                # A crash between the first segment-bearing manifest
+                # and the legacy-file cleanup left a stale index.json
+                # behind; mark dirty so the next save finishes the
+                # migration (the segment sequence is authoritative).
+                self._dirty = True
         else:
             # Pre-segment repository: read the legacy single-file
             # index once; the next save persists it as a segment.
@@ -335,6 +371,7 @@ class SchemaRepository:
                 }
             else:
                 self._index = VocabularyIndex()
+        self._recover_intent()
         if self._index.indexed_ids() != set(self._schemas):
             # A missing or stale index (crash between the index and
             # manifest writes): searching through it would silently
@@ -345,6 +382,91 @@ class SchemaRepository:
             self._pending_adds = {}
             if self._schemas:
                 self._rebuild_index_pending = True
+
+    def _recover_intent(self) -> None:
+        """Resolve the write-ahead intent record left by a crash.
+
+        Every pending entry is either **completed** — its artifact file
+        parses and hashes back to the content-addressed id the intent
+        named, so the ingest is finished by registering it in the
+        catalog and index — or **rolled back**: the partial artifact
+        (missing, torn, or wrong content) is deleted. Either way the
+        reopened repository is a consistent prefix-plus-recoveries of
+        the ingest order; nothing is ever half-visible.
+
+        Idempotent under re-crash: completed entries stay in the
+        intent record until a manifest write publishes them, so dying
+        again before that write just re-runs the same recovery.
+        """
+        path = os.path.join(self.path, INTENT_FILE)
+        if not os.path.exists(path):
+            return
+        try:
+            pending = list(_read_json(path, "ingest intent record")["pending"])
+        except (RepositoryError, KeyError, TypeError):
+            # A torn intent record was being written when the process
+            # died — the artifact writes it would have covered never
+            # started, so there is nothing to resolve.
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return
+        for entry in pending:
+            schema_id = (
+                entry.get("schema_id") if isinstance(entry, dict) else None
+            )
+            if not isinstance(schema_id, str):
+                continue
+            if schema_id in self._schemas:
+                # Published before the crash; only the record cleanup
+                # was lost. The next save rewrites the intent file.
+                continue
+            if self._artifact_is_complete(schema_id):
+                try:
+                    meta = dict(entry["meta"])
+                    profile = {
+                        str(token): int(count)
+                        for token, count in entry["profile"].items()
+                    }
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._schemas[schema_id] = meta
+                self._index.add(schema_id, profile)
+                self._pending_adds[schema_id] = profile
+                self._intent[schema_id] = dict(entry)
+                self._counters["recovered_ingests"] += 1
+            else:
+                try:
+                    os.remove(self._artifact_path(schema_id))
+                except OSError:
+                    pass
+                self._counters["rolled_back_ingests"] += 1
+            self._dirty = True
+        if not self._intent:
+            # Nothing left pending (all entries were published or
+            # rolled back); the record has done its job.
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _artifact_is_complete(self, schema_id: str) -> bool:
+        """True if the artifact file hashes back to its own id.
+
+        Ids are content-addressed (``<slug>-<fingerprint[:12]>``), so a
+        complete artifact proves itself: the canonical schema payload
+        inside must fingerprint to the id's suffix. A torn or foreign
+        file cannot.
+        """
+        try:
+            payload = _read_json(
+                self._artifact_path(schema_id), f"artifact {schema_id!r}"
+            )
+            fingerprint = schema_fingerprint(payload["schema"])
+        except (RepositoryError, KeyError, TypeError):
+            return False
+        return schema_id.endswith(fingerprint[:12])
 
     def _disown_foreign(
         self, schema: Union[Schema, PreparedSchema]
@@ -404,6 +526,13 @@ class SchemaRepository:
         selects which :class:`MatchSession` pays the preparation (a
         serving pool passes its per-worker session; default is the
         repository's own).
+
+        Durability ordering: a write-ahead intent record (everything a
+        reopen needs to finish or undo this ingest) is durable *before*
+        the artifact write starts, and cleared only after a manifest
+        write publishes the schema — a crash anywhere in between is
+        resolved on reopen, never half-visible. A failed durable write
+        (disk full) raises :class:`RepositoryReadOnlyError`.
         """
         schema = self._disown_foreign(schema)
         raw = schema.schema if isinstance(schema, PreparedSchema) else schema
@@ -416,9 +545,45 @@ class SchemaRepository:
                 return schema_id
         prepared = (session or self.session).prepare(schema)
         payload = prepared_to_dict(prepared, canonical=canonical)
-        artifact_path = self._artifact_path(schema_id)
-        _write_json(artifact_path, payload)
         profile = token_profile(prepared.linguistic)
+        meta = {
+            "name": prepared.schema.name,
+            "file": f"{SCHEMAS_DIR}/{schema_id}.json",
+            "elements": len(prepared.schema.elements),
+            "leaves": len(prepared.leaf_layout.leaves),
+        }
+        with self._lock:
+            if schema_id in self._schemas:
+                self._counters["ingest_duplicates"] += 1
+                return schema_id
+            self._intent[schema_id] = {
+                "schema_id": schema_id,
+                "meta": meta,
+                "profile": profile,
+            }
+            try:
+                self._write_intent_locked()
+            except Exception:
+                self._intent.pop(schema_id, None)
+                raise
+        artifact_path = self._artifact_path(schema_id)
+        try:
+            self._durable(
+                lambda: atomic_write_json(
+                    artifact_path, payload, site="repo.artifact"
+                ),
+                f"artifact write for {schema_id!r}",
+            )
+        except Exception:
+            with self._lock:
+                self._intent.pop(schema_id, None)
+                try:
+                    self._write_intent_locked()
+                except RepositoryReadOnlyError:
+                    # Disk still refusing writes; the stale record is
+                    # harmless — a reopen rolls it back (no artifact).
+                    pass
+            raise
         with self._lock:
             if schema_id in self._schemas:
                 # Lost a race against another ingest of the same
@@ -429,12 +594,7 @@ class SchemaRepository:
             # so any reader snapshot sees a consistent prefix of the
             # ingest order — never a schema that ranks but can't load
             # (or the reverse).
-            self._schemas[schema_id] = {
-                "name": prepared.schema.name,
-                "file": f"{SCHEMAS_DIR}/{schema_id}.json",
-                "elements": len(prepared.schema.elements),
-                "leaves": len(prepared.leaf_layout.leaves),
-            }
+            self._schemas[schema_id] = meta
             self._index.add(schema_id, profile)
             self._pending_adds[schema_id] = profile
             self._cache_loaded(schema_id, prepared)
@@ -735,6 +895,7 @@ class SchemaRepository:
             if self._dirty:
                 self._write_manifest()
                 self._dirty = False
+                self._finish_publish_locked()
         remove_segment_files(self.path, stale)
         self._save_simcache()
 
@@ -752,6 +913,7 @@ class SchemaRepository:
             stale = self._compact_segments_locked()
             self._write_manifest()
             self._dirty = False
+            self._finish_publish_locked()
             count = len(self._segment_entries)
         remove_segment_files(self.path, stale)
         self._save_simcache()
@@ -772,7 +934,11 @@ class SchemaRepository:
             segment_id=next_segment_id(self._segment_entries),
             profiles=self._pending_adds,
         )
-        self._segment_entries.append(write_segment(self.path, segment))
+        entry = self._durable(
+            lambda: write_segment(self.path, segment),
+            "index segment write",
+        )
+        self._segment_entries.append(entry)
         self._pending_adds = {}
         self._counters["segments_written"] += 1
         self._dirty = True
@@ -784,26 +950,109 @@ class SchemaRepository:
         """
         if len(self._segment_entries) <= 1:
             return []
-        self._segment_entries, stale = compact_segments(
-            self.path, self._index, self._segment_entries
+        entries, stale = self._durable(
+            lambda: compact_segments(
+                self.path, self._index, self._segment_entries
+            ),
+            "segment compaction write",
         )
+        self._segment_entries = entries
         self._counters["segment_compactions"] += 1
         self._counters["segments_written"] += 1
         self._dirty = True
         return stale
 
     def _write_manifest(self) -> None:
-        _write_json(
-            os.path.join(self.path, MANIFEST_FILE),
-            {
-                "format_version": FORMAT_VERSION,
-                "config": config_to_dict(self.config),
-                "config_fingerprint": config_fingerprint(self.config),
-                "thesaurus_fingerprint": self.thesaurus.fingerprint(),
-                "schemas": self._schemas,
-                "index_segments": self._segment_entries,
-            },
+        self._durable(
+            lambda: atomic_write_json(
+                os.path.join(self.path, MANIFEST_FILE),
+                {
+                    "format_version": FORMAT_VERSION,
+                    "config": config_to_dict(self.config),
+                    "config_fingerprint": config_fingerprint(self.config),
+                    "thesaurus_fingerprint": self.thesaurus.fingerprint(),
+                    "schemas": self._schemas,
+                    "index_segments": self._segment_entries,
+                },
+                site="repo.manifest",
+            ),
+            "manifest write",
         )
+
+    def _finish_publish_locked(self) -> None:
+        """Post-manifest cleanup (lock held, manifest durable).
+
+        Drops intent entries the manifest just published (and rewrites
+        or removes the intent record), then deletes the legacy
+        single-file index — every new manifest carries the segment
+        sequence, so ``index.json`` is stale the moment one lands. A
+        crash before this cleanup loses nothing: reopening resolves
+        published intent entries as no-ops and ignores the legacy file
+        whenever the manifest names segments.
+        """
+        published = [sid for sid in self._intent if sid in self._schemas]
+        for schema_id in published:
+            del self._intent[schema_id]
+        intent_path = os.path.join(self.path, INTENT_FILE)
+        if published or (not self._intent and os.path.exists(intent_path)):
+            try:
+                self._write_intent_locked()
+            except RepositoryReadOnlyError:
+                # The manifest is durable; a stale intent record is
+                # re-resolved (and found published) on the next open.
+                pass
+        try:
+            os.remove(os.path.join(self.path, INDEX_FILE))
+        except OSError:
+            pass
+
+    def _write_intent_locked(self) -> None:
+        """Persist (or clear) the write-ahead intent record."""
+        path = os.path.join(self.path, INTENT_FILE)
+        if not self._intent:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return
+        self._durable(
+            lambda: atomic_write_json(
+                path,
+                {
+                    "format_version": FORMAT_VERSION,
+                    "pending": [
+                        self._intent[schema_id]
+                        for schema_id in sorted(self._intent)
+                    ],
+                },
+                site="repo.intent",
+            ),
+            "ingest intent write",
+        )
+
+    def _durable(self, write, what: str):
+        """Run a durable-write thunk with read-only degradation.
+
+        A failed write (``OSError`` — disk full, read-only mount)
+        counts against ``write_failures``, records the reason, and
+        surfaces :class:`RepositoryReadOnlyError`; a successful one
+        clears the flag. Non-sticky by design: every durable write
+        re-probes the disk, so the repository exits read-only the
+        moment the condition does.
+        """
+        try:
+            result = write()
+        except OSError as exc:
+            with self._lock:
+                self._counters["write_failures"] += 1
+                self._read_only_reason = f"{what} failed: {exc}"
+            raise RepositoryReadOnlyError(
+                f"{what} failed ({exc}); the repository is serving "
+                "read-only until a durable write succeeds"
+            ) from exc
+        with self._lock:
+            self._read_only_reason = None
+        return result
 
     def close(self) -> None:
         """Alias for :meth:`save` (the context-manager exit hook)."""
@@ -873,7 +1122,7 @@ class SchemaRepository:
             # cache-warm search): the file on disk is already current.
             return
         try:
-            _write_json(
+            atomic_write_json(
                 os.path.join(self.path, SIMCACHE_FILE),
                 {
                     "format_version": FORMAT_VERSION,
@@ -881,6 +1130,7 @@ class SchemaRepository:
                     "config_fingerprint": config_fingerprint(self.config),
                     "caches": memo.export_cache(),
                 },
+                site="repo.simcache",
             )
         except OSError:
             # The simcache is a pure optimization: failing to persist
@@ -905,12 +1155,70 @@ class SchemaRepository:
             info["index_postings"] = self._index.n_postings
             info["index_segments"] = len(self._segment_entries)
             info["pending_index_adds"] = len(self._pending_adds)
+            info["read_only"] = self._read_only_reason is not None
         info.update(self.session.cache_info())
         return info
 
+    @property
+    def read_only(self) -> bool:
+        """True while the last durable write failed (degraded mode)."""
+        with self._lock:
+            return self._read_only_reason is not None
+
+    def recovery_info(self) -> Dict[str, Any]:
+        """The durability/recovery story in one dict.
+
+        What ``GET /stats`` and ``repro search --stats`` surface: the
+        fallback and recovery counters, pending intent entries, and
+        the read-only degradation state.
+        """
+        with self._lock:
+            return {
+                "segment_fallbacks": self._counters["segment_fallbacks"],
+                "index_rebuilds": self._counters["index_rebuilds"],
+                "recovered_ingests": self._counters["recovered_ingests"],
+                "rolled_back_ingests": (
+                    self._counters["rolled_back_ingests"]
+                ),
+                "write_failures": self._counters["write_failures"],
+                "pending_intents": len(self._intent),
+                "read_only": self._read_only_reason is not None,
+                "read_only_reason": self._read_only_reason,
+            }
+
+    def audit_segments(self) -> List[str]:
+        """Verify every manifest-named segment checksum from disk.
+
+        Re-reads the manifest *file* (not the in-memory entries — a
+        fallback open has already emptied those) so the audit reports
+        exactly what the next process will find. Also checks that every
+        cataloged schema's artifact file exists. Returns human-readable
+        problem strings; an empty list is a clean bill.
+        """
+        problems: List[str] = []
+        manifest_path = os.path.join(self.path, MANIFEST_FILE)
+        try:
+            manifest = _read_json(manifest_path, "repository manifest")
+        except RepositoryError as exc:
+            return [str(exc)]
+        for entry in manifest.get("index_segments") or []:
+            try:
+                read_segment(self.path, entry)
+            except SegmentError as exc:
+                problems.append(str(exc))
+        catalog = manifest.get("schemas")
+        if isinstance(catalog, dict):
+            for schema_id in sorted(catalog):
+                if not os.path.exists(self._artifact_path(schema_id)):
+                    problems.append(
+                        f"artifact file missing for {schema_id!r}"
+                    )
+        return problems
+
 
 # ----------------------------------------------------------------------
-# JSON helpers (atomic writes, uniform corruption errors)
+# JSON read helper (uniform corruption errors); writes go through
+# repro.repository.durability so every file shares one crash-safe path.
 # ----------------------------------------------------------------------
 
 def _read_json(path: str, what: str) -> Any:
@@ -923,12 +1231,3 @@ def _read_json(path: str, what: str) -> Any:
         raise RepositoryError(
             f"{what} at {path} is unreadable or corrupt: {exc}"
         ) from exc
-
-
-def _write_json(path: str, payload: Any) -> None:
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, path)

@@ -28,22 +28,31 @@ through the matching importer). Search/match responses carry a
 
 Error taxonomy → status codes: :class:`BadRequestError` → 400,
 unknown path → 404, :class:`ServiceOverloadedError` /
-:class:`ServiceClosedError` → 503, :class:`RequestTimeoutError` →
-504, :class:`RepositoryError` → 404 (unknown schema id) and other
-library errors → 400. Bodies are ``{"error": <class name>,
-"message": ...}``.
+:class:`ServiceClosedError` / :class:`ParallelError` (a worker pool
+that died twice) → 503 with a jittered ``Retry-After`` header,
+:class:`RequestTimeoutError` → 504,
+:class:`RepositoryReadOnlyError` (degraded to read-only, e.g. disk
+full) → 507, :class:`RepositoryError` → 404 (unknown schema id) and
+other library errors → 400. Bodies are ``{"error": <class name>,
+"message": ...}``. A failed request is always a named 5xx — never a
+200 with partial results.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import (
     BadRequestError,
+    ParallelError,
     RepositoryError,
+    RepositoryReadOnlyError,
     ReproError,
     RequestTimeoutError,
     ServiceClosedError,
@@ -279,21 +288,33 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             raise BadRequestError("request body must be a JSON object")
         return body
 
-    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
 
     def _error(self, exc: Exception) -> None:
         status = _status_for(exc)
+        headers: Dict[str, str] = {}
+        if status == 503:
+            retry_after = self.server.retry_after_s()
+            if retry_after is not None:
+                headers["Retry-After"] = str(retry_after)
         try:
             self._respond(status, {
                 "error": type(exc).__name__,
                 "message": str(exc),
-            })
+            }, headers=headers)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-error; nothing to salvage
 
@@ -311,8 +332,15 @@ def _status_for(exc: Exception) -> int:
         return 504
     if isinstance(exc, (ServiceOverloadedError, ServiceClosedError)):
         return 503
+    if isinstance(exc, ParallelError):
+        # The worker pool died twice in a row; the service already
+        # rebuilt it once, so the client should back off and retry.
+        return 503
     if isinstance(exc, ServingError):
         return 500
+    if isinstance(exc, RepositoryReadOnlyError):
+        # Insufficient Storage: writes are degraded, reads still work.
+        return 507
     if isinstance(exc, RepositoryError):
         return 404
     if isinstance(exc, ReproError):
@@ -339,10 +367,25 @@ class MatchHTTPServer(ThreadingHTTPServer):
         super().__init__(address, MatchRequestHandler)
         self.service = service
         self.verbose = verbose
+        self._jitter = random.Random()
 
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    def retry_after_s(self) -> Optional[int]:
+        """Jittered ``Retry-After`` value for 503 responses.
+
+        Uniform in ``[base, 2*base]`` seconds (rounded up to whole
+        seconds, as the header requires) so a fleet of clients that
+        all hit an overloaded or healing daemon at once doesn't
+        synchronize into a retry stampede. ``None`` (header omitted)
+        when ``serving_retry_after_s`` is 0.
+        """
+        base = self.service.repository.config.serving_retry_after_s
+        if not base:
+            return None
+        return max(1, int(self._jitter.uniform(base, 2.0 * base) + 0.999))
 
 
 def serve(
@@ -357,8 +400,32 @@ def serve(
     ``port=0`` binds an ephemeral port (printed, and reported through
     the optional ``ready`` callback — how tests and the benchmark
     learn the address before sending traffic).
+
+    SIGTERM and SIGINT trigger a graceful shutdown: the accept loop
+    stops, in-flight requests drain (bounded by the executor's
+    completion of already-admitted work), and ``service.close()``
+    flushes pending segments, the manifest, and the simcache before
+    the process exits. Handlers are installed best-effort — in a
+    non-main thread (embedded use, tests) signal wiring is skipped
+    and the caller owns shutdown.
     """
     server = MatchHTTPServer((host, port), service, verbose=verbose)
+
+    def _graceful(signum, frame) -> None:
+        # server.shutdown() blocks until serve_forever() returns; a
+        # direct call from the handler (which runs on the main thread,
+        # inside serve_forever) would deadlock — hand it to a thread.
+        threading.Thread(
+            target=server.shutdown, name="repro-shutdown", daemon=True
+        ).start()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _graceful)
+        except ValueError:
+            # Not the main thread; signals stay with the embedder.
+            break
     try:
         if ready is not None:
             ready(server)
@@ -366,5 +433,10 @@ def serve(
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:
+                pass
         server.server_close()
         service.close()

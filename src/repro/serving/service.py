@@ -49,7 +49,9 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro import faults
 from repro.exceptions import (
+    ParallelError,
     ServiceClosedError,
     ServiceOverloadedError,
 )
@@ -123,8 +125,18 @@ class MatchService:
         self._admission_lock = threading.Lock()
         self._admitted = 0
         self._closed = False
+        #: Requests that survived a worker-pool death via the one-shot
+        #: fresh-pool retry (the self-healing counter in /stats).
+        self._worker_pool_retries = 0
         self._compaction_lock = threading.Lock()
         self._compaction_thread: Optional[threading.Thread] = None
+        self._compaction_timer: Optional[threading.Timer] = None
+        #: Consecutive background-compaction failures (drives the
+        #: exponential backoff; reset on success).
+        self._compaction_failures = 0
+        #: Total supervised compaction retries ever scheduled.
+        self._compaction_retries = 0
+        self._compaction_backoff = config.serving_compaction_backoff_s
 
     # ------------------------------------------------------------------
     # Request plumbing
@@ -164,9 +176,24 @@ class MatchService:
             try:
                 with metrics.track():
                     deadline.check(f"{endpoint} still queued")
+                    faults.check("serve.execute")
                     session = self._idle.get()
                     try:
-                        return fn(session, deadline, *args)
+                        try:
+                            return fn(session, deadline, *args)
+                        except ParallelError:
+                            # The dead pool evicted itself from the
+                            # process-wide registry, so re-running the
+                            # request builds fresh workers. One retry:
+                            # a pool that dies twice in a row is a
+                            # systemic failure the caller must see.
+                            with self._admission_lock:
+                                self._worker_pool_retries += 1
+                            deadline.check(
+                                f"{endpoint} retrying on a fresh "
+                                "worker pool"
+                            )
+                            return fn(session, deadline, *args)
                     finally:
                         self._idle.put(session)
             finally:
@@ -308,6 +335,9 @@ class MatchService:
     # Background compaction
     # ------------------------------------------------------------------
 
+    #: Ceiling on the supervised compaction backoff delay, seconds.
+    COMPACTION_BACKOFF_CAP_S = 30.0
+
     def _maybe_compact(self) -> None:
         threshold = self.repository.config.segment_compaction_threshold
         if not threshold:
@@ -320,6 +350,8 @@ class MatchService:
                 and self._compaction_thread.is_alive()
             ):
                 return  # one compactor at a time; it folds everything
+            if self._compaction_timer is not None:
+                return  # a supervised retry is already scheduled
             self._compaction_thread = threading.Thread(
                 target=self._compact_now,
                 name="repro-compact",
@@ -328,13 +360,39 @@ class MatchService:
             self._compaction_thread.start()
 
     def _compact_now(self) -> None:
+        """Run one background compaction under supervision.
+
+        A failure (e.g. disk full) leaves the longer-but-valid segment
+        sequence in place and schedules a retry with capped
+        exponential backoff — the service heals itself once the
+        condition clears instead of waiting for the next ingest.
+        """
+        with self._compaction_lock:
+            self._compaction_timer = None
         try:
             self.repository.compact()
         except Exception:
-            # Compaction is an optimization; a failure (e.g. disk
-            # full) leaves the longer-but-valid segment sequence in
-            # place and the next flush retries.
-            pass
+            with self._compaction_lock:
+                self._compaction_failures += 1
+                base = self._compaction_backoff
+                if not base or self._closing_for_compaction():
+                    return
+                delay = min(
+                    self.COMPACTION_BACKOFF_CAP_S,
+                    base * 2 ** (self._compaction_failures - 1),
+                )
+                self._compaction_retries += 1
+                timer = threading.Timer(delay, self._compact_now)
+                timer.daemon = True
+                self._compaction_timer = timer
+                timer.start()
+        else:
+            with self._compaction_lock:
+                self._compaction_failures = 0
+
+    def _closing_for_compaction(self) -> bool:
+        with self._admission_lock:
+            return self._closed
 
     # ------------------------------------------------------------------
     # Introspection
@@ -351,6 +409,10 @@ class MatchService:
             "sessions": self._width,
             "in_flight": admitted,
             "queue_depth": self._queue_depth,
+            # A read-only repository still serves searches; liveness
+            # stays "ok" so orchestrators don't restart a healthy
+            # reader out of a full disk.
+            "read_only": self.repository.read_only,
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -366,6 +428,13 @@ class MatchService:
         info["health"] = self.health()
         info["session_pool"] = pool
         info["repository"] = self.repository.cache_info()
+        recovery = self.repository.recovery_info()
+        with self._admission_lock:
+            recovery["worker_pool_retries"] = self._worker_pool_retries
+        with self._compaction_lock:
+            recovery["compaction_retries"] = self._compaction_retries
+            recovery["compaction_failures"] = self._compaction_failures
+        info["recovery"] = recovery
         return info
 
     # ------------------------------------------------------------------
@@ -385,6 +454,9 @@ class MatchService:
         self._executor.shutdown(wait=True)
         with self._compaction_lock:
             compactor = self._compaction_thread
+            if self._compaction_timer is not None:
+                self._compaction_timer.cancel()
+                self._compaction_timer = None
         if compactor is not None:
             compactor.join(timeout=60.0)
         self.repository.save()

@@ -56,6 +56,7 @@ import weakref
 from array import array
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.exceptions import ParallelError
 
 try:  # optional acceleration, never a hard dependency
@@ -610,7 +611,14 @@ class WorkerPool:
         worker dies or reports a shard failure. The whole transaction
         runs under the pool lock — concurrent sessions queue here
         rather than crossing replies on the shared pipes."""
+        injected = faults.action("parallel.request")
         with self._lock:
+            if injected == "kill_worker" and targets:
+                # Deterministic worker death: the victim reads the die
+                # message before this transaction's requests, so the
+                # recv below finds a closed pipe — exactly the failure
+                # shape of a worker OOM-killed mid-request.
+                self._post_locked(targets[0][0], ("die",))
             for worker, msg in targets:
                 self._post_locked(worker, msg)
             replies = []

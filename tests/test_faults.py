@@ -1,0 +1,738 @@
+"""Fault injection, crash-safe durability, and self-healing serving.
+
+Four layers under test. The fault plan itself (spec grammar, hit
+counting, deterministic corruption). The **crash sweep** — the
+acceptance criterion of this subsystem: a subprocess driver ingests a
+deterministic corpus while ``REPRO_FAULTS`` kills it at a chosen
+write-path site, and the parent asserts the repository always reopens
+to a *consistent prefix* of the ingest order (everything committed is
+visible, nothing never-intended is) whose search results are
+bit-identical to a scratch repository holding exactly the visible
+schemas. The **degradation modes** in process: injected ENOSPC turns
+the repository read-only (ingest raises, search keeps answering),
+injected segment-read faults fall back to the artifact re-scan. The
+**serving self-healing** over a real socket: a killed worker pool
+heals behind a one-shot retry, a persistent one surfaces 503 with a
+jittered ``Retry-After`` while ``/health`` stays green, disk-full
+maps to 507 and clears with the fault, failed background compactions
+retry with backoff, and SIGTERM drains and flushes the daemon.
+
+The sweep seed is taken from an ambient ``REPRO_FAULTS=seed=N`` (a
+rule-less plan never fires in this parent process) so CI can run the
+whole module under several seeds — see the ``chaos`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import fault_driver
+from repro import SchemaRepository, faults
+from repro.cli import main as cli_main
+from repro.config import CupidConfig
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+from repro.exceptions import ParallelError, RepositoryReadOnlyError
+from repro.io.json_io import schema_to_dict
+from repro.repository.durability import atomic_write_json
+from repro.repository.segments import SEGMENTS_DIR
+from repro.serving import MatchHTTPServer, MatchService
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+DRIVER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "fault_driver.py")
+
+#: The sweep seed: CI's chaos job exports ``REPRO_FAULTS=seed=N`` (no
+#: rules, so nothing fires here) and every subprocess spec below
+#: inherits it — one knob re-randomizes the corpus AND the corrupt
+#: offsets.
+SWEEP_SEED = faults.ambient_seed() or 0
+CORPUS_SEED = 3 + SWEEP_SEED
+
+
+@pytest.fixture(autouse=True)
+def _restore_ambient_plan():
+    """Tests arm plans freely; whatever was ambient comes back."""
+    before = faults._PLAN
+    yield
+    faults._PLAN = before
+
+
+def _corpus(n=4, size=12, seed=None):
+    generator = SchemaGenerator(seed=CORPUS_SEED if seed is None else seed)
+    return [
+        generator.generate(
+            name=f"fault{i}", n_leaves=size, name_repetition=0.5
+        )
+        for i in range(n)
+    ]
+
+
+def _query_for(schema, seed=97):
+    perturbed, _ = SchemaGenerator(seed=seed).perturb(
+        schema, PerturbationConfig(abbreviate=0.3, synonym=0.2)
+    )
+    return perturbed
+
+
+def _mapping_signature(result):
+    return sorted(
+        (e.source_path, e.target_path, e.similarity)
+        for e in result.leaf_mapping
+    )
+
+
+def _search_signature(search):
+    return [
+        (m.schema_id, m.score, _mapping_signature(m.result))
+        for m in search
+    ]
+
+
+def _subprocess_env(spec=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    if spec is None:
+        env.pop("REPRO_FAULTS", None)
+    else:
+        env["REPRO_FAULTS"] = f"seed={SWEEP_SEED};{spec}"
+    return env
+
+
+# ----------------------------------------------------------------------
+# The fault plan itself
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_spec_grammar(self):
+        plan = faults.parse_spec(
+            "seed=7; segment.write:kill@2 ;repo.manifest:oserror@*;"
+            "repo.intent:torn@1,4"
+        )
+        assert plan.seed == 7
+        assert plan.rules["segment.write"].hits == frozenset({2})
+        assert plan.rules["repo.manifest"].hits is None
+        assert plan.rules["repo.intent"].hits == frozenset({1, 4})
+
+    @pytest.mark.parametrize("bad", [
+        "nonsense",
+        "site:not-an-action",
+        "site:kill@0",
+        "site:kill@x",
+        "seed=x",
+        "site:kill@2;site:oserror",  # duplicate site
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_spec(bad)
+
+    def test_hits_count_invocations(self):
+        faults.arm(faults.parse_spec("unit.site:oserror@2"))
+        faults.check("unit.site")  # first invocation passes
+        with pytest.raises(OSError):
+            faults.check("unit.site")
+        faults.check("unit.site")  # and the third passes again
+
+    def test_enospc_carries_errno(self):
+        import errno
+
+        faults.arm(faults.parse_spec("unit.site:enospc@*"))
+        with pytest.raises(OSError) as caught:
+            faults.check("unit.site")
+        assert caught.value.errno == errno.ENOSPC
+
+    def test_seed_only_plan_never_fires(self):
+        faults.arm(faults.parse_spec("seed=9"))
+        assert faults.ambient_seed() == 9
+        for _ in range(8):
+            faults.check("repo.manifest")
+            assert faults.action("segment.write") is None
+
+    def test_unarmed_sites_are_free(self):
+        faults.disarm()
+        assert not faults.armed()
+        assert faults.action("repo.manifest") is None
+        faults.check("segment.write")
+
+    def test_corrupt_offsets_are_seed_deterministic(self):
+        a = faults.FaultPlan(seed=11)
+        b = faults.FaultPlan(seed=11)
+        assert [a.corrupt_offset(100) for _ in range(5)] == [
+            b.corrupt_offset(100) for _ in range(5)
+        ]
+
+    def test_corrupt_action_flips_exactly_one_byte(self, tmp_path):
+        faults.arm(faults.parse_spec("seed=5;unit.write:corrupt@1"))
+        path = str(tmp_path / "f.json")
+        atomic_write_json(path, {"a": 1}, site="unit.write")
+        expected = (
+            json.dumps({"a": 1}, indent=1, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        assert len(blob) == len(expected)
+        diffs = [
+            i for i, (x, y) in enumerate(zip(blob, expected)) if x != y
+        ]
+        assert len(diffs) == 1
+
+
+# ----------------------------------------------------------------------
+# The crash sweep (acceptance criterion)
+# ----------------------------------------------------------------------
+
+#: Each spec names one crash point in the driver's timeline (baseline
+#: save, 5× [intent → artifact → publish], search, compact). The hit
+#: numbers are chosen against that timeline — e.g. ``repo.manifest``
+#: hit 3 is the second post-ingest publish. ``kill`` dies before any
+#: bytes, ``kill_after`` right after the rename, ``torn`` publishes
+#: half the payload under the final name first. ``corrupt`` (no kill)
+#: lets the driver finish and plants bit rot for the reopen to catch.
+CRASH_SPECS = [
+    "repo.artifact:kill@2",
+    "repo.artifact:kill_after@2",
+    "repo.intent:kill@3",
+    "repo.intent:torn@2",
+    "repo.manifest:kill@3",
+    "repo.manifest:kill_after@5",
+    "repo.simcache:torn@1",
+    "segment.write:kill@2",
+    "segment.write:kill_after@4",
+    "segment.write:torn@6",
+]
+CORRUPTION_SPECS = ["segment.write:corrupt@6"]
+
+
+def _run_driver(tmp_path, spec):
+    root = str(tmp_path / "crash-repo")
+    proc = subprocess.run(
+        [sys.executable, DRIVER, root, str(CORPUS_SEED)],
+        env=_subprocess_env(spec),
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    return root, proc
+
+
+def _assert_recovers_consistently(root, stdout, tmp_path):
+    """The sweep's invariant: reopen, bound the corpus, check parity.
+
+    committed ⊆ visible ⊆ intended, and the reopened repository
+    answers searches bit-identically to a scratch repository holding
+    exactly the visible schemas. One save then heals the layout: the
+    audit comes back clean.
+    """
+    lines = stdout.splitlines()
+    intended = [l.split()[1] for l in lines if l.startswith("intent ")]
+    committed = {l.split()[1] for l in lines if l.startswith("committed ")}
+    schemas = fault_driver.corpus(CORPUS_SEED)
+    by_id = {fault_driver.expected_id(s): s for s in schemas}
+    assert set(intended) <= set(by_id)
+
+    repo = SchemaRepository.open(root)
+    visible = set(repo.schema_ids())
+    assert committed <= visible, (
+        f"published schemas vanished: {sorted(committed - visible)}"
+    )
+    assert visible <= set(intended), (
+        f"never-intended schemas appeared: "
+        f"{sorted(visible - set(intended))}"
+    )
+
+    if visible:
+        query = _query_for(schemas[0])
+        got = _search_signature(repo.search(query, k=3))
+        scratch = SchemaRepository(str(tmp_path / "scratch-repo"))
+        for schema_id in intended:
+            if schema_id in visible:
+                scratch.ingest(by_id[schema_id])
+        scratch.save()
+        expected = _search_signature(scratch.search(query, k=3))
+        assert got == expected, "recovered corpus lost search parity"
+        scratch.close()
+
+    repo.save()
+    assert repo.audit_segments() == []
+    repo.close()
+    return repo
+
+
+class TestCrashSweep:
+    @pytest.mark.parametrize("spec", CRASH_SPECS)
+    def test_killed_writer_leaves_consistent_repository(
+        self, tmp_path, spec
+    ):
+        root, proc = _run_driver(tmp_path, spec)
+        assert proc.returncode == faults.KILL_EXIT_CODE, (
+            f"driver under {spec!r} should die at the injected site "
+            f"(rc={proc.returncode}, stderr={proc.stderr[-500:]})"
+        )
+        assert "done" not in proc.stdout
+        _assert_recovers_consistently(root, proc.stdout, tmp_path)
+
+    @pytest.mark.parametrize("spec", CORRUPTION_SPECS)
+    def test_corrupted_segment_triggers_fallback(self, tmp_path, spec):
+        root, proc = _run_driver(tmp_path, spec)
+        assert proc.returncode == 0, proc.stderr[-500:]
+        assert proc.stdout.splitlines()[-1] == "done"
+        repo = _assert_recovers_consistently(
+            root, proc.stdout, tmp_path
+        )
+        info = repo.cache_info()
+        assert info["segment_fallbacks"] == 1
+        assert info["index_rebuilds"] == 1
+
+    def test_no_faults_runs_clean(self, tmp_path):
+        root, proc = _run_driver(tmp_path, None)
+        assert proc.returncode == 0, proc.stderr[-500:]
+        assert proc.stdout.splitlines()[-1] == "done"
+        repo = SchemaRepository.open(root)
+        assert len(repo) == fault_driver.CORPUS_SIZE
+        assert repo.audit_segments() == []
+        info = repo.recovery_info()
+        assert info["recovered_ingests"] == 0
+        assert info["rolled_back_ingests"] == 0
+
+    def test_kill_after_artifact_recovers_the_ingest(self, tmp_path):
+        """The WAL's completion side, pinned: dying right after the
+        artifact rename (manifest never written) must *finish* the
+        ingest on reopen, not roll it back."""
+        root, proc = _run_driver(tmp_path, "repo.artifact:kill_after@2")
+        assert proc.returncode == faults.KILL_EXIT_CODE
+        repo = SchemaRepository.open(root)
+        assert repo.recovery_info()["recovered_ingests"] == 1
+        assert len(repo) == 2
+
+    def test_kill_during_artifact_rolls_the_ingest_back(self, tmp_path):
+        root, proc = _run_driver(tmp_path, "repo.artifact:kill@2")
+        assert proc.returncode == faults.KILL_EXIT_CODE
+        repo = SchemaRepository.open(root)
+        assert repo.recovery_info()["rolled_back_ingests"] == 1
+        assert len(repo) == 1
+        # The partial artifact is gone, not just hidden.
+        assert not os.path.exists(
+            os.path.join(root, "ingest.intent.json")
+        )
+
+
+# ----------------------------------------------------------------------
+# Degradation modes (in process)
+# ----------------------------------------------------------------------
+
+
+class TestReadOnlyDegradation:
+    def test_enospc_degrades_writes_keeps_reads(self, tmp_path):
+        schemas = _corpus(2)
+        repo = SchemaRepository(str(tmp_path / "repo"))
+        repo.ingest(schemas[0])
+        repo.save()
+        faults.arm(faults.parse_spec("repo.intent:enospc@*"))
+        with pytest.raises(RepositoryReadOnlyError):
+            repo.ingest(schemas[1])
+        assert repo.read_only
+        info = repo.recovery_info()
+        assert info["read_only"] and info["write_failures"] >= 1
+        assert "ENOSPC" in info["read_only_reason"]
+        # Reads are untouched by the degradation.
+        assert len(repo.search(_query_for(schemas[0]), k=1)) == 1
+        # Non-sticky: the moment a durable write succeeds the flag
+        # clears — no restart, no explicit reset call.
+        faults.disarm()
+        repo.ingest(schemas[1])
+        assert not repo.read_only
+        repo.save()
+        assert len(repo) == 2
+
+    def test_segment_read_fault_falls_back_to_rescan(self, tmp_path):
+        path = str(tmp_path / "repo")
+        schemas = _corpus(3)
+        with SchemaRepository(path) as repo:
+            for schema in schemas:
+                repo.ingest(schema)
+            query = _query_for(schemas[1])
+            baseline = _search_signature(repo.search(query, k=2))
+        faults.arm(faults.parse_spec("segment.read:oserror@1"))
+        try:
+            reopened = SchemaRepository.open(path)
+        finally:
+            faults.disarm()
+        info = reopened.cache_info()
+        assert info["segment_fallbacks"] == 1
+        assert info["index_rebuilds"] == 1
+        assert _search_signature(
+            reopened.search(query, k=2)
+        ) == baseline
+
+
+# ----------------------------------------------------------------------
+# Self-healing serving (HTTP, over a real socket)
+# ----------------------------------------------------------------------
+
+
+def _http(port, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def _http_error(port, path, payload=None):
+    try:
+        _http(port, path, payload)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+    pytest.fail(f"{path} unexpectedly succeeded")
+
+
+class _Server:
+    """MatchHTTPServer on a background thread (context manager)."""
+
+    def __init__(self, repository, **service_kwargs):
+        import threading
+
+        self.service = MatchService(repository, **service_kwargs)
+        self.httpd = MatchHTTPServer(("127.0.0.1", 0), self.service)
+        self.port = self.httpd.port
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        faults.disarm()  # never let a plan leak into close's flushes
+        self.service.close()
+
+
+class TestSelfHealingHTTP:
+    def test_worker_pool_death_heals_then_surfaces_503(self, tmp_path):
+        """One pool death is invisible (the retry rebuilds it); a pool
+        dying on every request is a named 503 with Retry-After while
+        /health stays green; clearing the fault restores 200s."""
+        config = CupidConfig().replace(
+            store="flat", workers=2, parallel_leaf_threshold=1
+        )
+        repo = SchemaRepository(str(tmp_path / "repo"), config=config)
+        schemas = _corpus(3, size=16)
+        for schema in schemas:
+            repo.ingest(schema)
+        repo.save()
+        body = {
+            "schema": schema_to_dict(_query_for(schemas[0])),
+            "k": 2,
+        }
+        with _Server(repo, sessions=1, queue_depth=8) as server:
+            assert len(_http(server.port, "/search", body)["matches"]) == 2
+
+            faults.arm(faults.parse_spec("parallel.request:kill_worker@1"))
+            healed = _http(server.port, "/search", body)
+            assert len(healed["matches"]) == 2
+            stats = _http(server.port, "/stats")
+            assert stats["recovery"]["worker_pool_retries"] == 1
+
+            faults.arm(faults.parse_spec("parallel.request:kill_worker@*"))
+            status, payload, headers = _http_error(
+                server.port, "/search", body
+            )
+            assert status == 503
+            assert payload["error"] == "ParallelError"
+            retry_after = headers.get("Retry-After")
+            base = repo.config.serving_retry_after_s
+            assert retry_after is not None
+            assert base <= int(retry_after) <= 2 * base + 1
+            health = _http(server.port, "/health")
+            assert health["status"] == "ok"
+
+            faults.disarm()
+            recovered = _http(server.port, "/search", body)
+            assert len(recovered["matches"]) == 2
+
+    def test_disk_full_degrades_ingest_keeps_search(self, tmp_path):
+        repo = SchemaRepository(str(tmp_path / "repo"))
+        schemas = _corpus(4)
+        for schema in schemas[:3]:
+            repo.ingest(schema)
+        repo.save()
+        search_body = {
+            "schema": schema_to_dict(_query_for(schemas[0])),
+            "k": 2,
+        }
+        ingest_body = {
+            "schemas": [{"schema": schema_to_dict(schemas[3])}],
+        }
+        with _Server(repo, sessions=1, queue_depth=8) as server:
+            faults.arm(faults.parse_spec("repo.intent:enospc@*"))
+            status, payload, _ = _http_error(
+                server.port, "/ingest", ingest_body
+            )
+            assert status == 507
+            assert payload["error"] == "RepositoryReadOnlyError"
+            # Reads keep working; liveness stays green but advertises
+            # the degradation.
+            assert len(
+                _http(server.port, "/search", search_body)["matches"]
+            ) == 2
+            health = _http(server.port, "/health")
+            assert health["status"] == "ok"
+            assert health["read_only"] is True
+
+            faults.disarm()
+            ingested = _http(server.port, "/ingest", ingest_body)
+            assert len(ingested["ids"]) == 1
+            assert _http(server.port, "/health")["read_only"] is False
+
+    def test_search_never_returns_partial_results(self, tmp_path):
+        """A failing request is a named 5xx, not a 200 with fewer
+        matches — injected worker death on every request must never
+        leak a truncated result set."""
+        config = CupidConfig().replace(
+            store="flat", workers=2, parallel_leaf_threshold=1
+        )
+        repo = SchemaRepository(str(tmp_path / "repo"), config=config)
+        for schema in _corpus(3, size=16):
+            repo.ingest(schema)
+        repo.save()
+        body = {
+            "schema": schema_to_dict(_query_for(_corpus(3, size=16)[0])),
+            "k": 3,
+        }
+        with _Server(repo, sessions=1, queue_depth=8) as server:
+            faults.arm(faults.parse_spec("parallel.request:kill_worker@*"))
+            for _ in range(3):
+                status, payload, _ = _http_error(
+                    server.port, "/search", body
+                )
+                assert status == 503
+                assert "matches" not in payload
+            faults.disarm()
+            assert len(_http(server.port, "/search", body)["matches"]) == 3
+
+
+class TestCompactionSupervision:
+    def test_failed_compaction_retries_with_backoff(self, tmp_path):
+        config = CupidConfig().replace(
+            segment_compaction_threshold=2,
+            serving_compaction_backoff_s=0.05,
+        )
+        repo = SchemaRepository(str(tmp_path / "repo"), config=config)
+        for schema in _corpus(3):
+            repo.ingest(schema)
+            repo.save(auto_compact=False)
+        assert repo.segment_count() == 3
+        service = MatchService(repo, sessions=1, queue_depth=8)
+        try:
+            # First two compaction write attempts fail; the supervisor
+            # must keep rescheduling until the third succeeds.
+            faults.arm(faults.parse_spec("segment.write:oserror@1,2"))
+            service._maybe_compact()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if repo.segment_count() == 1:
+                    break
+                time.sleep(0.02)
+            assert repo.segment_count() == 1, "compaction never healed"
+            stats = service.stats()
+            assert stats["recovery"]["compaction_retries"] == 2
+            assert stats["recovery"]["compaction_failures"] == 0
+            assert not repo.read_only
+        finally:
+            faults.disarm()
+            service.close()
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_flushes(self, tmp_path):
+        path = str(tmp_path / "repo")
+        schemas = _corpus(3)
+        with SchemaRepository(path) as repo:
+            for schema in schemas[:2]:
+                repo.ingest(schema)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--repo", path, "--port", "0",
+            ],
+            env=_subprocess_env(None),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            announce = proc.stderr.readline()
+            matched = re.search(r"http://[^:]+:(\d+)", announce)
+            assert matched, f"no announce line (got {announce!r})"
+            port = int(matched.group(1))
+            ingested = _http(port, "/ingest", {
+                "schemas": [{"schema": schema_to_dict(schemas[2])}],
+            })
+            assert len(ingested["ids"]) == 1
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert returncode == 0
+        # The drained daemon flushed everything: the ingest done over
+        # HTTP survives a cold reopen, and the layout audits clean.
+        reopened = SchemaRepository.open(path)
+        assert len(reopened) == 3
+        assert reopened.audit_segments() == []
+
+
+# ----------------------------------------------------------------------
+# Legacy-layout migration under crashes
+# ----------------------------------------------------------------------
+
+
+def _fabricate_legacy(path, schemas):
+    """Rewrite a repository into the pre-segment on-disk layout."""
+    with SchemaRepository(path) as repo:
+        for schema in schemas:
+            repo.ingest(schema)
+    manifest_path = os.path.join(path, "repository.json")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    del manifest["index_segments"]
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle)
+    legacy = SchemaRepository.open(path)
+    with open(os.path.join(path, "index.json"), "w") as handle:
+        json.dump(legacy._index.to_dict(), handle)
+    shutil.rmtree(os.path.join(path, SEGMENTS_DIR))
+
+
+_MIGRATE_CHILD = (
+    "from repro.repository.store import SchemaRepository\n"
+    "repo = SchemaRepository.open({path!r})\n"
+    "repo.save()\n"
+)
+
+
+class TestLegacyMigrationCrash:
+    """A crash mid-migration (legacy ``index.json`` → segments) must
+    leave the repository readable from *either* side of the cut:
+    before the manifest names segments the legacy file is still
+    authoritative; after, the stale legacy file is ignored and then
+    cleaned up by the next save."""
+
+    @pytest.mark.parametrize("spec,expect_legacy_file", [
+        # Dies after writing the first segment, before the manifest:
+        # the old manifest + index.json are still the whole truth.
+        ("segment.write:kill_after@1", True),
+        # Dies after the manifest publish, before the index.json
+        # removal: segments are authoritative, the legacy file stale.
+        ("repo.manifest:kill_after@1", True),
+    ])
+    def test_crash_between_segment_and_index_removal(
+        self, tmp_path, spec, expect_legacy_file
+    ):
+        path = str(tmp_path / "legacy-repo")
+        schemas = _corpus(3)
+        _fabricate_legacy(path, schemas)
+        query = _query_for(schemas[2])
+        baseline = _search_signature(
+            SchemaRepository.open(path).search(query, k=2)
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _MIGRATE_CHILD.format(path=path)],
+            env=_subprocess_env(spec),
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert proc.returncode == faults.KILL_EXIT_CODE, proc.stderr[-500:]
+        assert os.path.exists(
+            os.path.join(path, "index.json")
+        ) is expect_legacy_file
+        reopened = SchemaRepository.open(path)
+        assert sorted(reopened.schema_ids()) == sorted(
+            fault_driver.expected_id(schema) for schema in schemas
+        )
+        assert _search_signature(
+            reopened.search(query, k=2)
+        ) == baseline
+        # Completing the migration removes the stale legacy file.
+        reopened.save()
+        assert not os.path.exists(os.path.join(path, "index.json"))
+        assert reopened.audit_segments() == []
+
+
+# ----------------------------------------------------------------------
+# CLI: repro verify, recovery counters in --stats
+# ----------------------------------------------------------------------
+
+
+class TestVerifyCLI:
+    def _build(self, tmp_path):
+        path = str(tmp_path / "repo")
+        with SchemaRepository(path) as repo:
+            for schema in _corpus(3):
+                repo.ingest(schema)
+        return path
+
+    def test_clean_repository_verifies(self, tmp_path, capsys):
+        path = self._build(tmp_path)
+        assert cli_main(["verify", "--repo", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 problem(s)" in out
+        assert "3 artifact(s) re-verified" in out
+
+    def test_corrupt_segment_fails_the_audit(self, tmp_path, capsys):
+        path = self._build(tmp_path)
+        segments_dir = os.path.join(path, SEGMENTS_DIR)
+        segment = sorted(os.listdir(segments_dir))[0]
+        segment_path = os.path.join(segments_dir, segment)
+        with open(segment_path, "r+b") as handle:
+            handle.seek(10)
+            byte = handle.read(1)
+            handle.seek(10)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert cli_main(["verify", "--repo", path, "--quick"]) == 1
+        captured = capsys.readouterr()
+        assert "checksum mismatch" in captured.err
+
+    def test_missing_artifact_fails_the_audit(self, tmp_path, capsys):
+        path = self._build(tmp_path)
+        with SchemaRepository.open(path) as repo:
+            victim = repo.schema_ids()[0]
+        os.remove(os.path.join(path, "schemas", f"{victim}.json"))
+        assert cli_main(["verify", "--repo", path, "--quick"]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_search_stats_surface_recovery_counters(
+        self, tmp_path, capsys
+    ):
+        path = self._build(tmp_path)
+        schemas = _corpus(3)
+        query_file = str(tmp_path / "query.json")
+        with open(query_file, "w") as handle:
+            json.dump(schema_to_dict(_query_for(schemas[0])), handle)
+        assert cli_main([
+            "search", query_file, "--repo", path, "-k", "1", "--stats",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "# recovery" in err
+        assert "segment_fallbacks" in err
+        assert "recovered_ingests" in err

@@ -535,12 +535,10 @@ class TestSimilarityCachePersistence:
             warm.search(query, k=2)  # every similarity preloaded
         assert os.stat(simcache_path).st_mtime_ns == before
 
-    def test_simcache_write_failure_is_not_fatal(
-        self, tmp_path, monkeypatch
-    ):
+    def test_simcache_write_failure_is_not_fatal(self, tmp_path):
         """Persisting the simcache is an optimization; an unwritable
         repository directory must not fail a successful search."""
-        import repro.repository.store as store_module
+        from repro import faults
 
         path = str(tmp_path / "repo")
         with SchemaRepository(path) as repo:
@@ -549,15 +547,12 @@ class TestSimilarityCachePersistence:
         repo = SchemaRepository.open(path)
         search = repo.search(figure2_purchase_order(), k=1)
         assert len(search) == 1
-        real_write = store_module._write_json
-
-        def failing_write(write_path, payload):
-            if write_path.endswith("simcache.json"):
-                raise OSError(30, "Read-only file system", write_path)
-            real_write(write_path, payload)
-
-        monkeypatch.setattr(store_module, "_write_json", failing_write)
-        repo.save()  # must not raise
+        plan_before = faults._PLAN
+        faults.arm(faults.parse_spec("repo.simcache:oserror@*"))
+        try:
+            repo.save()  # must not raise
+        finally:
+            faults._PLAN = plan_before
         assert repo.cache_info()["simcache_write_failures"] == 1
 
     def test_stale_simcache_discarded(self, tmp_path):
