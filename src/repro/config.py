@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from repro.exceptions import ConfigError
 from repro.linguistic.tokens import TokenType
@@ -292,6 +292,14 @@ class CupidConfig:
     #: ``0`` omits the header.
     serving_retry_after_s: float = 1.0
 
+    #: Seed of the Retry-After jitter stream. None (the default) draws
+    #: from OS entropy — the right choice in production, where
+    #: distinct daemons must desynchronize their clients. Pin an int
+    #: to make the advertised delays reproducible (the fault-injection
+    #: suite does, so chaos runs under pinned ``REPRO_FAULTS`` seeds
+    #: replay byte-identical 503 responses).
+    serving_retry_after_seed: Optional[int] = None
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if the parameters are inconsistent."""
         for name in ("thns", "thhigh", "thlow", "thaccept"):
@@ -399,6 +407,14 @@ class CupidConfig:
             raise ConfigError(
                 f"serving_retry_after_s ({self.serving_retry_after_s}) "
                 "must be >= 0 (0 = no Retry-After header)"
+            )
+        if self.serving_retry_after_seed is not None and not isinstance(
+            self.serving_retry_after_seed, int
+        ):
+            raise ConfigError(
+                f"serving_retry_after_seed "
+                f"({self.serving_retry_after_seed!r}) must be an int or "
+                "None (None = OS entropy)"
             )
         total = sum(self.token_type_weights.values())
         if abs(total - 1.0) > 1e-9:

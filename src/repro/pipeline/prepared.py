@@ -141,7 +141,16 @@ class PreparedSchema:
 
     @property
     def tree(self) -> SchemaTree:
-        """The expanded schema tree (built once, config-dependent)."""
+        """The expanded schema tree (built once, config-dependent).
+
+        Construction (and, for ``use_refint_joins``, join-view
+        augmentation) stamps the pre/post-order interval encoding —
+        :meth:`SchemaTree.reindex` — so the tree arrives with window
+        addressing already valid, and a restored schema re-derives
+        the identical encoding deterministically (the persisted
+        ``leaf_order`` artifact is exactly this traversal's leaf
+        order; ``SchemaRepository.verify`` cross-checks both).
+        """
         if self._tree is None:
             build = (
                 construct_schema_tree_lazy

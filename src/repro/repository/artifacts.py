@@ -260,6 +260,10 @@ def prepared_to_dict(
         "names": [_name_to_dict(name) for name in names],
         "name_of": name_of,
         "categories": categories,
+        # The layout order IS the tree's pre-order interval encoding
+        # (global first-visit leaf order): persisting it pins the
+        # window addressing a restored schema re-derives, with no
+        # format bump — verify() runs the interval oracle against it.
         "leaf_order": [
             id_map[leaf.element.element_id]
             for leaf in prepared.leaf_layout.leaves

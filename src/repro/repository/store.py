@@ -60,6 +60,7 @@ from repro.config import CupidConfig
 from repro.exceptions import (
     RepositoryError,
     RepositoryReadOnlyError,
+    SchemaError,
     SegmentError,
 )
 from repro.linguistic.lexicon import builtin_thesaurus
@@ -82,6 +83,7 @@ from repro.repository.artifacts import (
 )
 from repro.repository.durability import atomic_write_json
 from repro.repository.index import VocabularyIndex, token_profile
+from repro.tree.schema_tree import verify_interval_encoding
 from repro.repository.segments import (
     IndexSegment,
     compact_segments,
@@ -866,6 +868,20 @@ class SchemaRepository:
                 f"{schema_id!r}: rebuilt leaf layout order differs from "
                 "the ingested one"
             )
+        # The tree tier is never serialized — it rebuilds (and its
+        # interval encoding re-derives) deterministically from the
+        # schema, which is exactly why the encoding needed no artifact
+        # format bump. Cross-check the restored tree's encoding against
+        # independent descendant recomputation so a restore can never
+        # serve interval-addressed answers that drifted from the
+        # structure.
+        try:
+            verify_interval_encoding(restored.tree)
+        except SchemaError as exc:
+            raise RepositoryError(
+                f"{schema_id!r}: restored tree fails the interval-"
+                f"encoding oracle: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Persistence

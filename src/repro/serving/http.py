@@ -367,7 +367,12 @@ class MatchHTTPServer(ThreadingHTTPServer):
         super().__init__(address, MatchRequestHandler)
         self.service = service
         self.verbose = verbose
-        self._jitter = random.Random()
+        # Seedable so pinned-seed chaos runs replay identical
+        # Retry-After values; Random(None) still draws OS entropy for
+        # the production default.
+        self._jitter = random.Random(
+            service.repository.config.serving_retry_after_seed
+        )
 
     @property
     def port(self) -> int:

@@ -43,7 +43,6 @@ embedding event loops use.
 from __future__ import annotations
 
 import asyncio
-import os
 import queue
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -64,6 +63,7 @@ from repro.repository.store import (
     SchemaRepository,
 )
 from repro.serving.metrics import Deadline, ServiceMetrics
+from repro.structure.parallel import available_cpu_count
 
 SchemaLike = Union[Schema, PreparedSchema]
 
@@ -95,7 +95,10 @@ class MatchService:
             sessions if sessions is not None else config.serving_sessions
         )
         if width == 0:
-            width = os.cpu_count() or 1
+            # Available (cgroup/affinity-respecting) cores, not the
+            # machine's: a 2-core container on a 64-core host must not
+            # get a 64-session pool.
+            width = available_cpu_count()
         if width < 1:
             raise ValueError(f"sessions must be >= 0 (got {width})")
         self.repository = repository

@@ -56,6 +56,7 @@ from repro.structure.dense import (
 from repro.structure.parallel import (
     ShardContext,
     min_parallel_cells,
+    stripe_owned_subtrees,
     stripe_plan,
 )
 from repro.tree.schema_tree import SchemaTreeNode
@@ -1029,6 +1030,36 @@ class BlockedSimilarityStore(DenseSimilarityStore):
             )
         return solid + overlay + side
 
+    def subtree_alignment(self) -> Dict[str, int]:
+        """Tile↔subtree alignment of the node windows consulted so far.
+
+        Of the contiguous ``[pre_lo, pre_hi)`` subtree windows this
+        match addressed (the lazily filled per-node index caches), how
+        many start AND end on tile-grid boundaries — those subtrees'
+        block operations touch no partial tile, the property the
+        out-of-core direction needs for subtree-granular eviction.
+        Rows and columns are counted against their own grid edges.
+        """
+        windows = 0
+        aligned = 0
+        block = self._B
+        for cache, edge in (
+            (self._leaf_idx_s, self._n_s),
+            (self._leaf_idx_t, self._n_t),
+        ):
+            for entry in cache.values():
+                if entry is None or entry.lo is None:
+                    continue
+                windows += 1
+                if entry.lo % block == 0 and (
+                    entry.hi % block == 0 or entry.hi == edge
+                ):
+                    aligned += 1
+        return {
+            "subtree_windows": windows,
+            "subtree_windows_tile_aligned": aligned,
+        }
+
     def describe(self) -> Dict[str, object]:
         facts = {
             "store": "blocked",
@@ -1042,6 +1073,10 @@ class BlockedSimilarityStore(DenseSimilarityStore):
             "overlay_cells": self.overlay_cells(),
             "store_bytes": self.store_bytes(),
         }
+        facts.update(self.subtree_alignment())
         if self._shards is not None:
             facts.update(self._shards.counters)
+            facts["stripe_owned_subtrees"] = stripe_owned_subtrees(
+                self._source_root, self._shards.stripes
+            )
         return facts

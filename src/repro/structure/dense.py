@@ -17,10 +17,13 @@ This module replaces the hot path with contiguous-array arithmetic:
   ``np.frombuffer`` views over the same buffers (mirroring the
   optional-numpy pattern of :mod:`repro.mapping.assignment`), used for
   blocks large enough that vectorization beats per-call overhead;
-* per-node leaf-index **slices** are cached, so the strong-link count
-  of a node pair becomes a row/column max scan over the wsim matrix
-  and the ``cinc``/``cdec`` context adjustment becomes a clamped block
-  multiply;
+* per-node leaf ids come from the tree's **interval encoding**
+  (:meth:`~repro.tree.schema_tree.SchemaTree.reindex`): a pure
+  subtree's leaves are the contiguous ``[pre_lo, pre_hi)`` window of
+  the layout order, so the strong-link count of a node pair becomes a
+  row/column max scan over the wsim matrix and the ``cinc``/``cdec``
+  context adjustment becomes a clamped block multiply over that
+  window (impure DAG nodes gather through their ascending id tuples);
 * ``wsim`` cells are refreshed only for the block whose ``ssim`` was
   scaled, never matrix-wide.
 
@@ -52,6 +55,7 @@ from repro.structure.parallel import (
     ShardContext,
     effective_workers,
     min_parallel_cells,
+    stripe_owned_subtrees,
     stripe_plan,
 )
 from repro.structure.similarity import SimilarityStore
@@ -258,6 +262,9 @@ class DenseSimilarityStore(SimilarityStore):
             target_layout = LeafLayout(target_tree)
         self._s_leaves = source_layout.leaves
         self._t_leaves = target_layout.leaves
+        # Row-side tree root, kept for stripe↔subtree ownership
+        # reporting when the plane is sharded (describe()).
+        self._source_root = source_tree.root
         self._s_index = source_layout.index
         self._t_index = target_layout.index
         self._n_s = len(self._s_leaves)
@@ -553,14 +560,31 @@ class DenseSimilarityStore(SimilarityStore):
     ) -> Optional[_NodeIndex]:
         """Dense ids of ``node``'s subtree leaves (cached per node).
 
-        Returns None when a leaf is missing from the index (tree
-        mutated after store construction) — callers then fall back to
-        the scalar path.
+        When the node's interval encoding was minted from this store's
+        layout order (checked by leaf-tuple identity), the ids come
+        straight from the encoding: the ``[leaf_lo, leaf_hi)`` window
+        for pure subtrees (block ops then address ``[pre_lo, pre_hi)``
+        ranges without any sort), or the ascending gather tuple for
+        impure DAG nodes. Otherwise — foreign layout, or a tree
+        mutated after store construction — each leaf is resolved
+        through the index dict; None when one is missing, and callers
+        fall back to the scalar path.
         """
         cache = self._leaf_idx_s if source_side else self._leaf_idx_t
         key = node.node_id
         if key in cache:
             return cache[key]
+        layout_leaves = self._s_leaves if source_side else self._t_leaves
+        enc = node._enc
+        if enc is not None and enc.leaves is layout_leaves:
+            ids = (
+                list(range(node.leaf_lo, node.leaf_hi))
+                if node._leaf_ids is None
+                else list(node._leaf_ids)
+            )
+            entry = _NodeIndex(ids)
+            cache[key] = entry
+            return entry
         index = self._s_index if source_side else self._t_index
         ids: List[int] = []
         for leaf in node.leaves():
@@ -932,4 +956,11 @@ class DenseSimilarityStore(SimilarityStore):
         }
         if self._shards is not None:
             facts.update(self._shards.counters)
+            # Which maximal subtrees each row stripe wholly owns: the
+            # interval windows make shard ownership a statement about
+            # the schema ("worker w owns these subtrees"), not just
+            # about row ranges.
+            facts["stripe_owned_subtrees"] = stripe_owned_subtrees(
+                self._source_root, self._shards.stripes
+            )
         return facts

@@ -76,14 +76,35 @@ except ImportError:  # pragma: no cover - multiprocessing is stdlib
 FLAT_STRIPE_ALIGN = 64
 
 
+def available_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity
+    limits a container imposes — auto-sized worker pools would then
+    oversubscribe a 2-core cgroup on a 64-core host. Prefer
+    ``os.process_cpu_count()`` (3.13+), fall back to the scheduler
+    affinity mask, and only then to the raw count."""
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        count = getter()
+        if count:
+            return count
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
 def effective_workers(config, max_leaves: int) -> int:
     """Resolve ``config.workers`` for a plane whose larger side has
     ``max_leaves`` leaves: 1 (serial) unless workers > 1 after the
-    0 = auto-by-cpu-count expansion AND the plane reaches
+    0 = auto-by-available-cpu expansion AND the plane reaches
     ``config.parallel_leaf_threshold``."""
     workers = config.workers
     if workers == 0:
-        workers = os.cpu_count() or 1
+        workers = available_cpu_count()
     if workers <= 1 or multiprocessing is None:
         return 1
     if max_leaves < config.parallel_leaf_threshold:
@@ -113,6 +134,42 @@ def stripe_plan(n_rows: int, align: int, workers: int) -> List[Tuple[int, int]]:
         r1 = min(n_rows, (w + 1) * per * align)
         stripes.append((r0, r1))
     return stripes
+
+
+def stripe_owned_subtrees(root, stripes: List[Tuple[int, int]]) -> List[int]:
+    """Per-stripe count of *maximal* subtrees a stripe wholly owns.
+
+    The interval encoding makes a subtree's leaves the contiguous
+    window ``[leaf_lo, leaf_hi)`` of the plane's row order, so "which
+    subtrees does worker w own" is pure window containment: walk down
+    from the root and stop at the first node whose window fits the
+    stripe (its descendants are then owned transitively). Unindexed
+    or gather-list (impure DAG) nodes recurse into their children.
+    Purely observational — surfaced through ``describe()``/``--stats``
+    so shard plans can be read in schema terms."""
+    counts: List[int] = []
+    for r0, r1 in stripes:
+        owned = 0
+        if r1 > r0:
+            seen = set()
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                if node.node_id in seen:
+                    continue
+                seen.add(node.node_id)
+                if node._enc is None or node._leaf_ids is not None:
+                    stack.extend(node.children)
+                    continue
+                lo, hi = node.leaf_lo, node.leaf_hi
+                if lo >= r1 or hi <= r0 or lo >= hi:
+                    continue  # disjoint (or empty): not this stripe's
+                if r0 <= lo and hi <= r1:
+                    owned += 1  # maximal: children owned transitively
+                    continue
+                stack.extend(node.children)
+        counts.append(owned)
+    return counts
 
 
 # ----------------------------------------------------------------------

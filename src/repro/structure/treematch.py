@@ -17,6 +17,26 @@ describes. Node pairs with very different subtree leaf counts are
 skipped ("say within a factor of 2"), which both prunes work and avoids
 dragging down leaf similarities with hopeless comparisons.
 
+Interval-encoding invariants (:meth:`SchemaTree.reindex` stamps them;
+``REPRO_INTERVAL_ORACLE=1`` cross-checks them on every reindex): every
+node carries ``pre`` (first-visit pre-order position — the traversal
+that defines the dense leaf-layout row/column order), ``post``
+(position in :meth:`SchemaTree.postorder`, the order both loops here
+iterate), ``level`` (primary-parent depth), and ``subtree_size``
+(distinct descendant count, self included). For *pure* nodes — no
+proper descendant has extra parents — the subtree's leaves are the
+contiguous window ``[leaf_lo, leaf_hi)`` of the layout order, required
+flags are the per-leaf comparison ``opt_level(leaf) <= level``, and
+depth-pruned frontiers are shrunken-window scans that skip a stand-in's
+``subtree_size`` span; impure DAG nodes carry ascending gather tuples
+and answer through reference DFS. This loop consults those answers
+once per node pair (frontier dicts are memoized per pass below, since
+the tree cannot mutate mid-run); the stores translate the same windows
+into ``[pre_lo, pre_hi)`` block addresses for their scans and
+multiplies. Nothing here invalidates anything: a structural mutation
+unindexes the touched ancestry at mutation time and the accessors fall
+back to DFS until the next reindex.
+
 Parallel invariant: when the store shards a strong-link scan or a
 cinc/cdec block multiply across worker processes
 (:mod:`repro.structure.parallel`), every such operation is a
@@ -33,7 +53,7 @@ bit-identically).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.linguistic.matcher import LsimTable
@@ -94,6 +114,12 @@ class TreeMatch:
         self.config = config or DEFAULT_CONFIG
         self.config.validate()
         self.compat = compat or default_compatibility_table()
+        # Per-pass memo of effective-leaf dicts (node_id -> frontier):
+        # consulted once per node *pair*, stable within a pass because
+        # the tree cannot mutate mid-run. Reset by run() and
+        # recompute_wsim() so a mutation between passes (e.g. join-view
+        # augmentation after a match) can never serve stale flags.
+        self._frontier_memo: Dict[int, Dict[SchemaTreeNode, bool]] = {}
 
     # ------------------------------------------------------------------
     # Main algorithm
@@ -113,6 +139,7 @@ class TreeMatch:
         :class:`~repro.pipeline.prepared.PreparedSchema` caches);
         omitted, the dense store derives them itself."""
         config = self.config
+        self._frontier_memo = {}
         sims = self._make_store(
             source_tree, target_tree, lsim_table, source_layout, target_layout
         )
@@ -258,31 +285,18 @@ class TreeMatch:
 
         With ``leaf_prune_depth`` k > 0 (Section 8.4 "Pruning leaves"),
         the frontier is cut at depth k: nodes at that depth stand in
-        for their subtrees.
-
-        Frontiers are cached on the node (they are consulted once per
-        node *pair* but only change when the tree mutates, which
-        :meth:`SchemaTree.invalidate_leaf_caches` signals).
+        for their subtrees. Both shapes come straight from the
+        interval encoding (:meth:`SchemaTreeNode.pruned_frontier` /
+        :meth:`~SchemaTreeNode.leaves_with_required_flag`) and are
+        memoized for the duration of one pass — they are consulted
+        once per node *pair* but cannot change mid-run.
         """
-        depth_limit = self.config.leaf_prune_depth
-        if depth_limit <= 0:
-            return node.leaves_with_required_flag()
-        cached = node._frontier_cache
-        if cached is not None and cached[0] == depth_limit:
-            return cached[1]
-        frontier: Dict[SchemaTreeNode, bool] = {}
-        stack: List[Tuple[SchemaTreeNode, int, bool]] = [(node, 0, False)]
-        while stack:
-            current, depth, saw_optional = stack.pop()
-            if not current.children or depth == depth_limit:
-                required = not saw_optional
-                frontier[current] = frontier.get(current, False) or required
-                continue
-            for child in current.children:
-                stack.append(
-                    (child, depth + 1, saw_optional or child.optional)
-                )
-        node._frontier_cache = (depth_limit, frontier)
+        memo = self._frontier_memo
+        key = node.node_id
+        frontier = memo.get(key)
+        if frontier is None:
+            frontier = node.pruned_frontier(self.config.leaf_prune_depth)
+            memo[key] = frontier
         return frontier
 
     def _structural_similarity(
@@ -395,6 +409,7 @@ class TreeMatch:
         oracle.
         """
         sims = result.sims
+        self._frontier_memo = {}
         refreshed: Dict[Tuple[int, int], float] = {}
         source_root = result.source_tree.root
         target_root = result.target_tree.root

@@ -51,7 +51,11 @@ def augment_with_join_views(tree: SchemaTree) -> List[SchemaTreeNode]:
             added.append(view_node)
 
     if added:
-        tree.invalidate_leaf_caches()
+        # Mutation unindexed the touched ancestry already (correctness
+        # never depends on this call); re-stamping the interval
+        # encoding here restores O(1) window addressing for the whole
+        # DAG before any match runs.
+        tree.reindex()
     return added
 
 

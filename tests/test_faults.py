@@ -736,3 +736,32 @@ class TestVerifyCLI:
         assert "# recovery" in err
         assert "segment_fallbacks" in err
         assert "recovered_ingests" in err
+
+
+class TestRetryAfterJitterSeed:
+    """``serving_retry_after_seed`` makes the 503 Retry-After jitter a
+    deterministic sequence (fault drills, replayable chaos runs);
+    ``None`` — the default — keeps the entropy-seeded behaviour."""
+
+    def _sequence(self, tmp_path, name, seed, n=8):
+        config = CupidConfig().replace(serving_retry_after_seed=seed)
+        repo = SchemaRepository(str(tmp_path / name), config=config)
+        service = MatchService(repo, sessions=1)
+        httpd = MatchHTTPServer(("127.0.0.1", 0), service)
+        try:
+            return [httpd.retry_after_s() for _ in range(n)]
+        finally:
+            httpd.server_close()
+            service.close()
+
+    def test_seeded_jitter_is_deterministic(self, tmp_path):
+        first = self._sequence(tmp_path, "a", seed=1234)
+        second = self._sequence(tmp_path, "b", seed=1234)
+        assert first == second
+        base = CupidConfig().serving_retry_after_s
+        assert all(base <= value <= 2 * base + 1 for value in first)
+
+    def test_unseeded_jitter_stays_in_range(self, tmp_path):
+        values = self._sequence(tmp_path, "c", seed=None)
+        base = CupidConfig().serving_retry_after_s
+        assert all(base <= value <= 2 * base + 1 for value in values)

@@ -38,6 +38,7 @@ from repro.linguistic.kernel import FactoredLsimTable
 from repro.model.element import ElementKind, SchemaElement
 from repro.structure.blocked import BlockedSimilarityStore
 from repro.structure.dense import numpy_available
+from repro.tree.schema_tree import verify_interval_encoding
 
 pytestmark = pytest.mark.fuzz
 
@@ -232,6 +233,13 @@ def _check_case(index: int, record_property) -> None:
     reference = CupidMatcher(
         config=CupidConfig(engine="reference", **shared)
     ).match(schema, other)
+    # Migration oracle: on every generated tree/DAG shape, the
+    # interval-encoded leaf sets / required flags / frontiers must
+    # equal independently recomputed descendant sets (this covers the
+    # refint-augmented DAG cases too — the trees here carry whatever
+    # join views use_refint_joins wired in).
+    verify_interval_encoding(reference.source_tree)
+    verify_interval_encoding(reference.target_tree)
     ref_lsim = sorted(reference.lsim_table.items())
     ref_wsim = _wsim_signature(reference)
     ref_leaf = _mapping_signature(reference.leaf_mapping)

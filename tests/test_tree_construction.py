@@ -187,31 +187,36 @@ class TestOptionality:
         by_name = {node.name: required for node, required in flags.items()}
         assert by_name["x"] is True
 
-    def test_required_flags_cached_and_invalidated(self):
-        """leaves_with_required_flag is cached per node, and both the
-        invalidate_leaf_caches hook (used by augment_with_join_views)
-        and direct structural mutation clear it."""
+    def test_mutation_without_reindex_stays_correct(self):
+        """The stale-leaf-cache bug class is gone by construction:
+        mutating a tree unindexes the touched ancestry, so accessors
+        answer through the DFS fallback — correctly — even when nobody
+        remembers to call reindex()."""
         builder = SchemaBuilder("S")
         a = builder.add_child(builder.root, "A")
         builder.add_leaf(a, "x", "int")
         tree = construct_schema_tree(builder.schema)
         first = tree.root.leaves_with_required_flag()
-        assert tree.root.leaves_with_required_flag() is first  # cached
-
-        tree.invalidate_leaf_caches()
-        second = tree.root.leaves_with_required_flag()
-        assert second is not first
-        assert second == first
+        assert tree.root.leaves_with_required_flag() == first
 
         from repro.model.element import SchemaElement
         from repro.tree.schema_tree import SchemaTreeNode
 
-        # Direct mutation alone must invalidate the whole ancestry:
-        # the root's cached flags would otherwise omit the new leaf.
+        # Warm accessors, then mutate WITHOUT any reindex/invalidate
+        # call: the new leaf must appear everywhere regardless.
         extra = SchemaTreeNode(SchemaElement(name="y"))
         tree.node_for_path("A").add_child(extra)
+        assert tree.root.pre == -1  # ancestry unindexed
         flags = tree.root.leaves_with_required_flag()
         assert extra in flags
+        assert extra in tree.root.leaves()
+        assert tree.root.leaf_count() == 2
+
+        # reindex() restores the interval fast path with the same
+        # answers.
+        tree.reindex()
+        assert tree.root.pre == 0
+        assert tree.root.leaves_with_required_flag() == flags
         assert extra in tree.root.leaves()
 
 
