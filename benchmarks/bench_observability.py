@@ -1,0 +1,252 @@
+"""Observability overhead: disarmed must be free, armed is recorded.
+
+The tracer's design bet is that a permanently-compiled-in
+instrumentation layer costs nothing while disarmed — every site is
+one module-global read plus an ``is None`` branch. This benchmark
+holds that bet on the duplicate-heavy repetition workload (the same
+shape ``BENCH_repetition_floor.json`` gates):
+
+* **disarmed**: steady-state ``match_many`` is measured back-to-back
+  against the *pre-instrumentation* PR 9 tip (``git archive`` of the
+  commit just before any tracing site existed, run on the same
+  machine in the same minute, interleaved so load noise hits both
+  variants equally) and must stay within 2% of it;
+* **armed**: measured the same way and recorded honestly — span
+  allocation on every stage/pass/op is *not* free and nothing here
+  pretends otherwise. The armed number is reported, not gated (the
+  knob for bounding it is sampling, an open ROADMAP item).
+
+On a checkout without git history (tarball exports) the live
+baseline is unavailable; the run still records every number against
+the pinned historical measurement but skips the gate rather than
+flake on cross-run machine-load drift.
+
+Publishes ``BENCH_observability.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import pytest
+
+#: Last mainline commit before the tracing sites landed.
+PR9_COMMIT = "d614364"
+
+#: Steady-state best-of-7 ``match_many`` on the repetition workload,
+#: measured on the growth container at the PR 9 tip before any
+#: instrumentation existed. Context only — the gate below compares
+#: against a live re-measurement of the same commit, because pinned
+#: cross-run numbers drift with machine load far more than 2%.
+PR9_RECORDED_MS = 128.109
+
+MAX_DISARMED_OVERHEAD = 0.02
+ROUNDS = 3  # interleaved subprocess rounds per variant
+REPEATS = 7  # in-process steady-state repeats per round
+
+WORKLOAD = {
+    "n_leaves": 80,
+    "max_depth": 2,
+    "fanout": 12,
+    "name_repetition": 0.9,
+    "n_targets": 4,
+    "seed": 11,
+    "perturbation": {"abbreviate": 0.3, "synonym": 0.2},
+}
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Run in a subprocess per measurement so the PR 9 baseline and the
+#: instrumented tree see identical (fresh-interpreter) conditions.
+_MEASURE_SCRIPT = """
+import json, sys, time
+from repro import MatchSession
+from repro.datasets.generator import PerturbationConfig, SchemaGenerator
+
+spec = json.loads(sys.argv[1])
+repeats = int(sys.argv[2])
+generator = SchemaGenerator(seed=spec["seed"])
+source = generator.generate(
+    n_leaves=spec["n_leaves"], max_depth=spec["max_depth"],
+    fanout=spec["fanout"], name_repetition=spec["name_repetition"],
+)
+perturbation = PerturbationConfig(**spec["perturbation"])
+targets = []
+for i in range(spec["n_targets"]):
+    perturber = SchemaGenerator(seed=spec["seed"] + 100 + i)
+    copy, _ = perturber.perturb(source, perturbation)
+    targets.append(copy)
+session = MatchSession()
+results = session.match_many(source, targets)  # warm caches
+best = None
+for _ in range(repeats):
+    start = time.perf_counter()
+    session.match_many(source, targets)
+    elapsed = (time.perf_counter() - start) * 1000.0
+    if best is None or elapsed < best:
+        best = elapsed
+signature = [
+    sorted(
+        (e.source_path, e.target_path, round(e.similarity, 12))
+        for e in result.leaf_mapping
+    )
+    for result in results
+]
+print(json.dumps({"best_ms": best, "signature": signature}))
+"""
+
+
+def _pr9_tree():
+    """Materialize the pre-instrumentation tree via git archive.
+
+    Returns ``(root, src_dir)`` — ``root`` for cleanup, ``src_dir``
+    for PYTHONPATH — or ``(None, None)`` when history is unavailable.
+    """
+    if shutil.which("git") is None:
+        return None, None
+    tree = tempfile.mkdtemp(prefix="pr9-baseline-")
+    try:
+        archive = subprocess.run(
+            ["git", "-C", _REPO_ROOT, "archive", PR9_COMMIT, "src"],
+            capture_output=True, check=True,
+        )
+        subprocess.run(
+            ["tar", "-x", "-C", tree],
+            input=archive.stdout, check=True,
+        )
+    except (subprocess.CalledProcessError, OSError):
+        shutil.rmtree(tree, ignore_errors=True)
+        return None, None
+    return tree, os.path.join(tree, "src")
+
+
+def _measure(src_dir, armed=False):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir
+    env.pop("REPRO_FORCE_TRACE", None)
+    if armed:
+        env["REPRO_FORCE_TRACE"] = "1"
+    completed = subprocess.run(
+        [
+            sys.executable, "-c", _MEASURE_SCRIPT,
+            json.dumps(WORKLOAD), str(REPEATS),
+        ],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return json.loads(completed.stdout)
+
+
+def test_observability_overhead(publish, results_dir):
+    here = os.path.join(_REPO_ROOT, "src")
+    pr9, pr9_src = _pr9_tree()
+    try:
+        baseline_ms = None
+        disarmed_ms = None
+        armed_ms = None
+        signatures = {}
+        # Interleave variants round-robin so a load spike penalizes
+        # all of them, not whichever ran while it lasted.
+        for _ in range(ROUNDS):
+            if pr9 is not None:
+                sample = _measure(pr9_src)
+                signatures["baseline"] = sample["signature"]
+                if baseline_ms is None or sample["best_ms"] < baseline_ms:
+                    baseline_ms = sample["best_ms"]
+            sample = _measure(here)
+            signatures["disarmed"] = sample["signature"]
+            if disarmed_ms is None or sample["best_ms"] < disarmed_ms:
+                disarmed_ms = sample["best_ms"]
+            sample = _measure(here, armed=True)
+            signatures["armed"] = sample["signature"]
+            if armed_ms is None or sample["best_ms"] < armed_ms:
+                armed_ms = sample["best_ms"]
+    finally:
+        if pr9 is not None:
+            shutil.rmtree(pr9, ignore_errors=True)
+
+    # Tracing is observational only: identical mappings disarmed,
+    # armed, and (when measurable) at the pre-instrumentation tip.
+    assert signatures["disarmed"] == signatures["armed"]
+    if pr9 is not None:
+        assert signatures["baseline"] == signatures["disarmed"]
+
+    # The armed variant must actually have collected spans in-process
+    # (REPRO_FORCE_TRACE bootstraps arming at import).
+    trace_check = subprocess.run(
+        [
+            sys.executable, "-c",
+            "from repro.obs import trace; import sys; "
+            "sys.exit(0 if trace.armed() else 1)",
+        ],
+        env={**os.environ, "PYTHONPATH": here, "REPRO_FORCE_TRACE": "1"},
+    )
+    assert trace_check.returncode == 0
+
+    reference_ms = baseline_ms if baseline_ms is not None else PR9_RECORDED_MS
+    disarmed_overhead = disarmed_ms / reference_ms - 1.0
+    armed_overhead = armed_ms / reference_ms - 1.0
+
+    record = {
+        "description": (
+            "Tracing overhead on the repetition workload (steady-state "
+            "best-of-7 match_many per subprocess round, min over "
+            f"{ROUNDS} interleaved rounds, ms). The disarmed gate "
+            "compares against a live same-machine re-measurement of "
+            "the pre-instrumentation PR 9 tip; pr9_recorded_ms is the "
+            "historical pin kept for context. The armed number is "
+            "recorded honestly and not gated — bounding it is a "
+            "sampling knob (open ROADMAP item), not a constant-factor "
+            "fight."
+        ),
+        "workload": WORKLOAD,
+        "pr9_commit": PR9_COMMIT,
+        "pr9_recorded_ms": PR9_RECORDED_MS,
+        "pr9_live_baseline_ms": (
+            round(baseline_ms, 3) if baseline_ms is not None else None
+        ),
+        "disarmed_ms": round(disarmed_ms, 3),
+        "armed_ms": round(armed_ms, 3),
+        "disarmed_overhead_pct": round(disarmed_overhead * 100.0, 2),
+        "armed_overhead_pct": round(armed_overhead * 100.0, 2),
+        "max_disarmed_overhead_pct": MAX_DISARMED_OVERHEAD * 100.0,
+        "gate_ran": pr9 is not None,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    path = os.path.join(results_dir, "BENCH_observability.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    baseline_label = (
+        f"{baseline_ms:9.3f}" if baseline_ms is not None
+        else f"{PR9_RECORDED_MS:9.3f} (pinned; git history unavailable)"
+    )
+    publish(
+        "observability_overhead",
+        "\n".join([
+            "tracing overhead, repetition workload "
+            f"(best of {ROUNDS} interleaved rounds, ms)",
+            f"  pr9 baseline : {baseline_label}",
+            f"  disarmed     : {disarmed_ms:9.3f}  "
+            f"({disarmed_overhead * 100.0:+.2f}%)",
+            f"  armed        : {armed_ms:9.3f}  "
+            f"({armed_overhead * 100.0:+.2f}%)",
+        ]),
+    )
+
+    if pr9 is None:
+        pytest.skip(
+            "git history unavailable — overhead recorded against the "
+            "pinned baseline, gate skipped"
+        )
+    assert disarmed_overhead <= MAX_DISARMED_OVERHEAD, (
+        f"disarmed tracing costs {disarmed_overhead * 100.0:.2f}% over "
+        f"the live PR 9 baseline ({disarmed_ms:.3f} ms vs "
+        f"{baseline_ms:.3f} ms) — the None-check discipline has been "
+        "broken somewhere on the hot path"
+    )

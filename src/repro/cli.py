@@ -53,6 +53,7 @@ from repro.linguistic.thesaurus import empty_thesaurus
 from repro.mapping.assignment import greedy_one_to_one
 from repro.mapping.mapping import Mapping
 from repro.model.schema import Schema
+from repro.obs import trace
 from repro.pipeline import CupidResult, MatchPipeline, MatchSession
 from repro.repository import SchemaRepository
 from repro.serving.metrics import search_latency_schema
@@ -158,6 +159,12 @@ def _add_match_options(parser: argparse.ArgumentParser) -> None:
         help="dump run counters (compared/pruned/scaled pairs, cache "
              "hit rates, per-phase timings) to stderr",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write this run's span tree (pipeline stages, TreeMatch "
+             "passes, sharded workers) as Chrome trace-event JSON, "
+             "loadable in chrome://tracing or Perfetto",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -244,6 +251,11 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--stats", action="store_true",
         help="dump search + repository cache counters to stderr",
+    )
+    search.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the search's span tree (index ranking, candidate "
+             "matches, sharded workers) as Chrome trace-event JSON",
     )
 
     serve = commands.add_parser(
@@ -640,6 +652,9 @@ def _command_show(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        trace.arm()
     try:
         if args.command == "match":
             return _command_match(args)
@@ -657,6 +672,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if trace_path:
+            # Written even after an error: a partial trace of a failed
+            # run is exactly when a trace is most wanted.
+            events = trace.write_chrome_trace(trace_path)
+            print(
+                f"# trace: {events} event(s) -> {trace_path}",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -300,6 +300,13 @@ class CupidConfig:
     #: replay byte-identical 503 responses).
     serving_retry_after_seed: Optional[int] = None
 
+    #: Slow-request log threshold, in milliseconds: HTTP requests
+    #: whose wall time exceeds it emit one structured JSON log line
+    #: (request id, endpoint, status, elapsed) on stderr even when
+    #: the daemon is not ``--verbose``. ``0`` (the default) disables
+    #: the slow log.
+    slow_request_ms: float = 0.0
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` if the parameters are inconsistent."""
         for name in ("thns", "thhigh", "thlow", "thaccept"):
@@ -415,6 +422,11 @@ class CupidConfig:
                 f"serving_retry_after_seed "
                 f"({self.serving_retry_after_seed!r}) must be an int or "
                 "None (None = OS entropy)"
+            )
+        if self.slow_request_ms < 0:
+            raise ConfigError(
+                f"slow_request_ms ({self.slow_request_ms}) must be >= 0 "
+                "(0 = slow-request log disabled)"
             )
         total = sum(self.token_type_weights.values())
         if abs(total - 1.0) > 1e-9:

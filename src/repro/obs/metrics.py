@@ -1,0 +1,373 @@
+"""Central metrics registry with Prometheus text exposition.
+
+One :class:`MetricsRegistry` per process (or per service — the match
+service owns one) absorbs the counters and histograms that used to
+live scattered across the serving layer. Instruments are created
+get-or-create by ``(family name, label set)``:
+
+* :class:`Counter` — monotonically increasing; name by convention
+  ends in ``_total``;
+* :class:`Gauge` — settable level (in-flight requests);
+* :class:`CallbackGauge` — read-at-scrape gauge for values owned
+  elsewhere (uptime, pool sizes);
+* :class:`LatencyHistogram` — fixed log-spaced buckets over
+  [0.05 ms, 120 s]; recording is O(log buckets), snapshots report
+  count / mean and p50/p95/p99 off the bucket boundaries (≤ ~12%
+  resolution error by construction), constant memory forever.
+
+Because ``/stats`` snapshots and ``GET /metrics`` exposition read the
+*same* instrument objects, their counts agree by construction — there
+is no second bookkeeping path to drift or double-count.
+
+:func:`MetricsRegistry.render_prometheus` emits text exposition
+format version 0.0.4: ``# HELP`` / ``# TYPE`` headers per family,
+``name{label="value"} value`` samples, and for histograms the
+cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+Only non-empty buckets are emitted (any subset of boundaries is
+valid exposition), keeping scrapes compact.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "CallbackGauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "search_latency_schema",
+]
+
+#: Histogram range and resolution: bucket upper bounds grow
+#: geometrically from 0.05 ms to ~120 s. GROWTH**2 ≈ 1.26, so a
+#: reported percentile is within ~12% of the true value — plenty for
+#: p50/p95/p99 dashboards, constant memory regardless of traffic.
+_MIN_SECONDS = 0.00005
+_MAX_SECONDS = 120.0
+_GROWTH = 1.12
+
+
+def _bucket_bounds() -> List[float]:
+    bounds = []
+    upper = _MIN_SECONDS
+    while upper < _MAX_SECONDS:
+        bounds.append(upper)
+        upper *= _GROWTH
+    bounds.append(float("inf"))
+    return bounds
+
+
+_BOUNDS = _bucket_bounds()
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _samples(self) -> List[Tuple[str, str, float]]:
+        return [("", "", float(self._value))]
+
+
+class Gauge:
+    """A settable level (in-flight requests, queue depth)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _samples(self) -> List[Tuple[str, str, float]]:
+        return [("", "", float(self._value))]
+
+
+class CallbackGauge:
+    """A gauge whose value is computed at scrape time."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self._fn())
+
+    def _samples(self) -> List[Tuple[str, str, float]]:
+        return [("", "", self.value)]
+
+
+class LatencyHistogram:
+    """Log-bucketed latency distribution with percentile readout."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * len(_BOUNDS)
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        # Bisect over geometric bounds == log lookup; linear scan is
+        # cache-friendly but O(buckets) — use bisect for O(log n).
+        low, high = 0, len(_BOUNDS) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if seconds <= _BOUNDS[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        with self._lock:
+            self._counts[low] += 1
+            self._count += 1
+            self._total += seconds
+            self._min = min(self._min, seconds)
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, fraction: float) -> float:
+        """The latency (seconds) at ``fraction`` of the distribution
+        (0.5 = p50). Returns the matching bucket's upper bound, 0.0
+        when nothing was recorded."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = max(1, math.ceil(self._count * fraction))
+            seen = 0
+            for i, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank:
+                    # The overflow bucket has no finite bound; report
+                    # the observed max instead of inf.
+                    bound = _BOUNDS[i]
+                    return self._max if math.isinf(bound) else bound
+            return self._max
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            count, total = self._count, self._total
+            minimum = 0.0 if math.isinf(self._min) else self._min
+            maximum = self._max
+        return {
+            "count": count,
+            "mean_ms": round(total / count * 1000.0, 3) if count else 0.0,
+            "min_ms": round(minimum * 1000.0, 3),
+            "max_ms": round(maximum * 1000.0, 3),
+            "p50_ms": round(self.percentile(0.50) * 1000.0, 3),
+            "p95_ms": round(self.percentile(0.95) * 1000.0, 3),
+            "p99_ms": round(self.percentile(0.99) * 1000.0, 3),
+        }
+
+    def _samples(self) -> List[Tuple[str, str, float]]:
+        """Prometheus histogram series: cumulative non-empty buckets,
+        the +Inf bucket, then _sum and _count."""
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._total
+        samples: List[Tuple[str, str, float]] = []
+        cumulative = 0
+        for bound, bucket in zip(_BOUNDS, counts):
+            cumulative += bucket
+            if bucket and not math.isinf(bound):
+                samples.append(("_bucket", _format_float(bound), cumulative))
+        samples.append(("_bucket", "+Inf", float(count)))
+        samples.append(("_sum", "", total))
+        samples.append(("_count", "", float(count)))
+        return samples
+
+
+def _format_float(value: float) -> str:
+    text = repr(round(value, 9))
+    return text
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "metrics")
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        # label tuple (sorted (k, v) pairs) -> instrument
+        self.metrics: Dict[Tuple[Tuple[str, str], ...], Any] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _instrument(
+        self,
+        kind: str,
+        factory: Callable[[], Any],
+        name: str,
+        help_text: str,
+        labels: Dict[str, str],
+    ) -> Any:
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(name, kind, help_text)
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"not {kind}"
+                )
+            instrument = family.metrics.get(key)
+            if instrument is None:
+                instrument = family.metrics[key] = factory()
+            return instrument
+
+    def counter(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> Counter:
+        return self._instrument("counter", Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        return self._instrument("gauge", Gauge, name, help_text, labels)
+
+    def callback_gauge(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        help_text: str = "",
+        **labels: str,
+    ) -> CallbackGauge:
+        return self._instrument(
+            "gauge", lambda: CallbackGauge(fn), name, help_text, labels
+        )
+
+    def histogram(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> LatencyHistogram:
+        return self._instrument(
+            "histogram", LatencyHistogram, name, help_text, labels
+        )
+
+    def render_prometheus(self) -> str:
+        """Text exposition format 0.0.4 over every instrument."""
+        with self._lock:
+            families = [
+                (family, list(family.metrics.items()))
+                for _, family in sorted(self._families.items())
+            ]
+        lines: List[str] = []
+        for family, instruments in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, instrument in sorted(instruments):
+                base_labels = list(key)
+                for suffix, le, value in instrument._samples():
+                    labels = list(base_labels)
+                    if le:
+                        labels.append(("le", le))
+                    if labels:
+                        rendered = ",".join(
+                            f'{k}="{_escape_label(v)}"' for k, v in labels
+                        )
+                        label_text = "{" + rendered + "}"
+                    else:
+                        label_text = ""
+                    if value == int(value) and math.isfinite(value):
+                        value_text = str(int(value))
+                    else:
+                        value_text = repr(value)
+                    lines.append(
+                        f"{family.name}{suffix}{label_text} {value_text}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def search_latency_schema(
+    stats: Dict[str, Any],
+    total_seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, float]:
+    """The shared CLI/daemon timing block for one search request.
+
+    ``total_ms`` is the caller-observed wall time; ``index_ms`` /
+    ``match_ms`` are the repository's own phase timings from the
+    search stats. The CLI's ``repro search --format json`` and the
+    daemon's ``/search`` response carry exactly this dict under
+    ``latency_ms``, so timing dashboards read both identically.
+
+    When ``registry`` is given, the three phases are also observed
+    into ``repro_search_phase_seconds{phase=...}`` histograms — the
+    one recording site feeding ``GET /metrics``, so exposition and
+    response bodies come from the same measurement.
+    """
+    block = {
+        "total_ms": round(total_seconds * 1000.0, 3),
+        "index_ms": float(stats.get("time_index_ms", 0.0)),
+        "match_ms": float(stats.get("time_match_ms", 0.0)),
+    }
+    if registry is not None:
+        help_text = "Search phase timings observed per request."
+        for phase in ("total", "index", "match"):
+            registry.histogram(
+                "repro_search_phase_seconds", help_text, phase=phase
+            ).record(block[f"{phase}_ms"] / 1000.0)
+    return block
+
+
+_GLOBAL_REGISTRY: Optional[MetricsRegistry] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry (CLI runs; anything without
+    a service-owned registry)."""
+    global _GLOBAL_REGISTRY
+    with _GLOBAL_LOCK:
+        if _GLOBAL_REGISTRY is None:
+            _GLOBAL_REGISTRY = MetricsRegistry()
+        return _GLOBAL_REGISTRY

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Protocol, Union, runtime_checkable
 
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.exceptions import ReproError
+from repro.obs import trace
 from repro.linguistic.lexicon import builtin_thesaurus
 from repro.linguistic.matcher import LinguisticMatcher, LsimTable
 from repro.linguistic.thesaurus import Thesaurus
@@ -252,13 +253,18 @@ class MatchPipeline:
             initial_mapping=initial_mapping,
             lsim_table=lsim_table,
         )
-        for stage in self.stages:
-            start = time.perf_counter()
-            stage.run(context)
-            elapsed = time.perf_counter() - start
-            context.timings[stage.timing_key] = (
-                context.timings.get(stage.timing_key, 0.0) + elapsed
-            )
+        run_span = trace.start_span("pipeline.run")
+        try:
+            for stage in self.stages:
+                with trace.span("stage." + stage.timing_key, stage=stage.name):
+                    start = time.perf_counter()
+                    stage.run(context)
+                    elapsed = time.perf_counter() - start
+                context.timings[stage.timing_key] = (
+                    context.timings.get(stage.timing_key, 0.0) + elapsed
+                )
+        finally:
+            trace.end_span(run_span)
         if context.leaf_mapping is None or context.nonleaf_mapping is None:
             raise ReproError(
                 "pipeline finished without producing mappings "

@@ -24,6 +24,7 @@ from typing import Optional, Protocol, runtime_checkable
 
 from repro.exceptions import MappingError, ReproError
 from repro.linguistic.matcher import LinguisticMatcher, LsimTable
+from repro.obs import trace
 from repro.mapping.assignment import greedy_one_to_one, hungarian_one_to_one
 from repro.mapping.generator import MappingGenerator
 from repro.pipeline.context import MatchContext, path_parts
@@ -65,10 +66,12 @@ class LinguisticStage:
 
     def run(self, context: MatchContext) -> None:
         if context.lsim_table is not None:
+            trace.annotate(lsim_cached=True)
             return
         context.lsim_table = self.matcher.compute_prepared(
             context.source.linguistic, context.target.linguistic
         )
+        trace.annotate(lsim_pairs=len(context.lsim_table))
 
 
 class EmptyLinguisticStage:

@@ -65,6 +65,7 @@ from repro.exceptions import (
 )
 from repro.linguistic.lexicon import builtin_thesaurus
 from repro.linguistic.thesaurus import Thesaurus
+from repro.obs import trace
 from repro.model.schema import Schema
 from repro.pipeline.prepared import PreparedSchema
 from repro.pipeline.result import CupidResult
@@ -340,6 +341,9 @@ class SchemaRepository:
         if entries is not None:
             # The normal open path since PR 7: replay the checksummed
             # segment sequence — O(index size), no artifact bytes read.
+            replay_span = trace.start_span(
+                "repo.segment_replay", segments=len(entries)
+            )
             try:
                 self._index = load_index_from_segments(self.path, entries)
                 self._segment_entries = [dict(entry) for entry in entries]
@@ -353,6 +357,10 @@ class SchemaRepository:
                 self._counters["segment_fallbacks"] += 1
                 self._index = VocabularyIndex()
                 self._segment_entries = []
+                if replay_span is not None:
+                    replay_span.annotate(fallback=True)
+            finally:
+                trace.end_span(replay_span)
             if os.path.exists(os.path.join(self.path, INDEX_FILE)):
                 # A crash between the first segment-bearing manifest
                 # and the legacy-file cleanup left a stale index.json
@@ -536,6 +544,21 @@ class SchemaRepository:
         resolved on reopen, never half-visible. A failed durable write
         (disk full) raises :class:`RepositoryReadOnlyError`.
         """
+        ingest_span = trace.start_span("repo.ingest")
+        if ingest_span is None:
+            return self._ingest_impl(schema, session)
+        try:
+            schema_id = self._ingest_impl(schema, session)
+        finally:
+            trace.end_span(ingest_span)
+        ingest_span.annotate(schema_id=schema_id)
+        return schema_id
+
+    def _ingest_impl(
+        self,
+        schema: Union[Schema, PreparedSchema],
+        session: Optional[MatchSession] = None,
+    ) -> str:
         schema = self._disown_foreign(schema)
         raw = schema.schema if isinstance(schema, PreparedSchema) else schema
         canonical = canonical_schema_dict(raw)
@@ -722,60 +745,87 @@ class SchemaRepository:
             raise RepositoryError(
                 f"search candidates must be >= 1 (got {candidates})"
             )
-        session = session or self.session
-        prep_q = session.prepare(self._disown_foreign(query))
-        index_start = time.perf_counter()
-        with self._lock:
-            ranking = self._index.score(
-                token_profile(prep_q.linguistic), self.thesaurus
-            )
-            names = {sid: self._schemas[sid]["name"] for sid, _ in ranking}
-            corpus = len(self._schemas)
-        index_elapsed = time.perf_counter() - index_start
-        shortlist = [sid for sid, _ in ranking]
-        if candidates is not None:
-            shortlist = shortlist[:candidates]
+        search_span = trace.start_span("repo.search", k=k)
+        try:
+            session = session or self.session
+            prep_q = session.prepare(self._disown_foreign(query))
+            # The index/match child spans share the exact boundaries of
+            # the time_index_ms / time_match_ms stats, so the span tree
+            # and the latency block always tell the same story.
+            index_span = trace.start_span("repo.search.index")
+            index_start = time.perf_counter()
+            try:
+                with self._lock:
+                    ranking = self._index.score(
+                        token_profile(prep_q.linguistic), self.thesaurus
+                    )
+                    names = {
+                        sid: self._schemas[sid]["name"]
+                        for sid, _ in ranking
+                    }
+                    corpus = len(self._schemas)
+            finally:
+                trace.end_span(index_span)
+            index_elapsed = time.perf_counter() - index_start
+            shortlist = [sid for sid, _ in ranking]
+            if candidates is not None:
+                shortlist = shortlist[:candidates]
 
-        match_start = time.perf_counter()
-        matches = []
-        for position, sid in enumerate(shortlist):
-            if deadline is not None:
-                deadline.check(
-                    f"search {prep_q.schema.name!r} after {position} of "
-                    f"{len(shortlist)} candidate matches"
-                )
-            matches.append(
-                RankedMatch(
-                    schema_id=sid,
-                    schema_name=names[sid],
-                    score=0.0,
-                    result=session.match(prep_q, self.load(sid)),
-                )
+            match_span = trace.start_span(
+                "repo.search.match", candidates=len(shortlist)
             )
-        for match in matches:
-            match.score = match_score(match.result)
-        match_elapsed = time.perf_counter() - match_start
-        matches.sort(key=lambda m: (-m.score, m.schema_id))
+            match_start = time.perf_counter()
+            try:
+                matches = []
+                for position, sid in enumerate(shortlist):
+                    if deadline is not None:
+                        deadline.check(
+                            f"search {prep_q.schema.name!r} after "
+                            f"{position} of {len(shortlist)} candidate "
+                            "matches"
+                        )
+                    matches.append(
+                        RankedMatch(
+                            schema_id=sid,
+                            schema_name=names[sid],
+                            score=0.0,
+                            result=session.match(prep_q, self.load(sid)),
+                        )
+                    )
+                for match in matches:
+                    match.score = match_score(match.result)
+            finally:
+                trace.end_span(match_span)
+            match_elapsed = time.perf_counter() - match_start
+            matches.sort(key=lambda m: (-m.score, m.schema_id))
 
-        with self._lock:
-            self._counters["searches"] += 1
-            self._counters["search_candidates_matched"] += len(shortlist)
-            self._counters["search_candidates_pruned"] += (
-                corpus - len(shortlist)
+            with self._lock:
+                self._counters["searches"] += 1
+                self._counters["search_candidates_matched"] += len(shortlist)
+                self._counters["search_candidates_pruned"] += (
+                    corpus - len(shortlist)
+                )
+            if search_span is not None:
+                search_span.annotate(
+                    corpus_size=corpus,
+                    candidates_considered=len(shortlist),
+                    candidates_pruned=corpus - len(shortlist),
+                )
+            return RepositorySearchResult(
+                query_name=prep_q.schema.name,
+                k=k,
+                matches=matches[:k],
+                candidate_scores=ranking,
+                stats={
+                    "corpus_size": corpus,
+                    "candidates_considered": len(shortlist),
+                    "candidates_pruned": corpus - len(shortlist),
+                    "time_index_ms": round(index_elapsed * 1000.0, 3),
+                    "time_match_ms": round(match_elapsed * 1000.0, 3),
+                },
             )
-        return RepositorySearchResult(
-            query_name=prep_q.schema.name,
-            k=k,
-            matches=matches[:k],
-            candidate_scores=ranking,
-            stats={
-                "corpus_size": corpus,
-                "candidates_considered": len(shortlist),
-                "candidates_pruned": corpus - len(shortlist),
-                "time_index_ms": round(index_elapsed * 1000.0, 3),
-                "time_match_ms": round(match_elapsed * 1000.0, 3),
-            },
-        )
+        finally:
+            trace.end_span(search_span)
 
     # ------------------------------------------------------------------
     # Verification
@@ -924,16 +974,24 @@ class SchemaRepository:
         for an empty one). Idempotent on the index contents — a
         compacted repository compacts to the same profiles again.
         """
-        with self._lock:
-            self._flush_pending_segment()
-            stale = self._compact_segments_locked()
-            self._write_manifest()
-            self._dirty = False
-            self._finish_publish_locked()
-            count = len(self._segment_entries)
-        remove_segment_files(self.path, stale)
-        self._save_simcache()
-        return count
+        compact_span = trace.start_span("repo.compact")
+        try:
+            with self._lock:
+                self._flush_pending_segment()
+                stale = self._compact_segments_locked()
+                self._write_manifest()
+                self._dirty = False
+                self._finish_publish_locked()
+                count = len(self._segment_entries)
+            remove_segment_files(self.path, stale)
+            self._save_simcache()
+            if compact_span is not None:
+                compact_span.annotate(
+                    live_segments=count, removed_segments=len(stale)
+                )
+            return count
+        finally:
+            trace.end_span(compact_span)
 
     def segment_count(self) -> int:
         """Live segments plus the pending (unflushed) batch, if any."""

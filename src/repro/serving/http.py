@@ -6,18 +6,32 @@ is parsed on the connection thread and executed through the service's
 session pool, so the daemon inherits the service's admission control,
 deadlines, and metrics.
 
-Endpoints (all JSON)::
+Endpoints (all JSON except /metrics)::
 
     GET  /health          liveness + corpus size + in-flight gauge
     GET  /stats           latency histograms (p50/p95/p99 per
                           endpoint), session-pool cache counters,
                           repository counters
+    GET  /metrics         Prometheus text exposition from the same
+                          registry /stats snapshots (counts always
+                          agree)
     POST /search          {"schema": {...} | "text": "...", "format":
                           "sql", "k": 5, "candidates": 16,
                           "timeout_s": 10} -> ranked matches
     POST /match           {"source": <schema spec>, "target":
                           <schema spec>} -> one mapping
     POST /ingest          {"schemas": [<schema spec>, ...]} -> ids
+
+Every request gets a request id — minted from a per-daemon counter,
+or taken from an ``X-Request-Id`` header when the client sends one —
+echoed in the ``X-Request-Id`` response header, stamped on every span
+and structured log line, and carried in error bodies so 5xx responses
+are attributable in client logs. ``/search`` and ``/match`` bodies
+may set ``"trace": true`` to get a ``trace`` block: the request's
+full span tree (HTTP → service → repository → pipeline → sharded
+workers), arming the process-wide tracer if it wasn't already.
+Requests slower than ``config.slow_request_ms`` emit one structured
+JSON log line on stderr (0 disables).
 
 A *schema spec* is either ``{"schema": {...}}`` (the serialized
 schema-JSON format of :mod:`repro.io.json_io`) or ``{"text": "...",
@@ -40,6 +54,7 @@ other library errors → 400. Bodies are ``{"error": <class name>,
 
 from __future__ import annotations
 
+import itertools
 import json
 import random
 import signal
@@ -66,6 +81,7 @@ from repro.io.sql_ddl import parse_sql_ddl
 from repro.io.xml_schema import parse_xml_schema
 from repro.mapping.mapping import Mapping
 from repro.model.schema import Schema
+from repro.obs import trace
 from repro.repository.store import match_score
 from repro.serving.metrics import search_latency_schema
 from repro.serving.service import MatchService
@@ -159,35 +175,87 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        try:
-            if self.path == "/health":
-                self._respond(200, self.server.service.health())
-            elif self.path == "/stats":
-                self._respond(200, self.server.service.stats())
-            else:
-                self._respond(404, {
-                    "error": "NotFound",
-                    "message": f"no such endpoint: {self.path}",
-                })
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(exc)
+        self._handle("GET", self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST", self._route_post)
+
+    def _handle(self, method: str, route) -> None:
+        """Request envelope: correlate, span, route, slow-log.
+
+        Minted (or header-supplied) request ids are bound before any
+        work so every span, log line, and deadline/overload error
+        message produced downstream carries them — even when span
+        collection is disarmed.
+        """
+        rid = self.headers.get("X-Request-Id") or (
+            self.server.next_request_id()
+        )
+        self._request_id = rid
+        self._status = 0
+        token = trace.bind_request_id(rid)
+        self._http_span = trace.start_span(
+            "http.request", method=method, path=self.path
+        )
+        start = time.perf_counter()
         try:
-            body = self._read_body()
-            if self.path == "/search":
-                self._respond(200, self._search(body))
-            elif self.path == "/match":
-                self._respond(200, self._match(body))
-            elif self.path == "/ingest":
-                self._respond(200, self._ingest(body))
-            else:
-                self._respond(404, {
-                    "error": "NotFound",
-                    "message": f"no such endpoint: {self.path}",
-                })
-        except Exception as exc:
-            self._error(exc)
+            try:
+                route()
+            except Exception as exc:
+                self._error(exc)
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            trace.end_span(self._http_span, status=self._status)
+            slow_ms = self.server.slow_request_ms
+            if slow_ms and elapsed_ms >= slow_ms:
+                trace.log_event(
+                    "slow_request",
+                    method=method,
+                    path=self.path,
+                    status=self._status,
+                    elapsed_ms=round(elapsed_ms, 3),
+                    threshold_ms=slow_ms,
+                )
+            trace.unbind_request_id(token)
+
+    def _route_get(self) -> None:
+        if self.path == "/health":
+            self._respond(200, self.server.service.health())
+        elif self.path == "/stats":
+            self._respond(200, self.server.service.stats())
+        elif self.path == "/metrics":
+            self._respond_text(
+                200,
+                self.server.service.metrics.registry.render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._respond(404, {
+                "error": "NotFound",
+                "message": f"no such endpoint: {self.path}",
+            })
+
+    def _route_post(self) -> None:
+        body = self._read_body()
+        if body.get("trace") and self._http_span is None:
+            # Per-request tracing: arm the (process-wide) tracer on
+            # demand and open the edge span late — it covers the
+            # service call, which is where all the time goes.
+            trace.arm()
+            self._http_span = trace.start_span(
+                "http.request", method="POST", path=self.path
+            )
+        if self.path == "/search":
+            self._respond(200, self._search(body))
+        elif self.path == "/match":
+            self._respond(200, self._match(body))
+        elif self.path == "/ingest":
+            self._respond(200, self._ingest(body))
+        else:
+            self._respond(404, {
+                "error": "NotFound",
+                "message": f"no such endpoint: {self.path}",
+            })
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -210,12 +278,18 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             payload["schema_id"] = match.schema_id
             payload["score"] = round(match.score, 6)
             matches.append(payload)
-        return {
+        response = {
             "query_schema": search.query_name,
             "matches": matches,
             "stats": search.stats,
-            "latency_ms": search_latency_schema(search.stats, elapsed),
+            "latency_ms": search_latency_schema(
+                search.stats,
+                elapsed,
+                registry=self.server.service.metrics.registry,
+            ),
         }
+        self._attach_trace(body, response)
+        return response
 
     def _match(self, body: Dict[str, Any]) -> Dict[str, Any]:
         if "source" not in body or "target" not in body:
@@ -236,7 +310,31 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         payload["latency_ms"] = {
             "total_ms": round(elapsed * 1000.0, 3)
         }
+        self._attach_trace(body, payload)
         return payload
+
+    def _attach_trace(
+        self, body: Dict[str, Any], response: Dict[str, Any]
+    ) -> None:
+        """Add the request's span tree when the body asked for it.
+
+        The HTTP edge span is still open while the response is being
+        built, so the block carries its completed children — the
+        ``serve.*`` span whose subtree spans service → repository →
+        pipeline → sharded workers. The edge timing itself is the
+        response's ``latency_ms`` block.
+        """
+        if not body.get("trace"):
+            return
+        http_span = self._http_span
+        if http_span is None:  # pragma: no cover - defensive
+            return
+        response["trace"] = {
+            "request_id": self._request_id,
+            "spans": [
+                trace.span_tree(child) for child in http_span.children
+            ],
+        }
 
     def _side(self, spec: Any, what: str):
         """A match side: a schema spec or {"id": <repository id>}."""
@@ -294,12 +392,30 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
+        self._status = status
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            self.send_header("X-Request-Id", rid)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _respond_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        self._status = status
+        blob = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(blob)))
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            self.send_header("X-Request-Id", rid)
         self.end_headers()
         self.wfile.write(blob)
 
@@ -310,11 +426,15 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             retry_after = self.server.retry_after_s()
             if retry_after is not None:
                 headers["Retry-After"] = str(retry_after)
+        body = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+        }
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            body["request_id"] = rid
         try:
-            self._respond(status, {
-                "error": type(exc).__name__,
-                "message": str(exc),
-            }, headers=headers)
+            self._respond(status, body, headers=headers)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-error; nothing to salvage
 
@@ -367,6 +487,12 @@ class MatchHTTPServer(ThreadingHTTPServer):
         super().__init__(address, MatchRequestHandler)
         self.service = service
         self.verbose = verbose
+        self.slow_request_ms = service.repository.config.slow_request_ms
+        # Counter, not entropy: ids stay unique within the daemon (all
+        # correlation needs) and deterministic across replayed request
+        # sequences, so pinned-seed chaos runs keep byte-identical
+        # error bodies.
+        self._request_counter = itertools.count(1)
         # Seedable so pinned-seed chaos runs replay identical
         # Retry-After values; Random(None) still draws OS entropy for
         # the production default.
@@ -377,6 +503,12 @@ class MatchHTTPServer(ThreadingHTTPServer):
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    def next_request_id(self) -> str:
+        """Mint the next request id (``r000001``, ...). ``next`` on an
+        ``itertools.count`` is atomic under the GIL, so connection
+        threads need no extra lock."""
+        return f"r{next(self._request_counter):06d}"
 
     def retry_after_s(self) -> Optional[int]:
         """Jittered ``Retry-After`` value for 503 responses.

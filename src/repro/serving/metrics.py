@@ -1,24 +1,29 @@
-"""Serving metrics: latency histograms, gauges, deadlines.
+"""Serving metrics: registry-backed latency instruments + deadlines.
 
-Small, dependency-free instruments for the match service and its HTTP
-front end:
+The instruments themselves now live in :mod:`repro.obs.metrics` — a
+central :class:`~repro.obs.metrics.MetricsRegistry` owned by the
+service. This module keeps the serving-shaped views over them:
 
-* :class:`LatencyHistogram` — fixed log-spaced buckets over
-  [0.05 ms, 120 s]; recording is O(1), snapshots report count / error
-  count / mean and p50/p95/p99 read off the bucket boundaries (≤ ~12%
-  resolution error by construction — honest for latency reporting,
-  bounded memory forever, no reservoir sampling bias);
-* :class:`EndpointMetrics` — one histogram plus an in-flight gauge and
-  error/timeout counters per endpoint, with a ``track()`` context
-  manager the service wraps around request execution;
+* :class:`EndpointMetrics` — per-endpoint latency histogram,
+  in-flight gauge, and error/timeout/rejected counters, all
+  registered under labelled Prometheus families
+  (``repro_request_latency_seconds{endpoint=...}`` etc.), with a
+  ``track()`` context manager the service wraps around request
+  execution;
+* :class:`ServiceMetrics` — one registry per
+  :class:`~repro.serving.service.MatchService`; its ``snapshot()``
+  feeds ``/stats`` and ``registry.render_prometheus()`` feeds
+  ``GET /metrics``, so the two always agree — they read the same
+  instrument objects;
 * :class:`Deadline` — a cooperative per-request timeout: long
   operations call ``check()`` between units of work (the repository
   checks between candidate matches) and get a
   :class:`~repro.exceptions.RequestTimeoutError` naming what timed
-  out where;
-* :func:`search_latency_schema` — the one timing dict shape both the
-  CLI (``repro search --format json``) and the daemon report, so a
-  dashboard reads either without translation.
+  out where, stamped with the bound request id so 5xx responses are
+  attributable in client logs;
+* :func:`search_latency_schema` — re-exported from
+  :mod:`repro.obs.metrics`: the one timing dict shape both the CLI
+  (``repro search --format json``) and the daemon report.
 
 Everything here is thread-safe; recording takes one short lock.
 """
@@ -28,132 +33,79 @@ from __future__ import annotations
 import math
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.exceptions import RequestTimeoutError
+from repro.obs import trace
+from repro.obs.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    search_latency_schema,
+)
 
-#: Histogram range and resolution: bucket upper bounds grow
-#: geometrically from 0.05 ms to ~120 s. GROWTH**2 ≈ 1.26, so a
-#: reported percentile is within ~12% of the true value — plenty for
-#: p50/p95/p99 dashboards, constant memory regardless of traffic.
-_MIN_SECONDS = 0.00005
-_MAX_SECONDS = 120.0
-_GROWTH = 1.12
-
-
-def _bucket_bounds() -> List[float]:
-    bounds = []
-    upper = _MIN_SECONDS
-    while upper < _MAX_SECONDS:
-        bounds.append(upper)
-        upper *= _GROWTH
-    bounds.append(float("inf"))
-    return bounds
-
-
-_BOUNDS = _bucket_bounds()
-
-
-class LatencyHistogram:
-    """Log-bucketed latency distribution with percentile readout."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts = [0] * len(_BOUNDS)
-        self._count = 0
-        self._total = 0.0
-        self._min = math.inf
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        seconds = max(0.0, seconds)
-        # Bisect over geometric bounds == log lookup; linear scan is
-        # cache-friendly but O(buckets) — use bisect for O(log n).
-        low, high = 0, len(_BOUNDS) - 1
-        while low < high:
-            mid = (low + high) // 2
-            if seconds <= _BOUNDS[mid]:
-                high = mid
-            else:
-                low = mid + 1
-        with self._lock:
-            self._counts[low] += 1
-            self._count += 1
-            self._total += seconds
-            self._min = min(self._min, seconds)
-            self._max = max(self._max, seconds)
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    def percentile(self, fraction: float) -> float:
-        """The latency (seconds) at ``fraction`` of the distribution
-        (0.5 = p50). Returns the matching bucket's upper bound, 0.0
-        when nothing was recorded."""
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = max(1, math.ceil(self._count * fraction))
-            seen = 0
-            for i, count in enumerate(self._counts):
-                seen += count
-                if seen >= rank:
-                    # The overflow bucket has no finite bound; report
-                    # the observed max instead of inf.
-                    bound = _BOUNDS[i]
-                    return self._max if math.isinf(bound) else bound
-            return self._max
-
-    def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            count, total = self._count, self._total
-            minimum = 0.0 if math.isinf(self._min) else self._min
-            maximum = self._max
-        return {
-            "count": count,
-            "mean_ms": round(total / count * 1000.0, 3) if count else 0.0,
-            "min_ms": round(minimum * 1000.0, 3),
-            "max_ms": round(maximum * 1000.0, 3),
-            "p50_ms": round(self.percentile(0.50) * 1000.0, 3),
-            "p95_ms": round(self.percentile(0.95) * 1000.0, 3),
-            "p99_ms": round(self.percentile(0.99) * 1000.0, 3),
-        }
+__all__ = [
+    "Deadline",
+    "EndpointMetrics",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "search_latency_schema",
+]
 
 
 class EndpointMetrics:
-    """Latency + liveness for one endpoint (search/match/ingest/...)."""
+    """Latency + liveness for one endpoint (search/match/ingest/...).
 
-    def __init__(self, name: str) -> None:
+    All instruments are created in the service's shared registry with
+    an ``endpoint`` label, so ``GET /metrics`` exposes exactly the
+    series ``snapshot()`` summarises."""
+
+    def __init__(self, name: str, registry: MetricsRegistry) -> None:
         self.name = name
-        self.latency = LatencyHistogram()
-        self._lock = threading.Lock()
-        self._in_flight = 0
-        self._errors = 0
-        self._timeouts = 0
-        self._rejected = 0
+        self.latency = registry.histogram(
+            "repro_request_latency_seconds",
+            "Request execution latency by endpoint.",
+            endpoint=name,
+        )
+        self._errors = registry.counter(
+            "repro_request_errors_total",
+            "Requests that raised a non-timeout error.",
+            endpoint=name,
+        )
+        self._timeouts = registry.counter(
+            "repro_request_timeouts_total",
+            "Requests that exceeded their deadline.",
+            endpoint=name,
+        )
+        self._rejected = registry.counter(
+            "repro_requests_rejected_total",
+            "Requests refused at admission (overload).",
+            endpoint=name,
+        )
+        self._in_flight = registry.gauge(
+            "repro_requests_in_flight",
+            "Requests currently executing.",
+            endpoint=name,
+        )
 
     @property
     def in_flight(self) -> int:
-        return self._in_flight
+        return int(self._in_flight.value)
 
     def reject(self) -> None:
         """Count a request refused before execution (overload)."""
-        with self._lock:
-            self._rejected += 1
+        self._rejected.inc()
 
     def track(self) -> "_Tracker":
         """Context manager timing one request's execution."""
         return _Tracker(self)
 
     def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            info = {
-                "in_flight": self._in_flight,
-                "errors": self._errors,
-                "timeouts": self._timeouts,
-                "rejected": self._rejected,
-            }
+        info = {
+            "in_flight": int(self._in_flight.value),
+            "errors": self._errors.value,
+            "timeouts": self._timeouts.value,
+            "rejected": self._rejected.value,
+        }
         info.update(self.latency.snapshot())
         return info
 
@@ -164,36 +116,42 @@ class _Tracker:
         self._start = 0.0
 
     def __enter__(self) -> "_Tracker":
-        with self._metrics._lock:
-            self._metrics._in_flight += 1
+        self._metrics._in_flight.inc()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter() - self._start
         self._metrics.latency.record(elapsed)
-        with self._metrics._lock:
-            self._metrics._in_flight -= 1
-            if exc_type is not None:
-                if issubclass(exc_type, RequestTimeoutError):
-                    self._metrics._timeouts += 1
-                else:
-                    self._metrics._errors += 1
+        self._metrics._in_flight.dec()
+        if exc_type is not None:
+            if issubclass(exc_type, RequestTimeoutError):
+                self._metrics._timeouts.inc()
+            else:
+                self._metrics._errors.inc()
 
 
 class ServiceMetrics:
-    """Per-endpoint metrics registry; one per :class:`MatchService`."""
+    """Per-endpoint metrics; one registry per :class:`MatchService`."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._endpoints: Dict[str, EndpointMetrics] = {}
         self.started_at = time.time()
+        self.registry.callback_gauge(
+            "repro_uptime_seconds",
+            lambda: time.time() - self.started_at,
+            "Seconds since the service's metrics came up.",
+        )
 
     def endpoint(self, name: str) -> EndpointMetrics:
         with self._lock:
             metrics = self._endpoints.get(name)
             if metrics is None:
-                metrics = self._endpoints[name] = EndpointMetrics(name)
+                metrics = self._endpoints[name] = EndpointMetrics(
+                    name, self.registry
+                )
             return metrics
 
     def snapshot(self) -> Dict[str, Any]:
@@ -214,7 +172,9 @@ class Deadline:
     ``Deadline(seconds)`` starts the clock immediately; ``check()`` is
     called between units of work and raises
     :class:`RequestTimeoutError` once the budget is spent. ``None`` /
-    ``0`` budgets never expire (:meth:`unbounded`).
+    ``0`` budgets never expire (:meth:`unbounded`). The error message
+    carries the bound request id, when one is set, so timeouts are
+    attributable end to end.
     """
 
     def __init__(self, seconds: Optional[float]) -> None:
@@ -235,24 +195,8 @@ class Deadline:
 
     def check(self, context: str) -> None:
         if self.expired():
+            rid = trace.request_id()
+            suffix = f" [request {rid}]" if rid else ""
             raise RequestTimeoutError(
-                f"deadline of {self.seconds}s exceeded: {context}"
+                f"deadline of {self.seconds}s exceeded: {context}{suffix}"
             )
-
-
-def search_latency_schema(
-    stats: Dict[str, Any], total_seconds: float
-) -> Dict[str, float]:
-    """The shared CLI/daemon timing block for one search request.
-
-    ``total_ms`` is the caller-observed wall time; ``index_ms`` /
-    ``match_ms`` are the repository's own phase timings from the
-    search stats. The CLI's ``repro search --format json`` and the
-    daemon's ``/search`` response carry exactly this dict under
-    ``latency_ms``, so timing dashboards read both identically.
-    """
-    return {
-        "total_ms": round(total_seconds * 1000.0, 3),
-        "index_ms": float(stats.get("time_index_ms", 0.0)),
-        "match_ms": float(stats.get("time_match_ms", 0.0)),
-    }

@@ -43,6 +43,7 @@ embedding event loops use.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import queue
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -55,6 +56,7 @@ from repro.exceptions import (
     ServiceOverloadedError,
 )
 from repro.model.schema import Schema
+from repro.obs import trace
 from repro.pipeline.prepared import PreparedSchema
 from repro.pipeline.result import CupidResult
 from repro.pipeline.session import MatchSession
@@ -160,50 +162,63 @@ class MatchService:
         time spent queued counts against it.
         """
         metrics = self.metrics.endpoint(endpoint)
+        # The rejection paths carry the caller's request id (bound at
+        # the HTTP edge) so 5xx responses are attributable end to end.
+        rid = trace.request_id()
+        rid_suffix = f" [request {rid}]" if rid else ""
         with self._admission_lock:
             if self._closed:
                 metrics.reject()
                 raise ServiceClosedError(
-                    f"{endpoint} rejected: service is closed"
+                    f"{endpoint} rejected: service is closed{rid_suffix}"
                 )
             if self._admitted >= self._queue_depth:
                 metrics.reject()
                 raise ServiceOverloadedError(
                     f"{endpoint} rejected: {self._admitted} requests "
                     f"in flight (queue depth {self._queue_depth})"
+                    f"{rid_suffix}"
                 )
             self._admitted += 1
         deadline = self._deadline(timeout)
+        # Request-scoped contextvars (request id, open span) do not
+        # cross executor threads on their own: capture the caller's
+        # context now and run the request inside it, so every span and
+        # timeout raised on the worker thread stays correlated.
+        submit_context = contextvars.copy_context()
 
         def run() -> Any:
             try:
-                with metrics.track():
-                    deadline.check(f"{endpoint} still queued")
-                    faults.check("serve.execute")
-                    session = self._idle.get()
-                    try:
+                with trace.span("serve." + endpoint, endpoint=endpoint):
+                    with metrics.track():
+                        deadline.check(f"{endpoint} still queued")
+                        faults.check("serve.execute")
+                        session = self._idle.get()
                         try:
-                            return fn(session, deadline, *args)
-                        except ParallelError:
-                            # The dead pool evicted itself from the
-                            # process-wide registry, so re-running the
-                            # request builds fresh workers. One retry:
-                            # a pool that dies twice in a row is a
-                            # systemic failure the caller must see.
-                            with self._admission_lock:
-                                self._worker_pool_retries += 1
-                            deadline.check(
-                                f"{endpoint} retrying on a fresh "
-                                "worker pool"
-                            )
-                            return fn(session, deadline, *args)
-                    finally:
-                        self._idle.put(session)
+                            try:
+                                return fn(session, deadline, *args)
+                            except ParallelError:
+                                # The dead pool evicted itself from the
+                                # process-wide registry, so re-running
+                                # the request builds fresh workers. One
+                                # retry: a pool that dies twice in a
+                                # row is a systemic failure the caller
+                                # must see.
+                                with self._admission_lock:
+                                    self._worker_pool_retries += 1
+                                trace.annotate(worker_pool_retry=True)
+                                deadline.check(
+                                    f"{endpoint} retrying on a fresh "
+                                    "worker pool"
+                                )
+                                return fn(session, deadline, *args)
+                        finally:
+                            self._idle.put(session)
             finally:
                 with self._admission_lock:
                     self._admitted -= 1
 
-        return self._executor.submit(run)
+        return self._executor.submit(submit_context.run, run)
 
     # ------------------------------------------------------------------
     # Operations

@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import faults
 from repro.exceptions import ParallelError
+from repro.obs import trace
 
 try:  # optional acceleration, never a hard dependency
     import numpy as _np
@@ -580,14 +581,41 @@ def _worker_main(conn) -> None:
                 if shard is not None:
                     shard.close()
             elif kind == "scan":
-                _, key, a0, a1, j0, j1, thaccept = msg
-                conn.send(("ok",) + shards[key].scan(a0, a1, j0, j1, thaccept))
+                _, key, a0, a1, j0, j1, thaccept, want_trace = msg
+                if want_trace:
+                    # Spans are built standalone (no arming needed) and
+                    # ride home inside the reply; the dispatching op
+                    # span adopts them at the barrier. The dispatcher
+                    # only sets want_trace when its own tracer is
+                    # armed, so disarmed runs keep today's reply shape.
+                    shard_span = trace.Span.begin(
+                        "parallel.worker.scan",
+                        rows=a1 - a0, cols=j1 - j0, row_lo=a0,
+                    )
+                    payload = shards[key].scan(a0, a1, j0, j1, thaccept)
+                    shard_span.finish()
+                    conn.send(("ok",) + payload + (shard_span.to_dict(),))
+                else:
+                    conn.send(
+                        ("ok",) + shards[key].scan(a0, a1, j0, j1, thaccept)
+                    )
             elif kind == "scale":
-                _, key, a0, a1, j0, j1, factor, thaccept = msg
-                conn.send(
-                    ("ok",)
-                    + shards[key].scale(a0, a1, j0, j1, factor, thaccept)
-                )
+                _, key, a0, a1, j0, j1, factor, thaccept, want_trace = msg
+                if want_trace:
+                    shard_span = trace.Span.begin(
+                        "parallel.worker.scale",
+                        rows=a1 - a0, cols=j1 - j0, row_lo=a0,
+                    )
+                    payload = shards[key].scale(
+                        a0, a1, j0, j1, factor, thaccept
+                    )
+                    shard_span.finish()
+                    conn.send(("ok",) + payload + (shard_span.to_dict(),))
+                else:
+                    conn.send(
+                        ("ok",)
+                        + shards[key].scale(a0, a1, j0, j1, factor, thaccept)
+                    )
             elif kind == "ping":
                 conn.send(("ok",))
         except Exception:  # noqa: BLE001 - forwarded to the main process
@@ -887,20 +915,31 @@ class ShardContext:
         targets = self._targets(i0, i1)
         self.counters["parallel_scan_ops"] += 1
         self.counters["parallel_shards_dispatched"] += len(targets)
-        replies = self.pool.request(
-            [
-                (w, ("scan", self.key, a0, a1, j0, j1, thaccept))
-                for w, a0, a1 in targets
-            ]
-        )
-        row_bits = bytearray()
-        col_bits = bytearray(j1 - j0)
-        for _ok, rows, cols in replies:
-            row_bits.extend(rows)
-            for k, bit in enumerate(cols):
-                if bit:
-                    col_bits[k] = 1
-        return row_bits, col_bits
+        op_span = trace.start_span("parallel.scan", shards=len(targets))
+        want_trace = op_span is not None
+        try:
+            replies = self.pool.request(
+                [
+                    (w, ("scan", self.key, a0, a1, j0, j1, thaccept,
+                         want_trace))
+                    for w, a0, a1 in targets
+                ]
+            )
+            if want_trace:
+                # The op is the barrier: worker spans ride the replies
+                # and re-parent here, under the dispatching span.
+                trace.adopt(op_span, (reply[3] for reply in replies))
+            row_bits = bytearray()
+            col_bits = bytearray(j1 - j0)
+            for reply in replies:
+                rows, cols = reply[1], reply[2]
+                row_bits.extend(rows)
+                for k, bit in enumerate(cols):
+                    if bit:
+                        col_bits[k] = 1
+            return row_bits, col_bits
+        finally:
+            trace.end_span(op_span)
 
     def scale(self, i0, i1, j0, j1, factor, thaccept):
         """Sharded clamped block multiply (flat stores only — the
@@ -910,21 +949,30 @@ class ShardContext:
         targets = self._targets(i0, i1)
         self.counters["parallel_scale_ops"] += 1
         self.counters["parallel_shards_dispatched"] += len(targets)
-        replies = self.pool.request(
-            [
-                (w, ("scale", self.key, a0, a1, j0, j1, factor, thaccept))
-                for w, a0, a1 in targets
-            ]
-        )
-        any_crossed = False
-        row_bits = bytearray()
-        col_bits = bytearray(j1 - j0)
-        for _ok, crossed, rows, cols in replies:
-            any_crossed = any_crossed or crossed
-            row_bits.extend(rows)
-            for k, bit in enumerate(cols):
-                if bit:
-                    col_bits[k] = 1
-        if any_crossed:
-            self.counters["parallel_stamp_merges"] += 1
-        return any_crossed, row_bits, col_bits
+        op_span = trace.start_span("parallel.scale", shards=len(targets))
+        want_trace = op_span is not None
+        try:
+            replies = self.pool.request(
+                [
+                    (w, ("scale", self.key, a0, a1, j0, j1, factor,
+                         thaccept, want_trace))
+                    for w, a0, a1 in targets
+                ]
+            )
+            if want_trace:
+                trace.adopt(op_span, (reply[4] for reply in replies))
+            any_crossed = False
+            row_bits = bytearray()
+            col_bits = bytearray(j1 - j0)
+            for reply in replies:
+                crossed, rows, cols = reply[1], reply[2], reply[3]
+                any_crossed = any_crossed or crossed
+                row_bits.extend(rows)
+                for k, bit in enumerate(cols):
+                    if bit:
+                        col_bits[k] = 1
+            if any_crossed:
+                self.counters["parallel_stamp_merges"] += 1
+            return any_crossed, row_bits, col_bits
+        finally:
+            trace.end_span(op_span)

@@ -57,6 +57,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.config import DEFAULT_CONFIG, CupidConfig
 from repro.linguistic.matcher import LsimTable
+from repro.obs import trace
 from repro.model.datatypes import TypeCompatibilityTable, default_compatibility_table
 from repro.structure.blocked import BlockedSimilarityStore
 from repro.structure.dense import DenseSimilarityStore
@@ -138,6 +139,35 @@ class TreeMatch:
         objects (per-schema artifacts a
         :class:`~repro.pipeline.prepared.PreparedSchema` caches);
         omitted, the dense store derives them itself."""
+        pass_span = trace.start_span("treematch.run")
+        if pass_span is None:
+            return self._run_pass(
+                source_tree, target_tree, lsim_table,
+                source_layout, target_layout,
+            )
+        try:
+            result = self._run_pass(
+                source_tree, target_tree, lsim_table,
+                source_layout, target_layout,
+            )
+        finally:
+            trace.end_span(pass_span)
+        pass_span.annotate(
+            engine=result.engine,
+            compared_pairs=result.compared_pairs,
+            pruned_pairs=result.pruned_pairs,
+            scaled_pairs=result.scaled_pairs,
+        )
+        return result
+
+    def _run_pass(
+        self,
+        source_tree: SchemaTree,
+        target_tree: SchemaTree,
+        lsim_table: LsimTable,
+        source_layout=None,
+        target_layout=None,
+    ) -> TreeMatchResult:
         config = self.config
         self._frontier_memo = {}
         sims = self._make_store(
@@ -408,6 +438,25 @@ class TreeMatch:
         The reference engine always rescans: it is the correctness
         oracle.
         """
+        pass_span = trace.start_span("treematch.recompute")
+        if pass_span is None:
+            return self._recompute_pass(result, force_full)
+        try:
+            refreshed = self._recompute_pass(result, force_full)
+        finally:
+            trace.end_span(pass_span)
+        pass_span.annotate(
+            recompute_pairs=result.recompute_pairs,
+            recompute_dirty=result.recompute_dirty,
+            recompute_skipped=result.recompute_skipped,
+            recompute_standdown=result.recompute_standdown,
+            force_full=force_full,
+        )
+        return refreshed
+
+    def _recompute_pass(
+        self, result: TreeMatchResult, force_full: bool = False
+    ) -> Dict[Tuple[int, int], float]:
         sims = result.sims
         self._frontier_memo = {}
         refreshed: Dict[Tuple[int, int], float] = {}
